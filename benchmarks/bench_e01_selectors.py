@@ -1,0 +1,36 @@
+"""E1 — selector semantics and checked assignment (Fig. 1)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.selectors import selected
+from repro.workloads import generate_scene
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def scene_db():
+    return generate_scene(rooms=16, row_length=6).database(mutual=False)
+
+
+@pytest.mark.benchmark(group="E1-selectors")
+def test_e01_selected_read(benchmark, scene_db):
+    view = selected(scene_db, "Infront", "hidden_by",
+                    scene_db["Infront"].sorted_rows()[0][0])
+    rows = benchmark(view.value)
+    assert rows
+
+
+@pytest.mark.benchmark(group="E1-selectors")
+def test_e01_checked_assignment(benchmark, scene_db):
+    view = selected(scene_db, "Infront", "refint")
+    rows = list(scene_db["Infront"].rows())
+    benchmark(lambda: view.assign(rows))
+
+
+@pytest.mark.benchmark(group="E1-selectors")
+def test_e01_table(benchmark):
+    table = benchmark.pedantic(experiments.e01_selectors, rounds=1, iterations=1)
+    write_table("e01", table)
+    assert all(row[-1] for row in table.rows)  # every equivalence held

@@ -1,0 +1,29 @@
+"""E2 — ahead_2 constructor vs the explicit union expression (Fig. 2)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.constructors import apply_constructor
+from repro.workloads import generate_scene
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def scene_db():
+    return generate_scene(rooms=16, row_length=6).database(mutual=False)
+
+
+@pytest.mark.benchmark(group="E2-basics")
+def test_e02_ahead2_constructor(benchmark, scene_db):
+    result = benchmark(lambda: apply_constructor(scene_db, "Infront", "ahead2"))
+    assert len(result.rows) > len(scene_db["Infront"])
+
+
+@pytest.mark.benchmark(group="E2-basics")
+def test_e02_table(benchmark):
+    table = benchmark.pedantic(
+        experiments.e02_constructor_basics, rounds=1, iterations=1
+    )
+    write_table("e02", table)
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,38 @@
+"""E3 — Infront{ahead} = lim ahead_n: convergence of the bounded sequence."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.constructors import apply_constructor, construct_bounded
+from repro.workloads import chain, grid
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return paper.cad_database(infront=chain(64), mutual=False)
+
+
+@pytest.mark.benchmark(group="E3-convergence")
+def test_e03_full_lfp_chain64(benchmark, chain_db):
+    result = benchmark(
+        lambda: apply_constructor(chain_db, "Infront", "ahead", mode="seminaive")
+    )
+    assert len(result.rows) == 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E3-convergence")
+def test_e03_bounded_prefix(benchmark, chain_db):
+    node = d.constructed("Infront", "ahead")
+    result = benchmark(lambda: construct_bounded(chain_db, node, 8))
+    assert len(result.rows) < 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E3-convergence")
+def test_e03_table(benchmark):
+    table = benchmark.pedantic(experiments.e03_lfp_convergence, rounds=1, iterations=1)
+    write_table("e03", table)
+    assert all(row[-1] for row in table.rows)  # loop program == engine

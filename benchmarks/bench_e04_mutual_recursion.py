@@ -1,0 +1,38 @@
+"""E4 — mutually recursive ahead/above (section 3.1)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.constructors import apply_constructor
+from repro.workloads import generate_scene
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def stacked_db():
+    return generate_scene(rooms=8, row_length=5, stack_height=3).database(mutual=True)
+
+
+@pytest.mark.benchmark(group="E4-mutual")
+def test_e04_mutual_seminaive(benchmark, stacked_db):
+    result = benchmark(
+        lambda: apply_constructor(
+            stacked_db, "Infront", "ahead", "Ontop", mode="seminaive"
+        )
+    )
+    assert len(result.values) == 2  # one shared system of two equations
+
+
+@pytest.mark.benchmark(group="E4-mutual")
+def test_e04_mutual_naive(benchmark, stacked_db):
+    benchmark(
+        lambda: apply_constructor(stacked_db, "Infront", "ahead", "Ontop", mode="naive")
+    )
+
+
+@pytest.mark.benchmark(group="E4-mutual")
+def test_e04_table(benchmark):
+    table = benchmark.pedantic(experiments.e04_mutual_recursion, rounds=1, iterations=1)
+    write_table("e04", table)
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,35 @@
+"""E5 — section 3.2 semantics: monotone bounded sequence, least fixpoint."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.constructors import construct_bounded, instantiate, iterate_steps
+from repro.workloads import grid
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def grid_db():
+    return paper.cad_database(infront=grid(5, 5), mutual=False)
+
+
+@pytest.mark.benchmark(group="E5-semantics")
+def test_e05_one_operator_application(benchmark, grid_db):
+    system = instantiate(grid_db, d.constructed("Infront", "ahead"))
+    benchmark(lambda: iterate_steps(grid_db, system, 1))
+
+
+@pytest.mark.benchmark(group="E5-semantics")
+def test_e05_bounded_sequence(benchmark, grid_db):
+    node = d.constructed("Infront", "ahead")
+    benchmark(lambda: [construct_bounded(grid_db, node, k) for k in range(6)])
+
+
+@pytest.mark.benchmark(group="E5-semantics")
+def test_e05_table(benchmark):
+    table = benchmark.pedantic(experiments.e05_semantics, rounds=1, iterations=1)
+    write_table("e05", table)
+    assert all(row[-1] for row in table.rows)  # monotone throughout

@@ -1,0 +1,65 @@
+"""E6 — positivity checking and the nonsense/strange iterations (section 3.3)."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.constructors import apply_constructor
+from repro.errors import ConvergenceError
+from repro.relational import Database
+
+from .conftest import write_table
+
+
+def make_card_db(n: int) -> Database:
+    db = Database()
+    db.declare("Base", paper.CARDREL, [(i,) for i in range(n)])
+    return db
+
+
+@pytest.mark.benchmark(group="E6-positivity")
+def test_e06_positivity_check_cost(benchmark):
+    """Definition-time positivity analysis of the full CAD module."""
+
+    def define_all():
+        db = Database()
+        db.declare("Objects", paper.OBJECTREL)
+        db.declare("Infront", paper.INFRONTREL)
+        db.declare("Ontop", paper.ONTOPREL)
+        paper.define_mutual_ahead_above(db)
+        return db
+
+    benchmark(define_all)
+
+
+@pytest.mark.benchmark(group="E6-positivity")
+def test_e06_strange_limit(benchmark):
+    db = make_card_db(32)
+    paper.define_strange(db)
+    result = benchmark(
+        lambda: apply_constructor(db, "Base", "strange", allow_nonmonotonic=True)
+    )
+    assert (0,) in result.rows and (1,) not in result.rows
+
+
+@pytest.mark.benchmark(group="E6-positivity")
+def test_e06_nonsense_detection(benchmark):
+    db = make_card_db(8)
+    paper.define_nonsense(db)
+
+    def detect():
+        try:
+            apply_constructor(db, "Base", "nonsense", allow_nonmonotonic=True)
+            return False
+        except ConvergenceError:
+            return True
+
+    assert benchmark(detect)
+
+
+@pytest.mark.benchmark(group="E6-positivity")
+def test_e06_table(benchmark):
+    table = benchmark.pedantic(experiments.e06_positivity, rounds=1, iterations=1)
+    write_table("e06", table)
+    verdicts = [row[1] for row in table.rows]
+    assert verdicts == ["accepted", "rejected", "rejected"]

@@ -1,0 +1,80 @@
+"""E8 — THE HEADLINE CLAIM: set-oriented fixpoints vs proof-oriented search.
+
+"Many recursive queries can be evaluated more efficiently within the
+set-construction framework of database systems than with proof-oriented
+methods typical for a rule-based approach."
+"""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.compiler import construct_compiled
+from repro.constructors import apply_constructor
+from repro.datalog import parse_atom, parse_program
+from repro.prolog import KnowledgeBase, SLDEngine, TabledEngine
+from repro.workloads import chain, cycle
+
+from .conftest import write_table
+
+TC = parse_program(
+    "ahead(X, Y) :- infront(X, Y).\n"
+    "ahead(X, Y) :- infront(X, Z), ahead(Z, Y).\n"
+)
+EDGES = chain(64)
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return paper.cad_database(infront=EDGES, mutual=False)
+
+
+@pytest.mark.benchmark(group="E8-allpairs")
+def test_e08_seminaive(benchmark, chain_db):
+    result = benchmark(
+        lambda: apply_constructor(chain_db, "Infront", "ahead", mode="seminaive")
+    )
+    assert len(result.rows) == 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E8-allpairs")
+def test_e08_compiled(benchmark, chain_db):
+    result = benchmark(
+        lambda: construct_compiled(chain_db, d.constructed("Infront", "ahead"))
+    )
+    assert len(result.rows) == 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E8-allpairs")
+def test_e08_sld_all_answers(benchmark):
+    kb = KnowledgeBase.from_program(TC, {"infront": EDGES})
+    rows = benchmark(lambda: SLDEngine(kb).all_answers(parse_atom("ahead(X, Y)")))
+    assert len(rows) == 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E8-allpairs")
+def test_e08_tabled_all_answers(benchmark):
+    kb = KnowledgeBase.from_program(TC, {"infront": EDGES})
+    rows = benchmark(lambda: TabledEngine(kb).all_answers(parse_atom("ahead(X, Y)")))
+    assert len(rows) == 64 * 65 // 2
+
+
+@pytest.mark.benchmark(group="E8-allpairs")
+def test_e08_table(benchmark):
+    table = benchmark.pedantic(
+        experiments.e08_set_vs_proof, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    write_table("e08", table)
+    # the cycle row must show SLD looping while the fixpoint engines finish
+    cycle_row = [r for r in table.rows if "cycle" in str(r[0])][0]
+    assert cycle_row[6] == "loops"
+
+
+@pytest.mark.benchmark(group="E8-pointquery")
+def test_e08b_table(benchmark):
+    table = benchmark.pedantic(
+        experiments.e08b_point_query, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    write_table("e08b", table)
+    assert table.rows

@@ -1,0 +1,54 @@
+"""E9 — constraint propagation into constructor bodies (Cases 1-3)."""
+
+import pytest
+
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.compiler import inline_nonrecursive, run_query
+from repro.constructors import apply_constructor
+from repro.workloads import generate_scene
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def scene_db():
+    return generate_scene(rooms=32, row_length=8).database(mutual=False)
+
+
+def _restricted_query(db):
+    target = db["Infront"].sorted_rows()[0][0]
+    return target, d.query(
+        d.branch(
+            d.each("r", d.constructed("Infront", "ahead2")),
+            pred=d.eq(d.a("r", "head"), target),
+            targets=[d.a("r", "tail")],
+        )
+    )
+
+
+@pytest.mark.benchmark(group="E9-pushdown")
+def test_e09_materialize_then_filter(benchmark, scene_db):
+    target, _ = _restricted_query(scene_db)
+
+    def slow():
+        full = apply_constructor(scene_db, "Infront", "ahead2").rows
+        return {(r[1],) for r in full if r[0] == target}
+
+    benchmark(slow)
+
+
+@pytest.mark.benchmark(group="E9-pushdown")
+def test_e09_inlined_compiled(benchmark, scene_db):
+    target, query = _restricted_query(scene_db)
+    inlined = inline_nonrecursive(scene_db, query)
+    rows = benchmark(lambda: run_query(scene_db, inlined))
+    full = apply_constructor(scene_db, "Infront", "ahead2").rows
+    assert rows == {(r[1],) for r in full if r[0] == target}
+
+
+@pytest.mark.benchmark(group="E9-pushdown")
+def test_e09_table(benchmark):
+    table = benchmark.pedantic(experiments.e09_pushdown, rounds=1, iterations=1)
+    write_table("e09", table)
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,37 @@
+"""E10 — augmented quant graph construction and partitioning (Fig. 3)."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.compiler import build_constructor_graph, type_check_level
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def cad_db():
+    return paper.cad_database(mutual=True)
+
+
+@pytest.mark.benchmark(group="E10-quantgraph")
+def test_e10_build_fig3_graph(benchmark, cad_db):
+    graph = benchmark(
+        lambda: build_constructor_graph(cad_db, cad_db.constructor("ahead"))
+    )
+    assert graph.recursive_heads()
+
+
+@pytest.mark.benchmark(group="E10-quantgraph")
+def test_e10_type_check_level(benchmark, cad_db):
+    report = benchmark(lambda: type_check_level(cad_db))
+    assert "ahead" in report.recursive_constructors
+
+
+@pytest.mark.benchmark(group="E10-quantgraph")
+def test_e10_table(benchmark):
+    table = benchmark.pedantic(experiments.e10_quantgraph, rounds=1, iterations=1)
+    write_table("e10", table)
+    # a ring of m constructors: one component, m recursive heads
+    last = table.rows[-1]
+    assert last[3] == 1 and last[4] == 24

@@ -1,0 +1,52 @@
+"""E11 — logical vs physical access paths under repeated queries."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.compiler import LogicalAccessPath, PhysicalAccessPath
+from repro.workloads import chain
+
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return paper.cad_database(infront=chain(128), mutual=False)
+
+
+NODE = d.constructed("Infront", "ahead")
+
+
+@pytest.mark.benchmark(group="E11-accesspaths")
+def test_e11_physical_materialization(benchmark, chain_db):
+    def materialize():
+        path = PhysicalAccessPath(chain_db, NODE, "head")
+        path.materialize()
+        return path
+
+    path = benchmark(materialize)
+    assert path.lookup("n0")
+
+
+@pytest.mark.benchmark(group="E11-accesspaths")
+def test_e11_physical_lookup(benchmark, chain_db):
+    path = PhysicalAccessPath(chain_db, NODE, "head")
+    path.materialize()
+    rows = benchmark(lambda: path.lookup("n64"))
+    assert len(rows) == 64
+
+
+@pytest.mark.benchmark(group="E11-accesspaths")
+def test_e11_logical_seeded_lookup(benchmark, chain_db):
+    path = LogicalAccessPath(chain_db, NODE, "head")
+    rows = benchmark(lambda: path.lookup("n64"))
+    assert len(rows) == 64
+
+
+@pytest.mark.benchmark(group="E11-accesspaths")
+def test_e11_table(benchmark):
+    table = benchmark.pedantic(experiments.e11_access_paths, rounds=1, iterations=1)
+    write_table("e11", table)
+    assert table.rows

@@ -1,0 +1,65 @@
+"""E12 — range nesting N1-N3 and the compiled-plan execution ablation."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import Evaluator, dsl as d, nest_binding, unnest_query
+from repro.compiler import run_query
+from repro.workloads import random_digraph
+
+from .conftest import write_table
+
+EDGES = random_digraph(48, 480, seed=13)
+
+
+@pytest.fixture(scope="module")
+def graph_db():
+    return paper.cad_database(infront=EDGES, mutual=False)
+
+
+JOIN_QUERY = d.query(
+    d.branch(
+        d.each("f", "Infront"), d.each("b", "Infront"),
+        pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+        targets=[d.a("f", "front"), d.a("b", "back")],
+    )
+)
+
+
+@pytest.mark.benchmark(group="E12-execution")
+def test_e12_reference_nested_loop(benchmark, graph_db):
+    rows = benchmark(lambda: Evaluator(graph_db).eval_query(JOIN_QUERY))
+    assert rows
+
+
+@pytest.mark.benchmark(group="E12-execution")
+def test_e12_compiled_index_join(benchmark, graph_db):
+    rows = benchmark(lambda: run_query(graph_db, JOIN_QUERY))
+    assert rows == Evaluator(graph_db).eval_query(JOIN_QUERY)
+
+
+@pytest.mark.benchmark(group="E12-execution")
+def test_e12_nesting_rewrite_cost(benchmark, graph_db):
+    branch = JOIN_QUERY.branches[0]
+    restricted = d.branch(
+        *branch.bindings,
+        pred=d.and_(branch.pred, d.eq(d.a("f", "front"), "n1")),
+        targets=list(branch.targets),
+    )
+
+    def rewrite_roundtrip():
+        nested = nest_binding(restricted, "f")
+        return unnest_query(d.query(nested))
+
+    flat = benchmark(rewrite_roundtrip)
+    assert Evaluator(graph_db).eval_query(flat) == Evaluator(graph_db).eval_query(
+        d.query(restricted)
+    )
+
+
+@pytest.mark.benchmark(group="E12-execution")
+def test_e12_table(benchmark):
+    table = benchmark.pedantic(experiments.e12_range_nesting, rounds=1, iterations=1)
+    write_table("e12", table)
+    assert all(row[-1] for row in table.rows)

@@ -1,0 +1,57 @@
+"""E13 — capture rules: bound-argument specialization of linear recursion."""
+
+import pytest
+
+from repro import paper
+from repro.bench import experiments
+from repro.calculus import dsl as d
+from repro.compiler import bound_query, construct_compiled, detect_linear_tc
+from repro.constructors import instantiate
+from repro.workloads import chain
+
+from .conftest import write_table
+
+EDGES = chain(256)
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    return paper.cad_database(infront=EDGES, mutual=False)
+
+
+@pytest.fixture(scope="module")
+def tc_shape(chain_db):
+    system = instantiate(chain_db, d.constructed("Infront", "ahead"))
+    return detect_linear_tc(chain_db, system)
+
+
+@pytest.mark.benchmark(group="E13-specialization")
+def test_e13_full_lfp(benchmark, chain_db):
+    result = benchmark(
+        lambda: construct_compiled(chain_db, d.constructed("Infront", "ahead"))
+    )
+    assert len(result.rows) == 256 * 257 // 2
+
+
+@pytest.mark.benchmark(group="E13-specialization")
+def test_e13_seeded_bound_head(benchmark, chain_db, tc_shape):
+    rows = benchmark(lambda: bound_query(chain_db, tc_shape, "head", "n0"))
+    assert len(rows) == 256
+
+
+@pytest.mark.benchmark(group="E13-specialization")
+def test_e13_seeded_bound_tail(benchmark, chain_db, tc_shape):
+    rows = benchmark(lambda: bound_query(chain_db, tc_shape, "tail", "n256"))
+    assert len(rows) == 256
+
+
+@pytest.mark.benchmark(group="E13-specialization")
+def test_e13_table(benchmark):
+    table = benchmark.pedantic(
+        experiments.e13_specialization,
+        kwargs={"sizes": (64, 256, 512)},
+        rounds=1,
+        iterations=1,
+    )
+    write_table("e13", table)
+    assert table.rows

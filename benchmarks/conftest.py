@@ -1,0 +1,16 @@
+"""Shared helpers for the benchmark suite.
+
+Every experiment file benchmarks representative operations with
+pytest-benchmark *and* regenerates its EXPERIMENTS.md table (written to
+``benchmarks/out/``).  Table tests use the benchmark fixture so they run
+under ``--benchmark-only`` as well.
+"""
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_table(name: str, table) -> None:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(table.render() + "\n")

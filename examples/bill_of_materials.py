@@ -1,0 +1,48 @@
+"""Parts explosion: the classic recursive database workload.
+
+Builds a bill-of-materials forest, runs the ``explode`` constructor, and
+compares the set-oriented engines against goal-directed evaluation for a
+"which parts does assembly X contain?" point query.
+
+    $ python examples/bill_of_materials.py
+"""
+
+from repro.bench.harness import measure
+from repro.calculus import dsl as d
+from repro.compiler import bound_query, construct_compiled, detect_linear_tc
+from repro.constructors import apply_constructor, instantiate
+from repro.workloads import bom_database, generate_bom
+
+edges = generate_bom(assemblies=4, depth=5, fanout=3)
+db = bom_database(edges)
+print(f"bill of materials: {len(edges)} direct containment facts")
+
+# Full explosion, three engine flavours ------------------------------------
+
+naive, t_naive = measure(
+    lambda: apply_constructor(db, "Contains", "explode", mode="naive")
+)
+semi, t_semi = measure(
+    lambda: apply_constructor(db, "Contains", "explode", mode="seminaive")
+)
+compiled, t_comp = measure(
+    lambda: construct_compiled(db, d.constructed("Contains", "explode"))
+)
+assert naive.rows == semi.rows == compiled.rows
+print(f"|explode| = {len(semi.rows)} pairs")
+print(f"  naive     {t_naive * 1000:8.2f} ms  ({naive.stats.iterations} iterations)")
+print(f"  semi      {t_semi * 1000:8.2f} ms  ({semi.stats.iterations} iterations)")
+print(f"  compiled  {t_comp * 1000:8.2f} ms")
+
+# Point query: everything inside assembly0 -----------------------------------
+
+system = instantiate(db, d.constructed("Contains", "explode"))
+shape = detect_linear_tc(db, system)
+assert shape is not None, "explode is linear TC-shaped"
+parts, t_seed = measure(lambda: bound_query(db, shape, "head", "assembly0"))
+print(f"\nassembly0 explodes into {len(parts)} parts "
+      f"(seeded traversal, {t_seed * 1000:.2f} ms)")
+
+full_filtered = {r for r in semi.rows if r[0] == "assembly0"}
+assert parts == full_filtered
+print("OK: seeded point query equals filter over the full explosion.")

@@ -1,0 +1,90 @@
+"""A tour of the DBPL surface language: the paper's module, verbatim.
+
+Declares the CAD schema, selectors, and (mutually recursive) constructors
+in the paper's concrete syntax, then queries through the same syntax.
+
+    $ python examples/dbpl_tour.py
+"""
+
+from repro.dbpl import Session
+from repro.errors import IntegrityError
+
+session = Session()
+session.execute("""
+MODULE cad;
+
+TYPE parttype    = STRING;
+     objectrec   = RECORD part, kind: parttype END;
+     objectrel   = RELATION part OF objectrec;
+     infrontrec  = RECORD front, back: parttype END;
+     infrontrel  = RELATION ... OF infrontrec;
+     ontoprec    = RECORD top, base: parttype END;
+     ontoprel    = RELATION ... OF ontoprec;
+     aheadrec    = RECORD head, tail: parttype END;
+     aheadrel    = RELATION ... OF aheadrec;
+     aboverec    = RECORD high, low: parttype END;
+     aboverel    = RELATION ... OF aboverec;
+
+VAR Objects: objectrel;
+    Infront: infrontrel;
+    Ontop:   ontoprel;
+
+(* referential integrity: Infront must mention known objects only *)
+SELECTOR refint FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: SOME r1, r2 IN Objects
+      (r.front = r1.part AND r.back = r2.part)
+END refint;
+
+SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+BEGIN EACH r IN Rel: TRUE,
+      <r.front, ah.tail> OF EACH r IN Rel,
+           EACH ah IN Rel{ahead(Ontop)}: r.back = ah.head,
+      <r.front, ab.low> OF EACH r IN Rel,
+           EACH ab IN Ontop{above(Rel)}: r.back = ab.high
+END ahead;
+
+CONSTRUCTOR above FOR Rel: ontoprel (Infront: infrontrel): aboverel;
+BEGIN EACH r IN Rel: TRUE,
+      <r.top, ab.low> OF EACH r IN Rel,
+           EACH ab IN Rel{above(Infront)}: r.base = ab.high,
+      <r.top, ah.tail> OF EACH r IN Rel,
+           EACH ah IN Infront{ahead(Rel)}: r.base = ah.head
+END above;
+
+END cad.
+""")
+
+session.assign("Objects", [
+    ("table", "furniture"), ("chair", "furniture"), ("door", "fixture"),
+    ("rug", "textile"), ("vase", "decor"),
+])
+
+# Checked assignment through the referential-integrity selector (Fig. 1):
+session.assign("Infront[refint]", [
+    ("table", "chair"), ("chair", "door"), ("rug", "table"),
+])
+print("Infront =", sorted(session.query("Infront")))
+
+try:
+    session.assign("Infront[refint]", [("ghost", "chair")])
+except IntegrityError as exc:
+    print("rejected, as the paper requires:", exc)
+
+session.insert("Ontop", [("vase", "table")])
+
+# Queries in the paper's syntax -------------------------------------------
+
+print("\nInfront[hidden_by(\"table\")] =",
+      sorted(session.query('Infront[hidden_by("table")]')))
+
+print("\nOntop{above(Infront)} =",
+      sorted(session.query("Ontop{above(Infront)}")))
+
+print("\nthe vase is above:",
+      sorted(t for (h, t) in session.query("Ontop{above(Infront)}") if h == "vase"))
+
+print("\n{EACH r IN Infront: r.back = \"door\"} =",
+      sorted(session.query('{EACH r IN Infront: r.back = "door"}')))

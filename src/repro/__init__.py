@@ -1,0 +1,96 @@
+"""repro — Data Constructors: rules integrated with typed relations.
+
+A from-scratch reproduction of Jarke, Linnemann & Schmidt,
+"Data Constructors: On the Integration of Rules and Relations"
+(VLDB 1985).  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the experiment index.
+
+The curated public API is re-exported here; subpackages remain importable
+for power users.
+"""
+
+from .errors import (
+    ArityError,
+    BindingError,
+    ConvergenceError,
+    DBPLError,
+    DBPLSyntaxError,
+    EvaluationError,
+    IntegrityError,
+    KeyConstraintError,
+    NameResolutionError,
+    PositivityError,
+    SchemaError,
+    TranslationError,
+    TypeMismatchError,
+)
+from .constructors import (
+    ConstructionResult,
+    Constructor,
+    apply_constructor,
+    construct,
+    construct_bounded,
+    define_constructor,
+)
+from .relational import Database, Relation, Row
+from .selectors import Parameter, SelectedRelation, Selector, define_selector, selected
+from .types import (
+    ANY,
+    BOOLEAN,
+    CARDINAL,
+    INTEGER,
+    REAL,
+    STRING,
+    EnumType,
+    Field,
+    RangeType,
+    RecordType,
+    RelationType,
+    record,
+    relation_type,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "ArityError",
+    "BOOLEAN",
+    "BindingError",
+    "CARDINAL",
+    "ConstructionResult",
+    "Constructor",
+    "Parameter",
+    "SelectedRelation",
+    "Selector",
+    "apply_constructor",
+    "construct",
+    "construct_bounded",
+    "define_constructor",
+    "define_selector",
+    "selected",
+    "ConvergenceError",
+    "DBPLError",
+    "DBPLSyntaxError",
+    "Database",
+    "EnumType",
+    "EvaluationError",
+    "Field",
+    "INTEGER",
+    "IntegrityError",
+    "KeyConstraintError",
+    "NameResolutionError",
+    "PositivityError",
+    "REAL",
+    "RangeType",
+    "RecordType",
+    "Relation",
+    "RelationType",
+    "Row",
+    "STRING",
+    "SchemaError",
+    "TranslationError",
+    "TypeMismatchError",
+    "record",
+    "relation_type",
+]

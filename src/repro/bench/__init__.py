@@ -1,0 +1,6 @@
+"""Benchmark harness and the thirteen reproduction experiments."""
+
+from .experiments import ALL_EXPERIMENTS
+from .harness import Table, measure, ratio
+
+__all__ = ["ALL_EXPERIMENTS", "Table", "measure", "ratio"]

@@ -1,0 +1,83 @@
+"""Experiment harness: timed sweeps rendered as aligned text tables.
+
+The paper reports no numbers, so EXPERIMENTS.md reports *shapes*: who
+wins, by what factor, where the crossovers fall.  Every benchmark file in
+``benchmarks/`` builds its sweep through this harness, and
+``python -m repro.bench.run_all`` regenerates every table for the
+documentation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def measure(fn, repeat: int = 1):
+    """Run ``fn`` ``repeat`` times; return (last result, best seconds)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return result, best
+
+
+@dataclass
+class Table:
+    """An aligned text table with a title and typed-ish columns."""
+
+    title: str
+    columns: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    @staticmethod
+    def _fmt(value: object) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4f}"
+        return str(value)
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+            for i, col in enumerate(self.columns)
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - display
+        return self.render()
+
+
+def ratio(slow: float, fast: float) -> float:
+    """A speedup factor that tolerates zero denominators."""
+    if fast <= 0:
+        return float("inf")
+    return slow / fast

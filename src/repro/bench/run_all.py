@@ -1,0 +1,35 @@
+"""Regenerate every experiment table: ``python -m repro.bench.run_all``.
+
+Writes each table to stdout and to ``results/<id>.txt`` under the
+repository root (or the directory given as the first argument).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir = pathlib.Path(argv[0]) if argv else pathlib.Path("results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    only = set(argv[1:]) if len(argv) > 1 else None
+    for name, runner in ALL_EXPERIMENTS.items():
+        if only and name not in only:
+            continue
+        start = time.perf_counter()
+        table = runner()
+        elapsed = time.perf_counter() - start
+        text = table.render()
+        print(text)
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

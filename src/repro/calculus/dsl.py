@@ -1,0 +1,203 @@
+"""A small construction DSL for calculus ASTs.
+
+Writing frozen dataclasses by hand is verbose; this module provides the
+shorthand used throughout tests, examples, and the paper transcriptions:
+
+    from repro.calculus import dsl as d
+
+    ahead_2 = d.query(
+        d.branch(d.each("r", "Infront")),
+        d.branch(
+            d.each("f", "Infront"), d.each("b", "Infront"),
+            pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+            targets=[d.a("f", "front"), d.a("b", "back")],
+        ),
+    )
+
+Every helper returns plain AST nodes from :mod:`repro.calculus.ast`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from . import ast
+
+
+def _as_range(obj: str | ast.RangeExpr) -> ast.RangeExpr:
+    if isinstance(obj, str):
+        return ast.RelRef(obj)
+    return obj
+
+
+def _as_term(obj: object) -> ast.Term:
+    if isinstance(
+        obj, (ast.Const, ast.AttrRef, ast.VarRef, ast.ParamRef, ast.Arith, ast.TupleCons)
+    ):
+        return obj
+    return ast.Const(obj)
+
+
+# -- terms -------------------------------------------------------------------
+
+
+def a(var: str, attr: str) -> ast.AttrRef:
+    """``a("r", "front")`` is ``r.front``."""
+    return ast.AttrRef(var, attr)
+
+
+def v(var: str) -> ast.VarRef:
+    return ast.VarRef(var)
+
+
+def const(value: object) -> ast.Const:
+    return ast.Const(value)
+
+
+def param(name: str) -> ast.ParamRef:
+    return ast.ParamRef(name)
+
+
+def plus(left: object, right: object) -> ast.Arith:
+    return ast.Arith("+", _as_term(left), _as_term(right))
+
+
+def minus(left: object, right: object) -> ast.Arith:
+    return ast.Arith("-", _as_term(left), _as_term(right))
+
+
+def times(left: object, right: object) -> ast.Arith:
+    return ast.Arith("*", _as_term(left), _as_term(right))
+
+
+def mod(left: object, right: object) -> ast.Arith:
+    return ast.Arith("MOD", _as_term(left), _as_term(right))
+
+
+def tup(*items: object) -> ast.TupleCons:
+    return ast.TupleCons(tuple(_as_term(i) for i in items))
+
+
+# -- ranges ------------------------------------------------------------------
+
+
+def rel(name: str) -> ast.RelRef:
+    return ast.RelRef(name)
+
+
+def selected(base: str | ast.RangeExpr, selector: str, *args: object) -> ast.Selected:
+    return ast.Selected(_as_range(base), selector, tuple(_as_arg(x) for x in args))
+
+
+def constructed(
+    base: str | ast.RangeExpr, constructor: str, *args: object
+) -> ast.Constructed:
+    return ast.Constructed(_as_range(base), constructor, tuple(_as_arg(x) for x in args))
+
+
+def _as_arg(obj: object) -> ast.Argument:
+    if isinstance(obj, str):
+        # Bare strings in argument position denote relation names; scalar
+        # string constants must be wrapped with const("...").
+        return ast.RelRef(obj)
+    if isinstance(
+        obj,
+        (
+            ast.Const,
+            ast.ParamRef,
+            ast.AttrRef,
+            ast.RelRef,
+            ast.Selected,
+            ast.Constructed,
+            ast.QueryRange,
+            ast.ApplyVar,
+        ),
+    ):
+        return obj
+    return ast.Const(obj)
+
+
+def inline(query: ast.Query) -> ast.QueryRange:
+    return ast.QueryRange(query)
+
+
+# -- predicates ----------------------------------------------------------------
+
+
+TRUE = ast.TRUE
+
+
+def eq(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp("=", _as_term(left), _as_term(right))
+
+
+def ne(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp("<>", _as_term(left), _as_term(right))
+
+
+def lt(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp("<", _as_term(left), _as_term(right))
+
+
+def le(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp("<=", _as_term(left), _as_term(right))
+
+
+def gt(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp(">", _as_term(left), _as_term(right))
+
+
+def ge(left: object, right: object) -> ast.Cmp:
+    return ast.Cmp(">=", _as_term(left), _as_term(right))
+
+
+def not_(pred: ast.Pred) -> ast.Not:
+    return ast.Not(pred)
+
+
+def and_(*parts: ast.Pred) -> ast.Pred:
+    flat = tuple(parts)
+    if len(flat) == 1:
+        return flat[0]
+    return ast.And(flat)
+
+
+def or_(*parts: ast.Pred) -> ast.Pred:
+    flat = tuple(parts)
+    if len(flat) == 1:
+        return flat[0]
+    return ast.Or(flat)
+
+
+def some(vars: str | Iterable[str], range: str | ast.RangeExpr, pred: ast.Pred) -> ast.Some:
+    names = (vars,) if isinstance(vars, str) else tuple(vars)
+    return ast.Some(names, _as_range(range), pred)
+
+
+def all_(vars: str | Iterable[str], range: str | ast.RangeExpr, pred: ast.Pred) -> ast.All:
+    names = (vars,) if isinstance(vars, str) else tuple(vars)
+    return ast.All(names, _as_range(range), pred)
+
+
+def in_(element: object, range: str | ast.RangeExpr) -> ast.InRel:
+    return ast.InRel(_as_term(element), _as_range(range))
+
+
+# -- queries -------------------------------------------------------------------
+
+
+def each(var: str, range: str | ast.RangeExpr) -> ast.Binding:
+    return ast.Binding(var, _as_range(range))
+
+
+def branch(
+    *bindings: ast.Binding,
+    pred: ast.Pred = TRUE,
+    targets: Iterable[object] | None = None,
+) -> ast.Branch:
+    tgt = None if targets is None else tuple(_as_term(t) for t in targets)
+    return ast.Branch(tuple(bindings), pred, tgt)
+
+
+def query(*branches: ast.Branch) -> ast.Query:
+    return ast.Query(tuple(branches))

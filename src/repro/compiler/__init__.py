@@ -1,0 +1,67 @@
+"""The three-level compiler/optimizer of section 4."""
+
+from .accesspath import AccessPathStats, LogicalAccessPath, PhysicalAccessPath
+from .fixpoint import CompiledFixpoint, compile_fixpoint, construct_compiled
+from .graphutils import (
+    Digraph,
+    connected_components,
+    recursive_nodes,
+    strongly_connected_components,
+    topological_order,
+)
+from .levels import CompiledStatement, TypeCheckReport, compile_statement, type_check_level
+from .plans import (
+    BranchPlan,
+    ExecutionContext,
+    PlanStats,
+    QueryPlan,
+    compile_branch,
+    compile_query,
+    run_query,
+)
+from .pushdown import inline_nonrecursive
+from .quantgraph import (
+    QGArc,
+    QGNode,
+    QuantGraph,
+    build_constructor_graph,
+    build_interconnectivity_graph,
+    build_query_graph,
+)
+from .specialize import LinearTC, SpecializedStats, bound_query, detect_linear_tc
+
+__all__ = [
+    "AccessPathStats",
+    "BranchPlan",
+    "CompiledFixpoint",
+    "CompiledStatement",
+    "Digraph",
+    "ExecutionContext",
+    "LinearTC",
+    "LogicalAccessPath",
+    "PhysicalAccessPath",
+    "PlanStats",
+    "QGArc",
+    "QGNode",
+    "QuantGraph",
+    "QueryPlan",
+    "SpecializedStats",
+    "TypeCheckReport",
+    "bound_query",
+    "build_constructor_graph",
+    "build_interconnectivity_graph",
+    "build_query_graph",
+    "compile_branch",
+    "compile_fixpoint",
+    "compile_query",
+    "compile_statement",
+    "connected_components",
+    "construct_compiled",
+    "detect_linear_tc",
+    "inline_nonrecursive",
+    "recursive_nodes",
+    "run_query",
+    "strongly_connected_components",
+    "topological_order",
+    "type_check_level",
+]

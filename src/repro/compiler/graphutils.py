@@ -1,0 +1,145 @@
+"""Minimal directed-graph algorithms for the compiler.
+
+Implemented from scratch (Tarjan's strongly-connected components and
+undirected connected components) so the production code carries no
+third-party graph dependency; networkx appears only in the test suite as
+an independent oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class Digraph:
+    """A small adjacency-list directed graph over hashable nodes."""
+
+    def __init__(self) -> None:
+        self.succ: dict[Node, list[Node]] = {}
+
+    def add_node(self, node: Node) -> None:
+        self.succ.setdefault(node, [])
+
+    def add_edge(self, src: Node, dst: Node) -> None:
+        self.add_node(src)
+        self.add_node(dst)
+        if dst not in self.succ[src]:
+            self.succ[src].append(dst)
+
+    @property
+    def nodes(self) -> list[Node]:
+        return list(self.succ)
+
+    def edges(self) -> list[Edge]:
+        return [(s, d) for s, ds in self.succ.items() for d in ds]
+
+    def has_edge(self, src: Node, dst: Node) -> bool:
+        return dst in self.succ.get(src, ())
+
+
+def strongly_connected_components(graph: Digraph) -> list[list[Node]]:
+    """Tarjan's algorithm, iterative (no recursion-depth limit).
+
+    Components are returned in reverse topological order (every edge out
+    of a later component points into an earlier one).
+    """
+    index: dict[Node, int] = {}
+    lowlink: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        work: list[tuple[Node, int]] = [(root, 0)]
+        while work:
+            node, child_index = work.pop()
+            if child_index == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            successors = graph.succ[node]
+            advanced = False
+            for i in range(child_index, len(successors)):
+                succ = successors[i]
+                if succ not in index:
+                    work.append((node, i + 1))
+                    work.append((succ, 0))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                component: list[Node] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def recursive_nodes(graph: Digraph) -> set[Node]:
+    """Nodes on some cycle: in a multi-node SCC, or with a self-loop."""
+    out: set[Node] = set()
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            out.update(component)
+        elif graph.has_edge(component[0], component[0]):
+            out.add(component[0])
+    return out
+
+
+def connected_components(nodes: Iterable[Node], edges: Iterable[Edge]) -> list[set[Node]]:
+    """Undirected connected components (the compiler's partitioning)."""
+    parent: dict[Node, Node] = {n: n for n in nodes}
+
+    def find(node: Node) -> Node:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    for src, dst in edges:
+        parent.setdefault(src, src)
+        parent.setdefault(dst, dst)
+        ra, rb = find(src), find(dst)
+        if ra != rb:
+            parent[ra] = rb
+
+    groups: dict[Node, set[Node]] = {}
+    for node in parent:
+        groups.setdefault(find(node), set()).add(node)
+    return list(groups.values())
+
+
+def topological_order(graph: Digraph) -> list[Node]:
+    """Kahn's algorithm; raises ValueError on cycles."""
+    indegree: dict[Node, int] = {n: 0 for n in graph.nodes}
+    for _src, dst in graph.edges():
+        indegree[dst] += 1
+    queue = [n for n, d in indegree.items() if d == 0]
+    order: list[Node] = []
+    while queue:
+        node = queue.pop()
+        order.append(node)
+        for succ in graph.succ[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                queue.append(succ)
+    if len(order) != len(graph.nodes):
+        raise ValueError("graph has a cycle")
+    return order

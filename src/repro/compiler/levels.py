@@ -1,0 +1,170 @@
+"""The three-level compilation and optimization framework (section 4).
+
+The paper distributes optimization effort over the phases of a database
+programming language compiler:
+
+1. **Type-checking level** (:func:`type_check_level`) — per-definition
+   analysis: positivity of every constructor, rough dependency graph over
+   constructor/relation *names*, preliminary partitioning into
+   disconnected components (stepwise refinable).
+
+2. **Query compilation level** (:func:`compile_statement`) — per query
+   form: inline non-recursive applications (Cases 1–3), instantiate the
+   remaining applications into fixpoint systems, detect recursive cycles
+   on the clause-interconnectivity structure, generate compiled fixpoint
+   programs plus a compiled top query plan, and — when a bound-argument
+   special case is detected — a goal-directed specialization.
+
+3. **Runtime support level** (:class:`CompiledStatement.run`) — execute
+   the generated program against the current database state, optionally
+   through logical/physical access paths (:mod:`.accesspath`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calculus import ast
+from ..calculus.analysis import free_range_names
+from ..constructors.instantiate import AppKey, InstantiatedSystem, instantiate
+from ..constructors.positivity import definition_violations
+from ..errors import PositivityError
+from ..relational import Database
+from .fixpoint import CompiledFixpoint, compile_fixpoint
+from .graphutils import Digraph, connected_components, recursive_nodes
+from .plans import ExecutionContext, PlanStats, QueryPlan, compile_query
+from .pushdown import inline_nonrecursive
+from .quantgraph import QuantGraph, build_interconnectivity_graph
+from .specialize import LinearTC, detect_linear_tc
+
+
+# ---------------------------------------------------------------------------
+# Level 1: type checking
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TypeCheckReport:
+    """Output of the type-checking level."""
+
+    positivity: dict[str, bool]
+    dependency_graph: Digraph
+    partitions: list[set[str]]
+    recursive_constructors: set[str]
+    interconnectivity: QuantGraph
+
+    def describe(self) -> str:
+        lines = ["type-checking level:"]
+        for name, ok in sorted(self.positivity.items()):
+            lines.append(f"  constructor {name}: {'positive' if ok else 'NOT positive'}")
+        lines.append(f"  partitions: {[sorted(p) for p in self.partitions]}")
+        lines.append(f"  recursive: {sorted(self.recursive_constructors)}")
+        return "\n".join(lines)
+
+
+def type_check_level(db: Database) -> TypeCheckReport:
+    """Analyze every registered constructor (level 1)."""
+    positivity: dict[str, bool] = {}
+    graph = Digraph()
+    for name, constructor in db.constructors.items():
+        positivity[name] = not definition_violations(constructor)
+        graph.add_node(name)
+        for application in constructor.applications_in_body():
+            graph.add_edge(name, application.constructor)
+        # Rough version: relation names the body mentions also connect
+        # definitions (stepwise refinement starts from names only).
+        for rel_name in free_range_names(constructor.body):
+            graph.add_node(f"rel:{rel_name}")
+            graph.add_edge(name, f"rel:{rel_name}")
+    partitions = [
+        {n for n in component if not str(n).startswith("rel:")}
+        for component in connected_components(graph.nodes, graph.edges())
+    ]
+    partitions = [p for p in partitions if p]
+    recursive = {
+        n for n in recursive_nodes(graph) if not str(n).startswith("rel:")
+    }
+    interconnectivity = build_interconnectivity_graph(db, db.constructors.values())
+    return TypeCheckReport(positivity, graph, partitions, recursive, interconnectivity)
+
+
+# ---------------------------------------------------------------------------
+# Level 2: query compilation
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CompiledStatement:
+    """A fully compiled query form, ready for the runtime level."""
+
+    db: Database
+    original: ast.Query
+    inlined: ast.Query
+    fixpoints: dict[AppKey, CompiledFixpoint]
+    specializations: dict[AppKey, LinearTC]
+    top_plan: QueryPlan
+    plan_stats: PlanStats = field(default_factory=PlanStats)
+
+    def explain(self) -> str:
+        lines = ["query compilation level:"]
+        for key, shape in self.specializations.items():
+            lines.append(f"  specializable: {key.describe()} as {shape.describe()}")
+        for key, program in self.fixpoints.items():
+            lines.append(f"  fixpoint program for {key.describe()}:")
+            for line in program.explain().splitlines():
+                lines.append(f"    {line}")
+        lines.append("  top plan:")
+        for line in self.top_plan.explain().splitlines():
+            lines.append(f"    {line}")
+        return "\n".join(lines)
+
+    # -- Level 3: runtime ---------------------------------------------------------
+
+    def run(self, params: dict | None = None) -> set[tuple]:
+        """Execute: fixpoints first (bottom-up), then the top plan."""
+        apply_values: dict[object, set] = {}
+        for key, program in self.fixpoints.items():
+            values = program.run()
+            for app_key, rows in values.items():
+                apply_values[app_key] = set(rows)
+        ctx = ExecutionContext(self.db, params, apply_values, self.plan_stats)
+        return self.top_plan.execute(ctx)
+
+
+def compile_statement(db: Database, query: ast.Query) -> CompiledStatement:
+    """Level 2: produce an executable program for one query form."""
+    inlined = inline_nonrecursive(db, query)
+
+    # Instantiate every remaining (recursive) application and replace it
+    # with its fixpoint variable in the query.
+    fixpoints: dict[AppKey, CompiledFixpoint] = {}
+    specializations: dict[AppKey, LinearTC] = {}
+    systems: dict[AppKey, InstantiatedSystem] = {}
+
+    from ..calculus.subst import transform
+
+    def intern(n: ast.Node) -> ast.Node | None:
+        if isinstance(n, ast.Constructed):
+            system = instantiate(db, n)
+            root = system.apps[system.root]
+            systems[system.root] = system
+            return ast.ApplyVar(system.root, root.result_type.element)
+        return None
+
+    rewritten: ast.Query = transform(inlined, intern)  # type: ignore[assignment]
+
+    for key, system in systems.items():
+        shape = detect_linear_tc(db, system)
+        if shape is not None:
+            specializations[key] = shape
+        fixpoints[key] = compile_fixpoint(db, system)
+
+    top_plan = compile_query(db, rewritten)
+    return CompiledStatement(
+        db=db,
+        original=query,
+        inlined=inlined,
+        fixpoints=fixpoints,
+        specializations=specializations,
+        top_plan=top_plan,
+    )

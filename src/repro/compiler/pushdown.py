@@ -1,0 +1,174 @@
+"""Constraint propagation into constructor definitions (section 4, Cases 1-3).
+
+"Propagating the constraints given by pred(r) into the constructor
+definition may considerably reduce query evaluation costs."  For
+applications of **non-recursive** constructors this module performs the
+paper's case analysis at the AST level:
+
+* **Case 1 (Selector)** — a single relational expression with a single
+  free variable: rules N1-N3 apply directly (with a projection on the
+  target attributes); the application inlines to a restricted range.
+* **Case 2 (Join)** — a single expression, several variables: occurrences
+  of ``r.f`` in the query predicate are substituted by the target term in
+  position ``f`` of the constructor's target list.
+* **Case 3 (Union)** — the definition is a union: each branch is treated
+  separately and the result is the union of the branch values, valid
+  because the restriction predicate is conjoined per branch (positivity
+  of the outer predicate in the constructed range is required; the
+  caller's predicate applies to the emitted tuple either way since we
+  substitute into every branch).
+
+Recursive applications are left in place — they are the business of the
+fixpoint generators and of :mod:`repro.compiler.specialize`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..calculus import ast
+from ..calculus.rewrite import conjoin, simplify
+from ..calculus.subst import FreshNames, bound_vars, rename_vars, substitute_params, substitute_ranges
+from ..errors import EvaluationError
+from ..relational import Database
+
+
+def _resolve_constructor_body(db: Database, node: ast.Constructed) -> ast.Query | None:
+    """The constructor's body with formals substituted, or None when the
+    constructor is recursive (contains any application)."""
+    constructor = db.constructor(node.constructor)
+    if constructor.is_recursive():
+        return None
+    range_map: dict[str, ast.RangeExpr] = {constructor.formal_rel: node.base}
+    scalar_map: dict[str, ast.Term] = {}
+    for formal, actual in zip(constructor.params, node.args):
+        if formal.is_relation:
+            range_map[formal.name] = actual  # type: ignore[assignment]
+        else:
+            scalar_map[formal.name] = actual  # type: ignore[assignment]
+    body = substitute_ranges(constructor.body, range_map)
+    body = substitute_params(body, scalar_map)
+    return body  # type: ignore[return-value]
+
+
+def _attr_substitution(
+    db: Database,
+    node: ast.Constructed,
+    body_branch: ast.Branch,
+    var: str,
+) -> dict[tuple[str, str], ast.Term]:
+    """Map (var, result-attribute) -> replacement term for one body branch.
+
+    This is the paper's Case 2 substitution: ``r.f`` is replaced by the
+    term in position ``f`` of the constructor's target list.
+    """
+    constructor = db.constructor(node.constructor)
+    result_attrs = constructor.result_type.element.attribute_names
+    mapping: dict[tuple[str, str], ast.Term] = {}
+    if body_branch.targets is None:
+        inner_var = body_branch.bindings[0].var
+        from ..calculus.evaluator import Evaluator
+
+        schema = Evaluator(db).infer_schema(body_branch.bindings[0].range, {})
+        for attr, inner_attr in zip(result_attrs, schema.attribute_names):
+            mapping[(var, attr)] = ast.AttrRef(inner_var, inner_attr)
+    else:
+        for attr, target in zip(result_attrs, body_branch.targets):
+            mapping[(var, attr)] = target
+    return mapping
+
+
+def _substitute_attrs(pred: ast.Pred, mapping: dict[tuple[str, str], ast.Term]) -> ast.Pred:
+    from ..calculus.subst import transform
+
+    def rule(n: ast.Node) -> ast.Node | None:
+        if isinstance(n, ast.AttrRef) and (n.var, n.attr) in mapping:
+            return mapping[(n.var, n.attr)]
+        return None
+
+    return transform(pred, rule)  # type: ignore[return-value]
+
+
+def inline_branch(
+    db: Database, branch: ast.Branch, binding_index: int
+) -> list[ast.Branch] | None:
+    """Inline one non-recursive constructed binding of ``branch``.
+
+    Returns the replacement branches (one per constructor-body branch —
+    Case 3), or None when the binding is not an inlinable application.
+    """
+    binding = branch.bindings[binding_index]
+    if not isinstance(binding.range, ast.Constructed):
+        return None
+    body = _resolve_constructor_body(db, binding.range)
+    if body is None:
+        return None
+
+    out: list[ast.Branch] = []
+    fresh = FreshNames(bound_vars(branch) | bound_vars(body))
+    for body_branch in body.branches:
+        # Standardize the body branch apart from the outer branch.
+        renamed = fresh.freshen_all(body_branch)
+        mapping = _attr_substitution(db, binding.range, renamed, binding.var)
+        new_pred = _substitute_attrs(branch.pred, mapping)
+        new_targets = None
+        if branch.targets is not None:
+            new_targets = tuple(
+                _substitute_attrs_term(t, mapping) for t in branch.targets
+            )
+        new_bindings = (
+            branch.bindings[:binding_index]
+            + renamed.bindings
+            + branch.bindings[binding_index + 1 :]
+        )
+        combined = simplify(conjoin((renamed.pred, new_pred)))
+        if branch.targets is None:
+            # Identity over the application: the output tuple is whatever
+            # the body branch emits (its own identity or target list).
+            out.append(ast.Branch(new_bindings, combined, renamed.targets))
+        else:
+            out.append(ast.Branch(new_bindings, combined, new_targets))
+    return out
+
+
+def _substitute_attrs_term(term: ast.Term, mapping) -> ast.Term:
+    from ..calculus.subst import transform
+
+    def rule(n: ast.Node) -> ast.Node | None:
+        if isinstance(n, ast.AttrRef) and (n.var, n.attr) in mapping:
+            return mapping[(n.var, n.attr)]
+        return None
+
+    return transform(term, rule)  # type: ignore[return-value]
+
+
+def inline_nonrecursive(db: Database, query: ast.Query) -> ast.Query:
+    """Exhaustively inline non-recursive constructor applications.
+
+    The resulting query ranges only over base relations, selected
+    relations, and *recursive* applications — exactly the normal form the
+    paper's query compilation level hands to plan generation.
+    """
+    changed = True
+    branches = list(query.branches)
+    guard = 0
+    while changed:
+        changed = False
+        guard += 1
+        if guard > 100:
+            raise EvaluationError("constructor inlining did not terminate")
+        next_branches: list[ast.Branch] = []
+        for branch in branches:
+            replaced = None
+            for i, binding in enumerate(branch.bindings):
+                if isinstance(binding.range, ast.Constructed):
+                    replaced = inline_branch(db, branch, i)
+                    if replaced is not None:
+                        break
+            if replaced is None:
+                next_branches.append(branch)
+            else:
+                next_branches.extend(replaced)
+                changed = True
+        branches = next_branches
+    return ast.Query(tuple(branches))

@@ -1,0 +1,211 @@
+"""Quant graphs and augmented quant graphs (section 4, Fig. 3).
+
+A *quant graph* [JaKo 83] represents a relational calculus query: one
+node per tuple variable (with its range), a directed arc per join term
+and per enforced quantifier nesting.  The *augmented* quant graph adds
+
+* a special head node per constructor, with attribute arcs from the head
+  to the range variables supplying each result attribute, and
+* application arcs from every variable node whose range is a constructor
+  application to the corresponding constructor's head node — after which
+  the structure is "the equivalent of a clause interconnectivity graph
+  [Sick 76]" and cycles identify recursion.
+
+``render_ascii`` reproduces the flavour of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calculus import ast
+from ..calculus.analysis import free_tuple_vars
+from ..calculus.pretty import render_range, render_term
+from ..calculus.rewrite import conjuncts
+from ..relational import Database
+from .graphutils import Digraph, connected_components, recursive_nodes
+
+
+@dataclass(frozen=True)
+class QGNode:
+    """A node: a tuple variable with its range, or a constructor head."""
+
+    id: str
+    kind: str  # "var" | "head"
+    label: str
+
+
+@dataclass(frozen=True)
+class QGArc:
+    """A directed arc with its role and display label."""
+
+    src: str
+    dst: str
+    kind: str  # "join" | "quant" | "attr" | "apply"
+    label: str = ""
+
+
+@dataclass
+class QuantGraph:
+    """The (augmented) quant graph of one or more constructor bodies."""
+
+    nodes: dict[str, QGNode] = field(default_factory=dict)
+    arcs: list[QGArc] = field(default_factory=list)
+
+    # -- construction ---------------------------------------------------------
+
+    def add_node(self, node: QGNode) -> None:
+        self.nodes.setdefault(node.id, node)
+
+    def add_arc(self, arc: QGArc) -> None:
+        self.arcs.append(arc)
+
+    # -- analysis --------------------------------------------------------------
+
+    def digraph(self, kinds: tuple[str, ...] = ("join", "quant", "attr", "apply")) -> Digraph:
+        graph = Digraph()
+        for node_id in self.nodes:
+            graph.add_node(node_id)
+        for arc in self.arcs:
+            if arc.kind in kinds:
+                graph.add_edge(arc.src, arc.dst)
+        return graph
+
+    def components(self) -> list[set[str]]:
+        """Undirected connected components — the compiler's preliminary
+        partitioning of constructor definitions (type-checking level)."""
+        return connected_components(
+            self.nodes, [(a.src, a.dst) for a in self.arcs]
+        )
+
+    def recursive_heads(self) -> set[str]:
+        """Head nodes on a cycle — these require fixpoint evaluation."""
+        cyclic = recursive_nodes(self.digraph())
+        return {n for n in cyclic if self.nodes[n].kind == "head"}
+
+    def is_recursive(self) -> bool:
+        return bool(recursive_nodes(self.digraph()))
+
+    # -- display -----------------------------------------------------------------
+
+    def render_ascii(self) -> str:
+        lines: list[str] = []
+        for node in self.nodes.values():
+            marker = "HEAD" if node.kind == "head" else "var "
+            lines.append(f"[{marker}] {node.id}: {node.label}")
+        for arc in self.arcs:
+            label = f"  ({arc.label})" if arc.label else ""
+            lines.append(f"    {arc.src} --{arc.kind}--> {arc.dst}{label}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Builders
+# ---------------------------------------------------------------------------
+
+
+def _range_label(rng: ast.RangeExpr) -> str:
+    return render_range(rng)
+
+
+def _join_arcs(graph: QuantGraph, scope_prefix: str, pred: ast.Pred) -> None:
+    """Join and quantifier arcs for a predicate, variables prefixed."""
+    for conj in conjuncts(pred):
+        if isinstance(conj, ast.Cmp):
+            vars_in = sorted(free_tuple_vars(conj))
+            if len(vars_in) == 2:
+                a, b = vars_in
+                graph.add_arc(
+                    QGArc(
+                        f"{scope_prefix}{a}",
+                        f"{scope_prefix}{b}",
+                        "join",
+                        render_term(conj.left) + conj.op + render_term(conj.right),
+                    )
+                )
+        elif isinstance(conj, (ast.Some, ast.All)):
+            outer_vars = sorted(free_tuple_vars(conj))
+            for qvar in conj.vars:
+                node_id = f"{scope_prefix}{qvar}"
+                graph.add_node(QGNode(node_id, "var", _binding_label(qvar, conj.range)))
+                _apply_arc_if_constructed(graph, node_id, conj.range)
+                for outer in outer_vars:
+                    graph.add_arc(
+                        QGArc(f"{scope_prefix}{outer}", node_id, "quant",
+                              "SOME" if isinstance(conj, ast.Some) else "ALL")
+                    )
+            _join_arcs(graph, scope_prefix, conj.pred)
+
+
+def _binding_label(var: str, rng: ast.RangeExpr) -> str:
+    return f"EACH {var} IN {_range_label(rng)}"
+
+
+def _apply_arc_if_constructed(graph: QuantGraph, node_id: str, rng: ast.RangeExpr) -> None:
+    if isinstance(rng, ast.Constructed):
+        graph.add_arc(QGArc(node_id, f"head:{rng.constructor}", "apply", "applies"))
+    elif isinstance(rng, ast.ApplyVar):
+        key = rng.token
+        constructor = getattr(key, "constructor", str(key))
+        graph.add_arc(QGArc(node_id, f"head:{constructor}", "apply", "applies"))
+
+
+def build_query_graph(db: Database, query: ast.Query, prefix: str = "q") -> QuantGraph:
+    """The plain quant graph of one query (one scope per branch)."""
+    graph = QuantGraph()
+    for bi, branch in enumerate(query.branches):
+        scope = f"{prefix}{bi}."
+        for binding in branch.bindings:
+            node_id = f"{scope}{binding.var}"
+            graph.add_node(QGNode(node_id, "var", _binding_label(binding.var, binding.range)))
+            _apply_arc_if_constructed(graph, node_id, binding.range)
+        _join_arcs(graph, scope, branch.pred)
+    return graph
+
+
+def build_constructor_graph(db: Database, constructor) -> QuantGraph:
+    """The augmented quant graph of one constructor definition (Fig. 3)."""
+    graph = QuantGraph()
+    head_id = f"head:{constructor.name}"
+    graph.add_node(
+        QGNode(
+            head_id,
+            "head",
+            f"CONSTRUCTOR {constructor.name} FOR {constructor.formal_rel}: "
+            f"{constructor.rel_type.name} -> {constructor.result_type.name}",
+        )
+    )
+    result_attrs = constructor.result_type.element.attribute_names
+    for bi, branch in enumerate(constructor.body.branches):
+        scope = f"{constructor.name}.{bi}."
+        for binding in branch.bindings:
+            node_id = f"{scope}{binding.var}"
+            graph.add_node(QGNode(node_id, "var", _binding_label(binding.var, binding.range)))
+            _apply_arc_if_constructed(graph, node_id, binding.range)
+        _join_arcs(graph, scope, branch.pred)
+        # Attribute arcs: which variable supplies each result attribute.
+        if branch.targets is None:
+            var = branch.bindings[0].var
+            for attr in result_attrs:
+                graph.add_arc(QGArc(head_id, f"{scope}{var}", "attr", attr))
+        else:
+            for attr, target in zip(result_attrs, branch.targets):
+                if isinstance(target, ast.AttrRef):
+                    graph.add_arc(
+                        QGArc(head_id, f"{scope}{target.var}", "attr",
+                              f"{attr}={target.var}.{target.attr}")
+                    )
+    return graph
+
+
+def build_interconnectivity_graph(db: Database, constructors) -> QuantGraph:
+    """Augmented quant graphs of several constructors, merged — the clause
+    interconnectivity graph whose cycles identify recursion (step 2/3)."""
+    merged = QuantGraph()
+    for constructor in constructors:
+        graph = build_constructor_graph(db, constructor)
+        for node in graph.nodes.values():
+            merged.add_node(node)
+        for arc in graph.arcs:
+            merged.add_arc(arc)
+    return merged

@@ -1,0 +1,172 @@
+"""Bound-argument specialization of linear recursion ("capture rules").
+
+Section 4 suggests employing "capture rules [Ullm 84] to detect special
+cases" instead of always running the full least-fixpoint computation.
+The classic special case — and the one behind every ``ahead``-style
+example in the paper — is *linear transitive-closure-shaped* recursion
+queried with a bound argument:
+
+    { EACH r IN Infront{ahead}: r.head = "table" }
+
+Computing the full closure and then filtering wastes work proportional
+to the whole database; a goal-directed program seeds a frontier with the
+constant and traverses only the reachable part (what the later
+literature calls magic-set evaluation, restricted here to the detected
+shape).
+
+:func:`detect_linear_tc` recognizes the shape on the *instantiated*
+system:
+
+    result(x, y) :- base(x, y).                       (identity branch)
+    result(x, t) :- base(x, z), result(z, t).         (left-linear)
+ or result(x, t) :- result(x, z), base(z, t).         (right-linear)
+
+:func:`bound_query` then answers head- or tail-bound queries by BFS over
+the base relation, returning rows plus traversal statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calculus import ast
+from ..calculus.evaluator import Evaluator
+from ..constructors.instantiate import InstantiatedSystem
+from ..relational import Database
+
+
+@dataclass
+class LinearTC:
+    """A recognized linear transitive-closure system."""
+
+    base_range: ast.RangeExpr
+    #: "left" means the recursion extends on the right attribute
+    #: (result(x,t) :- base(x,z), result(z,t)), "right" the mirror image.
+    linearity: str
+
+    def describe(self) -> str:
+        from ..calculus.pretty import render_range
+
+        return f"linear-TC({self.linearity}) over {render_range(self.base_range)}"
+
+
+@dataclass
+class SpecializedStats:
+    """Traversal counters for the goal-directed program."""
+
+    frontier_expansions: int = 0
+    edges_touched: int = 0
+    tuples_emitted: int = 0
+
+
+def _is_attr(term: ast.Term, var: str, attr: str) -> bool:
+    return isinstance(term, ast.AttrRef) and term.var == var and term.attr == attr
+
+
+def detect_linear_tc(db: Database, system: InstantiatedSystem) -> LinearTC | None:
+    """Recognize the TC shape on a single-equation instantiated system."""
+    if len(system.apps) != 1:
+        return None
+    app = system.apps[system.root]
+    branches = app.body.branches
+    if len(branches) != 2:
+        return None
+    identity, recursive = branches
+    if identity.targets is not None:
+        identity, recursive = recursive, identity
+    if identity.targets is not None or len(identity.bindings) != 1:
+        return None
+    base = identity.bindings[0].range
+    if isinstance(base, ast.ApplyVar):
+        return None
+
+    if recursive.targets is None or len(recursive.bindings) != 2:
+        return None
+    (b1, b2) = recursive.bindings
+    # one binding over base (structurally equal range), one over the root app
+    def is_root(rng: ast.RangeExpr) -> bool:
+        return isinstance(rng, ast.ApplyVar) and rng.token == system.root
+
+    if is_root(b1.range) and b2.range == base:
+        rec_var, base_var = b1.var, b2.var
+    elif is_root(b2.range) and b1.range == base:
+        rec_var, base_var = b2.var, b1.var
+    else:
+        return None
+
+    evaluator = Evaluator(db)
+    base_schema = evaluator.infer_schema(base, {})
+    result_schema = app.result_type.element
+    if base_schema.arity != 2 or result_schema.arity != 2:
+        return None
+    b0, bb1 = base_schema.attribute_names
+    r0, r1 = result_schema.attribute_names
+
+    pred = recursive.pred
+    if not isinstance(pred, ast.Cmp) or pred.op != "=":
+        return None
+    targets = recursive.targets
+
+    def eq(pred_l, pred_r, tl, tr) -> bool:
+        matches = (
+            _is_attr(pred.left, *pred_l) and _is_attr(pred.right, *pred_r)
+        ) or (_is_attr(pred.left, *pred_r) and _is_attr(pred.right, *pred_l))
+        return (
+            matches
+            and _is_attr(targets[0], *tl)
+            and _is_attr(targets[1], *tr)
+        )
+
+    # left-linear: base(x,z) ⋈ result(z,t) -> (x, t)
+    if eq((base_var, bb1), (rec_var, r0), (base_var, b0), (rec_var, r1)):
+        return LinearTC(base, "left")
+    # right-linear: result(x,z) ⋈ base(z,t) -> (x, t)
+    if eq((rec_var, r1), (base_var, b0), (rec_var, r0), (base_var, bb1)):
+        return LinearTC(base, "right")
+    return None
+
+
+def bound_query(
+    db: Database,
+    shape: LinearTC,
+    bound_attr: str,
+    value: object,
+    stats: SpecializedStats | None = None,
+) -> set[tuple]:
+    """Rows of the closure with ``head`` (attr index 0) or ``tail`` (index 1)
+    bound to ``value``, computed goal-directedly by frontier traversal."""
+    stats = stats if stats is not None else SpecializedStats()
+    rows = Evaluator(db).resolve_range(shape.base_range, {}).rows
+
+    forward: dict[object, list[object]] = {}
+    backward: dict[object, list[object]] = {}
+    for src, dst in rows:
+        forward.setdefault(src, []).append(dst)
+        backward.setdefault(dst, []).append(src)
+
+    if bound_attr == "head":
+        adjacency = forward
+    elif bound_attr == "tail":
+        adjacency = backward
+    else:
+        raise ValueError("bound_attr must be 'head' (index 0) or 'tail' (index 1)")
+
+    reached: set[object] = set()
+    frontier = [value]
+    while frontier:
+        stats.frontier_expansions += 1
+        next_frontier: list[object] = []
+        for node in frontier:
+            for neighbour in adjacency.get(node, ()):
+                stats.edges_touched += 1
+                if neighbour not in reached:
+                    reached.add(neighbour)
+                    next_frontier.append(neighbour)
+        frontier = next_frontier
+
+    if bound_attr == "head":
+        out = {(value, t) for t in reached}
+    else:
+        out = {(h, value) for h in reached}
+    stats.tuples_emitted = len(out)
+    return out

@@ -1,0 +1,53 @@
+"""Constructors: recursive relation construction with fixpoint semantics."""
+
+from .api import (
+    ConstructionResult,
+    apply_constructor,
+    construct,
+    construct_bounded,
+    evaluate_application,
+    solve_system,
+)
+from .definition import Constructor, define_constructor
+from .engines import (
+    FixpointStats,
+    iterate_steps,
+    naive_fixpoint,
+    seminaive_eligible,
+    seminaive_fixpoint,
+)
+from .instantiate import AppKey, InstantiatedApp, InstantiatedSystem, instantiate
+from .positivity import (
+    definition_violations,
+    is_definition_positive,
+    is_system_positive,
+    system_violations,
+)
+
+# Re-exported so users defining constructors need one import.
+from ..selectors.selector import Parameter
+
+__all__ = [
+    "AppKey",
+    "ConstructionResult",
+    "Constructor",
+    "FixpointStats",
+    "InstantiatedApp",
+    "InstantiatedSystem",
+    "Parameter",
+    "apply_constructor",
+    "construct",
+    "construct_bounded",
+    "define_constructor",
+    "definition_violations",
+    "evaluate_application",
+    "instantiate",
+    "is_definition_positive",
+    "is_system_positive",
+    "iterate_steps",
+    "naive_fixpoint",
+    "seminaive_eligible",
+    "seminaive_fixpoint",
+    "solve_system",
+    "system_violations",
+]

@@ -1,0 +1,212 @@
+"""High-level constructor evaluation API.
+
+:func:`construct` is the user-facing entry point: given a database and a
+constructor application (built with the DSL or parsed from DBPL text), it
+instantiates the fixpoint system, picks an engine, enforces the paper's
+positivity discipline, and returns the constructed relation together
+with the fixpoint statistics the benchmarks report.
+
+Engine selection (``mode``):
+
+* ``"auto"``       — semi-naive when the instantiated system is eligible,
+                     otherwise naive (the compiler's choice);
+* ``"seminaive"``  — force differential evaluation (raises if ineligible);
+* ``"naive"``      — force the literal section 3.2 iteration.
+
+Positivity (``allow_nonmonotonic``):
+
+* ``False`` (default) — the instantiated system must be positive, as the
+  DBPL compiler requires; otherwise :class:`~repro.errors.PositivityError`.
+  (Definitions are *also* checked at definition time unless created with
+  ``check_positivity=False``.)
+* ``True`` — iterate anyway, naive engine, with oscillation detection:
+  the ``strange`` constructor converges to its limit, while ``nonsense``
+  raises :class:`~repro.errors.ConvergenceError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calculus import ast
+from ..calculus.evaluator import Env, Evaluator, RangeValue
+from ..errors import PositivityError
+from ..relational import Database, Relation
+from ..types import RecordType, RelationType
+from .engines import (
+    DEFAULT_MAX_ITERATIONS,
+    FixpointStats,
+    Values,
+    iterate_steps,
+    naive_fixpoint,
+    seminaive_eligible,
+    seminaive_fixpoint,
+)
+from .instantiate import AppKey, InstantiatedSystem, instantiate
+from .positivity import is_system_positive, system_violations
+
+
+@dataclass
+class ConstructionResult:
+    """The value of one constructor application plus evaluation evidence."""
+
+    rows: frozenset
+    result_type: RelationType
+    stats: FixpointStats
+    system: InstantiatedSystem
+    values: Values
+
+    @property
+    def schema(self) -> RecordType:
+        return self.result_type.element
+
+    def as_relation(self, name: str) -> Relation:
+        """Materialize the result as a (keyless) relation value."""
+        return Relation(name, self.result_type.keyless(), self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __contains__(self, row: tuple) -> bool:
+        return row in self.rows
+
+
+def construct(
+    db: Database,
+    application: ast.Constructed,
+    params: dict[str, object] | None = None,
+    mode: str = "auto",
+    allow_nonmonotonic: bool = False,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ConstructionResult:
+    """Evaluate ``base{constructor(args)}`` to its least (or limit) value."""
+    evaluator = Evaluator(db, params=params) if params else Evaluator(db)
+    system = instantiate(db, application, evaluator)
+    return solve_system(
+        db,
+        system,
+        mode=mode,
+        allow_nonmonotonic=allow_nonmonotonic,
+        max_iterations=max_iterations,
+    )
+
+
+def solve_system(
+    db: Database,
+    system: InstantiatedSystem,
+    mode: str = "auto",
+    allow_nonmonotonic: bool = False,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ConstructionResult:
+    """Run the fixpoint engines over an already-instantiated system."""
+    stats = FixpointStats()
+    positive = is_system_positive(system)
+    if not positive:
+        if not allow_nonmonotonic:
+            detail = "; ".join(
+                f"{occ.name.describe() if isinstance(occ.name, AppKey) else occ.name} "
+                f"under {occ.nots} NOT(s) and {occ.alls} ALL(s)"
+                for occ in system_violations(system)[:3]
+            )
+            raise PositivityError(
+                f"instantiated system for {system.root.describe()} is not "
+                f"positive: {detail}"
+            )
+        values = naive_fixpoint(
+            db, system, max_iterations, history_detection=True, stats=stats
+        )
+        stats.mode = "naive+history"
+    elif mode == "naive":
+        values = naive_fixpoint(db, system, max_iterations, stats=stats)
+    elif mode == "seminaive":
+        values = seminaive_fixpoint(db, system, max_iterations, stats=stats)
+    elif mode == "auto":
+        if seminaive_eligible(system):
+            values = seminaive_fixpoint(db, system, max_iterations, stats=stats)
+        else:
+            values = naive_fixpoint(db, system, max_iterations, stats=stats)
+    else:
+        raise ValueError(f"unknown engine mode {mode!r}")
+
+    root_app = system.apps[system.root]
+    return ConstructionResult(
+        rows=values[system.root],
+        result_type=root_app.result_type,
+        stats=stats,
+        system=system,
+        values=values,
+    )
+
+
+def construct_bounded(
+    db: Database,
+    application: ast.Constructed,
+    steps: int,
+    params: dict[str, object] | None = None,
+) -> ConstructionResult:
+    """The bounded sequence apply^steps — the paper's ahead_n (section 3.1).
+
+    No convergence or positivity is required: this is the finite prefix
+    of the iteration, whose limit (when it exists) is the constructed
+    value.  ``construct_bounded(db, app, n)`` for growing n reproduces
+    ``Infront{ahead} = lim Infront{ahead_n}``.
+    """
+    evaluator = Evaluator(db, params=params) if params else Evaluator(db)
+    system = instantiate(db, application, evaluator)
+    stats = FixpointStats()
+    values = iterate_steps(db, system, steps, stats=stats)
+    root_app = system.apps[system.root]
+    return ConstructionResult(
+        rows=frozenset(values[system.root]),
+        result_type=root_app.result_type,
+        stats=stats,
+        system=system,
+        values=values,
+    )
+
+
+def evaluate_application(
+    evaluator: Evaluator, node: ast.Constructed, env: Env
+) -> RangeValue:
+    """Reference-evaluator hook for constructed ranges inside queries.
+
+    Uses the naive engine (the semantic reference).  Positivity is
+    enforced exactly as in :func:`construct`.
+    """
+    system = instantiate(evaluator.db, node, evaluator, env)
+    result = solve_system(evaluator.db, system, mode="naive")
+    return RangeValue(result.rows, result.schema)
+
+
+def apply_constructor(
+    db: Database,
+    base: str,
+    constructor: str,
+    *args: object,
+    params: dict[str, object] | None = None,
+    mode: str = "auto",
+    allow_nonmonotonic: bool = False,
+    max_iterations: int = DEFAULT_MAX_ITERATIONS,
+) -> ConstructionResult:
+    """Sugar: ``apply_constructor(db, "Infront", "ahead", "Ontop")``.
+
+    String arguments denote relation names; other values become scalar
+    constants.
+    """
+    arg_nodes: list[ast.Argument] = []
+    for arg in args:
+        if isinstance(arg, str) and arg in db:
+            arg_nodes.append(ast.RelRef(arg))
+        elif isinstance(arg, (ast.RelRef, ast.Selected, ast.Constructed, ast.QueryRange)):
+            arg_nodes.append(arg)
+        else:
+            arg_nodes.append(ast.Const(arg))
+    node = ast.Constructed(ast.RelRef(base), constructor, tuple(arg_nodes))
+    return construct(
+        db,
+        node,
+        params=params,
+        mode=mode,
+        allow_nonmonotonic=allow_nonmonotonic,
+        max_iterations=max_iterations,
+    )

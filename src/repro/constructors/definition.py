@@ -1,0 +1,140 @@
+"""Constructor definitions (section 3).
+
+A constructor is the dual of a selector: applied to a base relation it
+*expands* membership to every tuple derivable through its body, a union
+of relational-calculus branches that may refer to the application's own
+result (simple recursion) or to other constructed relations (mutual
+recursion).  The paper's running example:
+
+    CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+    BEGIN EACH r IN Rel: TRUE,
+          <r.front, ah.tail> OF EACH r IN Rel,
+                                EACH ah IN Rel{ahead(Ontop)}: r.back = ah.head,
+          <r.front, ab.low>  OF EACH r IN Rel,
+                                EACH ab IN Ontop{above(Rel)}: r.back = ab.high
+    END ahead
+
+Definition-time checks performed here:
+
+* the body's identity branches (``EACH r IN Rel: TRUE``) must produce
+  tuples positionally compatible with the declared result type;
+* target lists must have the result type's arity;
+* unless ``check_positivity=False``, the body must satisfy the paper's
+  positivity constraint (section 3.3) — the DBPL compiler's rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..calculus import ast
+from ..errors import PositivityError, SchemaError
+from ..relational import Database
+from ..selectors.selector import Parameter
+from ..types import RelationType
+from .positivity import definition_violations
+
+
+class Constructor:
+    """A named, possibly parameterized, possibly recursive deduction rule."""
+
+    def __init__(
+        self,
+        name: str,
+        formal_rel: str,
+        rel_type: RelationType,
+        result_type: RelationType,
+        body: ast.Query,
+        params: Sequence[Parameter] = (),
+        check_positivity: bool = True,
+    ) -> None:
+        self.name = name
+        self.formal_rel = formal_rel
+        self.rel_type = rel_type
+        self.result_type = result_type
+        self.body = body
+        self.params = tuple(params)
+        self.positivity_checked = check_positivity
+        self._validate_shape()
+        if check_positivity:
+            violations = definition_violations(self)
+            if violations:
+                detail = "; ".join(
+                    f"{v.name} under {v.nots} NOT(s) and {v.alls} ALL(s)"
+                    for v in violations
+                )
+                raise PositivityError(
+                    f"constructor {name} violates the positivity constraint: {detail}"
+                )
+
+    # -- shape validation -----------------------------------------------------
+
+    def _validate_shape(self) -> None:
+        result = self.result_type.element
+        for i, branch in enumerate(self.body.branches):
+            if branch.targets is None:
+                if len(branch.bindings) != 1:
+                    raise SchemaError(
+                        f"constructor {self.name}, branch {i}: identity branches "
+                        f"must bind exactly one variable"
+                    )
+                # Identity branches over the formal base must be positionally
+                # compatible with the result; other ranges are checked at
+                # instantiation time when their schemas are known.
+                rng = branch.bindings[0].range
+                if isinstance(rng, ast.RelRef) and rng.name == self.formal_rel:
+                    if not self.rel_type.element.positionally_compatible(result):
+                        raise SchemaError(
+                            f"constructor {self.name}: base element type "
+                            f"{self.rel_type.element.name} is not positionally "
+                            f"compatible with result {result.name}"
+                        )
+            elif len(branch.targets) != result.arity:
+                raise SchemaError(
+                    f"constructor {self.name}, branch {i}: target list has "
+                    f"{len(branch.targets)} item(s), result type {result.name} "
+                    f"has arity {result.arity}"
+                )
+
+    # -- recursion structure ----------------------------------------------------
+
+    def applications_in_body(self) -> list[ast.Constructed]:
+        """Every constructor application appearing in the body."""
+        return [n for n in ast.walk(self.body) if isinstance(n, ast.Constructed)]
+
+    def is_recursive(self) -> bool:
+        """True when the body applies any constructor (self or mutual)."""
+        return bool(self.applications_in_body())
+
+    # -- evaluator integration (duck-typed; see calculus.evaluator) ---------------
+
+    def reference_value(self, evaluator, node: ast.Constructed, env):
+        """Value of ``base{self(args)}`` for the reference evaluator."""
+        from .api import evaluate_application
+
+        return evaluate_application(evaluator, node, env)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        params = ", ".join(f"{p.name}: {p.type.name}" for p in self.params)
+        return (
+            f"<Constructor {self.name}({params}) FOR {self.formal_rel}: "
+            f"{self.rel_type.name} -> {self.result_type.name}>"
+        )
+
+
+def define_constructor(
+    db: Database,
+    name: str,
+    formal_rel: str,
+    rel_type: RelationType,
+    result_type: RelationType,
+    body: ast.Query,
+    params: Sequence[Parameter] = (),
+    check_positivity: bool = True,
+) -> Constructor:
+    """Define a constructor and register it with the database."""
+    constructor = Constructor(
+        name, formal_rel, rel_type, result_type, body, params, check_positivity
+    )
+    db.register_constructor(constructor)
+    return constructor

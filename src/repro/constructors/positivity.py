@@ -1,0 +1,111 @@
+"""Positivity checking for constructor definitions and instantiated systems.
+
+Section 3.3 of the paper: a constructor is accepted by the DBPL compiler
+only when every occurrence of a recursive relation name in its body lies
+under an even total of NOTs and ALLs; the accompanying lemma shows such
+bodies are monotone, so the fixpoint iteration converges.
+
+Two granularities are provided:
+
+* :func:`definition_violations` — the *compile-time* check on a single
+  definition: the formal base relation, every relation-typed parameter,
+  and every embedded constructor application must occur positively.
+  (Any of these may carry recursive values once instantiated, so the
+  compiler must treat them all as potentially recursive.)
+
+* :func:`system_violations` — the *instantiation-time* check on a system
+  of equations: every ApplyVar token must occur positively in every
+  body.  This is the check the fixpoint engines trust.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..calculus import ast
+from ..calculus.analysis import Occurrence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .definition import Constructor
+    from .instantiate import InstantiatedSystem
+
+
+def _constructed_occurrences(node: ast.Node) -> list[Occurrence]:
+    """Occurrences of embedded constructor applications with NOT/ALL depth.
+
+    Mirrors the traversal of :func:`repro.calculus.analysis.range_occurrences`
+    but records :class:`~repro.calculus.ast.Constructed` nodes themselves
+    (named by their constructor) rather than relation names.
+    """
+    out: list[Occurrence] = []
+
+    def visit_range(rng: ast.RangeExpr, nots: int, alls: int) -> None:
+        if isinstance(rng, ast.Constructed):
+            out.append(Occurrence(rng.constructor, nots, alls))
+            visit_range(rng.base, nots, alls)
+            for arg in rng.args:
+                if isinstance(arg, (ast.RelRef, ast.Selected, ast.Constructed, ast.QueryRange)):
+                    visit_range(arg, nots, alls)
+        elif isinstance(rng, ast.Selected):
+            visit_range(rng.base, nots, alls)
+            for arg in rng.args:
+                if isinstance(arg, (ast.RelRef, ast.Selected, ast.Constructed, ast.QueryRange)):
+                    visit_range(arg, nots, alls)
+        elif isinstance(rng, ast.QueryRange):
+            visit_query(rng.query, nots, alls)
+
+    def visit_pred(pred: ast.Pred, nots: int, alls: int) -> None:
+        if isinstance(pred, ast.Not):
+            visit_pred(pred.pred, nots + 1, alls)
+        elif isinstance(pred, (ast.And, ast.Or)):
+            for part in pred.parts:
+                visit_pred(part, nots, alls)
+        elif isinstance(pred, ast.Some):
+            visit_range(pred.range, nots, alls)
+            visit_pred(pred.pred, nots, alls)
+        elif isinstance(pred, ast.All):
+            visit_range(pred.range, nots, alls + 1)
+            visit_pred(pred.pred, nots, alls)
+        elif isinstance(pred, ast.InRel):
+            visit_range(pred.range, nots, alls)
+
+    def visit_query(query: ast.Query, nots: int, alls: int) -> None:
+        for branch in query.branches:
+            for binding in branch.bindings:
+                visit_range(binding.range, nots, alls)
+            visit_pred(branch.pred, nots, alls)
+
+    visit_query(node if isinstance(node, ast.Query) else ast.Query((node,)), 0, 0)  # type: ignore[arg-type]
+    return out
+
+
+def definition_violations(constructor: "Constructor") -> list[Occurrence]:
+    """Odd-parity occurrences that make a definition non-positive."""
+    from ..calculus.analysis import positivity_violations
+
+    names: set[object] = {constructor.formal_rel}
+    names.update(p.name for p in constructor.params if p.is_relation)
+    violations = list(positivity_violations(constructor.body, names))
+    violations.extend(
+        occ for occ in _constructed_occurrences(constructor.body) if not occ.positive
+    )
+    return violations
+
+
+def is_definition_positive(constructor: "Constructor") -> bool:
+    return not definition_violations(constructor)
+
+
+def system_violations(system: "InstantiatedSystem") -> list[Occurrence]:
+    """Odd-parity occurrences of any fixpoint variable in any equation."""
+    from ..calculus.analysis import positivity_violations
+
+    tokens = set(system.apps)
+    out: list[Occurrence] = []
+    for app in system.apps.values():
+        out.extend(positivity_violations(app.body, tokens))
+    return out
+
+
+def is_system_positive(system: "InstantiatedSystem") -> bool:
+    return not system_violations(system)

@@ -1,0 +1,167 @@
+"""Function-free Horn clauses (Datalog): the paper's PROLOG fragment.
+
+Section 3.4 proves the constructor mechanism as powerful as function-free
+PROLOG without cut, fail, and negation — i.e. positive Datalog, possibly
+with comparison literals.  This AST is shared by the bottom-up Datalog
+engine (an *independent* oracle for the constructor engines) and by the
+proof-oriented SLD/tabled engines of :mod:`repro.prolog`.
+
+Conventions follow PROLOG: variables start with an upper-case letter or
+underscore; everything else is a constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A logic variable (X, Y, Rest, _)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant: symbol, number, or quoted string."""
+
+    value: object
+
+    def __str__(self) -> str:
+        value = self.value
+        if isinstance(value, str) and (not value or not value[0].islower()):
+            return f'"{value}"'
+        return str(value)
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(t1, ..., tn)``."""
+
+    pred: str
+    terms: tuple[Term, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> set[str]:
+        return {t.name for t in self.terms if isinstance(t, Var)}
+
+    def is_ground(self) -> bool:
+        return all(isinstance(t, Const) for t in self.terms)
+
+    def __str__(self) -> str:
+        return f"{self.pred}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A built-in comparison literal: ``X < Y``, ``X \\= a``.
+
+    op in {=, \\=, <, =<, >, >=} (PROLOG spellings).
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def variables(self) -> set[str]:
+        out = set()
+        if isinstance(self.left, Var):
+            out.add(self.left.name)
+        if isinstance(self.right, Var):
+            out.add(self.right.name)
+        return out
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+Literal = Union[Atom, Comparison]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.`` — a definite clause.  Facts have an empty body."""
+
+    head: Atom
+    body: tuple[Literal, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> set[str]:
+        out = self.head.variables()
+        for lit in self.body:
+            out |= lit.variables()
+        return out
+
+    def is_range_restricted(self) -> bool:
+        """Every head variable appears in a body atom (safety)."""
+        if self.is_fact:
+            return self.head.is_ground()
+        bound: set[str] = set()
+        for lit in self.body:
+            if isinstance(lit, Atom):
+                bound |= lit.variables()
+        return self.head.variables() <= bound
+
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(str(l) for l in self.body)}."
+
+
+@dataclass(frozen=True)
+class Program:
+    """An ordered collection of rules (clause order matters to SLD)."""
+
+    rules: tuple[Rule, ...]
+
+    def predicates(self) -> set[str]:
+        return {rule.head.pred for rule in self.rules}
+
+    def idb_predicates(self) -> set[str]:
+        """Predicates defined by at least one proper rule."""
+        return {r.head.pred for r in self.rules if not r.is_fact}
+
+    def rules_for(self, pred: str) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if r.head.pred == pred)
+
+    def body_predicates(self) -> set[str]:
+        out: set[str] = set()
+        for rule in self.rules:
+            for lit in rule.body:
+                if isinstance(lit, Atom):
+                    out.add(lit.pred)
+        return out
+
+    def edb_predicates(self) -> set[str]:
+        """Predicates used in bodies but never defined by a rule head."""
+        return self.body_predicates() - self.predicates()
+
+    def __str__(self) -> str:
+        return "\n".join(str(r) for r in self.rules)
+
+
+def mkatom(pred: str, *terms: object) -> Atom:
+    """Convenience: strings starting upper-case/underscore become Vars."""
+    converted: list[Term] = []
+    for t in terms:
+        if isinstance(t, (Var, Const)):
+            converted.append(t)
+        elif isinstance(t, str) and t and (t[0].isupper() or t[0] == "_"):
+            converted.append(Var(t))
+        else:
+            converted.append(Const(t))
+    return Atom(pred, tuple(converted))

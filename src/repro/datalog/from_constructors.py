@@ -1,0 +1,272 @@
+"""Constructors -> Datalog: the other direction of the section 3.4 lemma.
+
+An instantiated constructor system whose bodies stay inside the positive
+existential fragment (conjunctions of equalities/comparisons, SOME
+quantifiers, OR — but no NOT, ALL, selected ranges, or inline queries)
+translates to a safe positive Datalog program:
+
+* each fixpoint variable (AppKey) becomes an IDB predicate ``app_k``;
+* each database relation referenced as a range becomes an EDB predicate
+  carrying the relation's current rows as facts;
+* each branch becomes one rule per OR-alternative: bindings turn into
+  body atoms, equalities merge logic variables (union-find), other
+  comparisons become comparison literals, targets become the head.
+
+The translation is used by the tests to cross-check the constructor
+engines against the independent Datalog engine and the SLD/tabled proof
+engines, and by benchmark E7.
+"""
+
+from __future__ import annotations
+
+from itertools import count, product
+
+from ..calculus import ast
+from ..constructors.instantiate import AppKey, InstantiatedSystem
+from ..errors import TranslationError
+from ..relational import Database
+from .ast import Atom, Comparison, Const, Literal, Program, Rule, Var
+
+_CMP_OPS = {"=": "=", "<>": "\\=", "<": "<", "<=": "=<", ">": ">", ">=": ">="}
+
+
+class _UnionFind:
+    """Union-find over logic-variable names with optional constant values."""
+
+    def __init__(self) -> None:
+        self.parent: dict[str, str] = {}
+        self.constant: dict[str, object] = {}
+
+    def find(self, name: str) -> str:
+        root = name
+        while self.parent.get(root, root) != root:
+            root = self.parent[root]
+        while self.parent.get(name, name) != name:
+            self.parent[name], name = root, self.parent[name]
+        return root
+
+    def union(self, a: str, b: str) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        ca, cb = self.constant.get(ra), self.constant.get(rb)
+        if ca is not None and cb is not None and ca != cb:
+            return False  # contradictory equalities: the rule never fires
+        self.parent[ra] = rb
+        if ca is not None:
+            self.constant[rb] = ca
+        return True
+
+    def bind_const(self, name: str, value: object) -> bool:
+        root = self.find(name)
+        known = self.constant.get(root)
+        if known is not None and known != value:
+            return False
+        self.constant[root] = value
+        return True
+
+    def resolve(self, name: str):
+        root = self.find(name)
+        if root in self.constant:
+            return Const(self.constant[root])
+        return Var(root.upper() if not root[0].isupper() else root)
+
+
+def _flatten_pred(pred: ast.Pred) -> list[list[ast.Pred]]:
+    """DNF-style flattening into alternative conjunct lists.
+
+    Supports TRUE, Cmp, And, Or, and (positively) Some; everything else
+    is outside the translatable fragment.
+    """
+    if isinstance(pred, ast.TruePred):
+        return [[]]
+    if isinstance(pred, ast.Cmp):
+        return [[pred]]
+    if isinstance(pred, ast.Some):
+        return [[pred]]
+    if isinstance(pred, ast.And):
+        alternatives: list[list[ast.Pred]] = [[]]
+        for part in pred.parts:
+            expanded = _flatten_pred(part)
+            alternatives = [a + b for a, b in product(alternatives, expanded)]
+        return alternatives
+    if isinstance(pred, ast.Or):
+        out: list[list[ast.Pred]] = []
+        for part in pred.parts:
+            out.extend(_flatten_pred(part))
+        return out
+    raise TranslationError(
+        f"predicate {type(pred).__name__} is outside the positive "
+        f"existential fragment of the section 3.4 lemma"
+    )
+
+
+class _SystemTranslator:
+    def __init__(self, db: Database, system: InstantiatedSystem) -> None:
+        self.db = db
+        self.system = system
+        self.app_pred: dict[AppKey, str] = {
+            key: f"app{i}" for i, key in enumerate(system.apps)
+        }
+        self.edb: dict[str, set[tuple]] = {}
+        self.rules: list[Rule] = []
+        self._fresh = count()
+
+    # -- range handling --------------------------------------------------------
+
+    def _range_atom_pred(self, rng: ast.RangeExpr) -> tuple[str, int]:
+        """(predicate name, arity) for a binding range; registers EDB facts."""
+        if isinstance(rng, ast.RelRef):
+            relation = self.db.relation(rng.name)
+            pred = rng.name.lower()
+            self.edb.setdefault(pred, set()).update(relation.raw())
+            return pred, relation.element_type.arity
+        if isinstance(rng, ast.ApplyVar):
+            key: AppKey = rng.token  # type: ignore[assignment]
+            if key not in self.app_pred:
+                raise TranslationError(f"foreign fixpoint variable {key!r}")
+            return self.app_pred[key], rng.schema.arity
+        raise TranslationError(
+            f"range {type(rng).__name__} is outside the translatable fragment "
+            f"(only base relations and fixpoint variables are supported)"
+        )
+
+    # -- branch translation -------------------------------------------------------
+
+    def translate_branch(self, head_pred: str, branch: ast.Branch) -> None:
+        for conjuncts in _flatten_pred(branch.pred):
+            rule = self._translate_conjunction(head_pred, branch, conjuncts)
+            if rule is not None:
+                self.rules.append(rule)
+
+    def _translate_conjunction(
+        self,
+        head_pred: str,
+        branch: ast.Branch,
+        conjuncts: list[ast.Pred],
+    ) -> Rule | None:
+        uf = _UnionFind()
+        atoms: list[tuple[str, list[str]]] = []
+        schemas: dict[str, ast.RangeExpr] = {}
+        attr_var: dict[tuple[str, str], str] = {}
+
+        def bind_range(var: str, rng: ast.RangeExpr) -> None:
+            pred, arity = self._range_atom_pred(rng)
+            names = [f"{var}_{i}" for i in range(arity)]
+            atoms.append((pred, names))
+            schema = self._schema_of(rng)
+            for i, attr in enumerate(schema.attribute_names):
+                attr_var[(var, attr)] = names[i]
+
+        for binding in branch.bindings:
+            bind_range(binding.var, binding.range)
+
+        comparisons: list[ast.Cmp] = []
+        work = list(conjuncts)
+        while work:
+            item = work.pop(0)
+            if isinstance(item, ast.Some):
+                for qvar in item.vars:
+                    bind_range(qvar, item.range)
+                work = (
+                    [p for alt in _flatten_pred(item.pred)[:1] for p in alt] + work
+                    if len(_flatten_pred(item.pred)) == 1
+                    else _raise_nested_or(item)
+                )
+            elif isinstance(item, ast.Cmp):
+                comparisons.append(item)
+            elif isinstance(item, ast.TruePred):
+                continue
+            else:  # pragma: no cover - guarded by _flatten_pred
+                raise TranslationError(f"untranslatable conjunct {item!r}")
+
+        def term_name(term: ast.Term) -> str | None:
+            """Union-find key for an AttrRef, or None for constants."""
+            if isinstance(term, ast.AttrRef):
+                key = (term.var, term.attr)
+                if key not in attr_var:
+                    raise TranslationError(
+                        f"reference to unbound variable {term.var}.{term.attr}"
+                    )
+                return attr_var[key]
+            return None
+
+        # Process equalities first so comparisons see merged variables.
+        feasible = True
+        residual: list[ast.Cmp] = []
+        for cmp in comparisons:
+            left = term_name(cmp.left)
+            right = term_name(cmp.right)
+            if cmp.op == "=" and left is not None and right is not None:
+                feasible &= uf.union(left, right)
+            elif cmp.op == "=" and left is not None and isinstance(cmp.right, ast.Const):
+                feasible &= uf.bind_const(left, cmp.right.value)
+            elif cmp.op == "=" and right is not None and isinstance(cmp.left, ast.Const):
+                feasible &= uf.bind_const(right, cmp.left.value)
+            else:
+                residual.append(cmp)
+        if not feasible:
+            return None  # contradictory rule: contributes nothing
+
+        def resolve_term(term: ast.Term):
+            if isinstance(term, ast.Const):
+                return Const(term.value)
+            name = term_name(term)
+            if name is None:
+                raise TranslationError(f"untranslatable term {term!r}")
+            return uf.resolve(name)
+
+        body: list[Literal] = []
+        for pred, names in atoms:
+            body.append(Atom(pred, tuple(uf.resolve(n) for n in names)))
+        for cmp in residual:
+            if cmp.op not in _CMP_OPS:
+                raise TranslationError(f"operator {cmp.op} not translatable")
+            body.append(
+                Comparison(_CMP_OPS[cmp.op], resolve_term(cmp.left), resolve_term(cmp.right))
+            )
+
+        if branch.targets is None:
+            var = branch.bindings[0].var
+            schema = self._schema_of(branch.bindings[0].range)
+            head_terms = tuple(
+                uf.resolve(attr_var[(var, attr)]) for attr in schema.attribute_names
+            )
+        else:
+            head_terms = tuple(resolve_term(t) for t in branch.targets)
+        return Rule(Atom(head_pred, head_terms), tuple(body))
+
+    def _schema_of(self, rng: ast.RangeExpr):
+        if isinstance(rng, ast.RelRef):
+            return self.db.relation(rng.name).element_type
+        if isinstance(rng, ast.ApplyVar):
+            return rng.schema
+        raise TranslationError(f"no schema for range {rng!r}")
+
+    def translate(self) -> tuple[Program, dict[str, set[tuple]], str]:
+        for key, app in self.system.apps.items():
+            for branch in app.body.branches:
+                self.translate_branch(self.app_pred[key], branch)
+        return (
+            Program(tuple(self.rules)),
+            self.edb,
+            self.app_pred[self.system.root],
+        )
+
+
+def _raise_nested_or(item) -> list:
+    raise TranslationError(
+        "disjunction nested under SOME is not supported by the translator; "
+        "lift it with rewrite.unnest_query first"
+    )
+
+
+def system_to_program(
+    db: Database, system: InstantiatedSystem
+) -> tuple[Program, dict[str, set[tuple]], str]:
+    """Translate an instantiated constructor system to Datalog.
+
+    Returns ``(program, edb_facts, root_predicate)`` such that the least
+    model of ``root_predicate`` equals the constructed relation.
+    """
+    return _SystemTranslator(db, system).translate()

@@ -1,0 +1,155 @@
+"""A small Datalog/PROLOG-clause parser.
+
+Accepts the function-free fragment of section 3.4:
+
+    ahead(X, Y) :- infront(X, Y).
+    ahead(X, Y) :- infront(X, Z), ahead(Z, Y).
+    infront(table, chair).
+    bigger(X, Y) :- size(X, SX), size(Y, SY), SX > SY.
+
+Variables start with an upper-case letter or ``_``; constants are
+lower-case symbols, integers, or double-quoted strings.  ``%`` starts a
+line comment.  Comparison operators use PROLOG spellings
+(``=``, ``\\=``, ``<``, ``=<``, ``>``, ``>=``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import DBPLSyntaxError
+from .ast import Atom, Comparison, Const, Literal, Program, Rule, Term, Var
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|%[^\n]*)
+  | (?P<implies>:-)
+  | (?P<cmp>=<|>=|\\=|<|>|=)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<dot>\.)
+  | (?P<number>-?\d+)
+  | (?P<string>"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise DBPLSyntaxError(f"unexpected character {text[pos]!r}", line)
+        kind = match.lastgroup
+        value = match.group()
+        line += value.count("\n")
+        pos = match.end()
+        if kind != "ws":
+            tokens.append((kind, value, line))
+    tokens.append(("eof", "", line))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = _tokenize(text)
+        self.index = 0
+
+    def peek(self) -> tuple[str, str, int]:
+        return self.tokens[self.index]
+
+    def next(self) -> tuple[str, str, int]:
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, kind: str) -> str:
+        actual_kind, value, line = self.next()
+        if actual_kind != kind:
+            raise DBPLSyntaxError(
+                f"expected {kind}, got {value!r}", line
+            )
+        return value
+
+    # -- grammar --------------------------------------------------------------
+
+    def program(self) -> Program:
+        rules: list[Rule] = []
+        while self.peek()[0] != "eof":
+            rules.append(self.clause())
+        return Program(tuple(rules))
+
+    def clause(self) -> Rule:
+        head = self.atom()
+        kind, _value, _line = self.peek()
+        body: tuple[Literal, ...] = ()
+        if kind == "implies":
+            self.next()
+            body = self.body()
+        self.expect("dot")
+        return Rule(head, body)
+
+    def body(self) -> tuple[Literal, ...]:
+        literals = [self.literal()]
+        while self.peek()[0] == "comma":
+            self.next()
+            literals.append(self.literal())
+        return tuple(literals)
+
+    def literal(self) -> Literal:
+        # Either pred(...) or a comparison  term op term.
+        kind, value, line = self.peek()
+        if kind == "name" and self.tokens[self.index + 1][0] == "lparen":
+            return self.atom()
+        left = self.term()
+        op_kind, op, op_line = self.next()
+        if op_kind != "cmp":
+            raise DBPLSyntaxError(f"expected comparison operator, got {op!r}", op_line)
+        right = self.term()
+        return Comparison(op, left, right)
+
+    def atom(self) -> Atom:
+        kind, name, line = self.next()
+        if kind != "name":
+            raise DBPLSyntaxError(f"expected predicate name, got {name!r}", line)
+        if name[0].isupper() or name[0] == "_":
+            raise DBPLSyntaxError(
+                f"predicate names must start lower-case: {name!r}", line
+            )
+        self.expect("lparen")
+        terms = [self.term()]
+        while self.peek()[0] == "comma":
+            self.next()
+            terms.append(self.term())
+        self.expect("rparen")
+        return Atom(name, tuple(terms))
+
+    def term(self) -> Term:
+        kind, value, line = self.next()
+        if kind == "number":
+            return Const(int(value))
+        if kind == "string":
+            return Const(value[1:-1])
+        if kind == "name":
+            if value[0].isupper() or value[0] == "_":
+                return Var(value)
+            return Const(value)
+        raise DBPLSyntaxError(f"expected a term, got {value!r}", line)
+
+
+def parse_program(text: str) -> Program:
+    """Parse Datalog source text into a :class:`Program`."""
+    return _Parser(text).program()
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. a query goal ``ahead(table, X)``."""
+    parser = _Parser(text.rstrip().rstrip(".") + " .")
+    atom = parser.atom()
+    parser.expect("dot")
+    return atom

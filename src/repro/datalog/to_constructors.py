@@ -1,0 +1,177 @@
+"""Datalog -> constructors: one direction of the section 3.4 lemma.
+
+"The constructor mechanism is as powerful as function-free PROLOG without
+cut, fail, and negation."  Constructively: every safe positive Datalog
+program maps to a family of constructors such that evaluating the
+constructor application for a predicate yields exactly the predicate's
+least model.
+
+Mapping (following the paper's remark that a constructor based on a join
+of several base relations "grows out of" an empty base relation):
+
+* every predicate ``p/n`` gets a keyless relation type with ANY-typed
+  attributes ``a0..a{n-1}``;
+* every EDB predicate becomes a database relation holding its facts;
+* every IDB predicate ``p`` gets an empty base relation ``p__base`` and a
+  constructor ``c_p`` whose branches are the rules for ``p``:
+  body atoms become range bindings (EDB atoms over the database relation,
+  IDB atoms over the recursive application ``q__base{c_q}``), repeated
+  variables and constants become equality conjuncts, comparison literals
+  become comparisons, and the head's argument list becomes the target
+  list.
+"""
+
+from __future__ import annotations
+
+from ..calculus import ast
+from ..constructors import define_constructor
+from ..errors import TranslationError
+from ..relational import Database
+from ..types import ANY, Field, RecordType, RelationType
+from .ast import Atom, Comparison, Const, Program, Rule, Var
+
+_CMP_OPS = {"=": "=", "\\=": "<>", "<": "<", "=<": "<=", ">": ">", ">=": ">="}
+
+
+def _predicate_arities(program: Program, edb: dict | None) -> dict[str, int]:
+    arities: dict[str, int] = {}
+
+    def note(pred: str, arity: int) -> None:
+        known = arities.setdefault(pred, arity)
+        if known != arity:
+            raise TranslationError(
+                f"predicate {pred} used with arities {known} and {arity}"
+            )
+
+    for rule in program.rules:
+        note(rule.head.pred, rule.head.arity)
+        for lit in rule.body:
+            if isinstance(lit, Atom):
+                note(lit.pred, lit.arity)
+    for pred, rows in (edb or {}).items():
+        for row in rows:
+            note(pred, len(row))
+            break
+    return arities
+
+
+def _relation_type(pred: str, arity: int) -> RelationType:
+    fields = tuple(Field(f"a{i}", ANY) for i in range(arity))
+    return RelationType(f"{pred}_rel", RecordType(f"{pred}_rec", fields), ())
+
+
+def _rule_to_branch(
+    rule: Rule,
+    idb: set[str],
+    formal_of: dict[str, str],
+) -> ast.Branch:
+    """Translate one rule into one constructor-body branch.
+
+    ``formal_of`` maps the head predicate's base-relation name to the
+    constructor's formal name (so recursion goes through the formal, per
+    the constructor discipline); other IDB predicates are referenced by
+    their own application expressions.
+    """
+    atoms = [lit for lit in rule.body if isinstance(lit, Atom)]
+    comparisons = [lit for lit in rule.body if isinstance(lit, Comparison)]
+
+    bindings: list[ast.Binding] = []
+    first_site: dict[str, ast.AttrRef] = {}
+    conjuncts: list[ast.Pred] = []
+    for i, atom in enumerate(atoms):
+        var = f"t{i}"
+        if atom.pred in idb:
+            base_name = formal_of.get(atom.pred, f"{atom.pred}__base")
+            rng: ast.RangeExpr = ast.Constructed(
+                ast.RelRef(base_name), f"c_{atom.pred}", ()
+            )
+        else:
+            rng = ast.RelRef(atom.pred)
+        bindings.append(ast.Binding(var, rng))
+        for j, term in enumerate(atom.terms):
+            ref = ast.AttrRef(var, f"a{j}")
+            if isinstance(term, Const):
+                conjuncts.append(ast.Cmp("=", ref, ast.Const(term.value)))
+            else:
+                seen = first_site.get(term.name)
+                if seen is None:
+                    first_site[term.name] = ref
+                else:
+                    conjuncts.append(ast.Cmp("=", ref, seen))
+
+    def term_to_ast(term) -> ast.Term:
+        if isinstance(term, Const):
+            return ast.Const(term.value)
+        site = first_site.get(term.name)
+        if site is None:
+            raise TranslationError(
+                f"variable {term.name} of rule {rule} is unbound (unsafe rule)"
+            )
+        return site
+
+    for cmp in comparisons:
+        conjuncts.append(
+            ast.Cmp(_CMP_OPS[cmp.op], term_to_ast(cmp.left), term_to_ast(cmp.right))
+        )
+
+    targets = tuple(term_to_ast(t) for t in rule.head.terms)
+    pred = ast.And(tuple(conjuncts)) if conjuncts else ast.TRUE
+    if len(conjuncts) == 1:
+        pred = conjuncts[0]
+    return ast.Branch(tuple(bindings), pred, targets)
+
+
+def datalog_to_database(
+    program: Program, edb: dict[str, set[tuple]] | None = None
+) -> tuple[Database, dict[str, ast.Constructed]]:
+    """Build a database + constructors equivalent to ``program``.
+
+    Returns the database and, for each IDB predicate, the application
+    expression whose construction yields the predicate's least model.
+    """
+    arities = _predicate_arities(program, edb)
+    idb = program.idb_predicates()
+    db = Database("datalog")
+
+    rel_types = {pred: _relation_type(pred, arity) for pred, arity in arities.items()}
+
+    # EDB relations: explicit facts plus inline program facts.
+    facts: dict[str, set[tuple]] = {p: set(rows) for p, rows in (edb or {}).items()}
+    for rule in program.rules:
+        if rule.is_fact:
+            if not rule.head.is_ground():
+                raise TranslationError(f"non-ground fact: {rule}")
+            facts.setdefault(rule.head.pred, set()).add(
+                tuple(t.value for t in rule.head.terms)  # type: ignore[union-attr]
+            )
+    for pred, arity in arities.items():
+        if pred in idb:
+            db.declare(f"{pred}__base", rel_types[pred], ())
+            if pred in facts and facts[pred]:
+                # Facts for an IDB predicate seed its base relation.
+                db[f"{pred}__base"].assign(facts[pred])
+        else:
+            db.declare(pred, rel_types[pred], facts.get(pred, set()))
+
+    applications: dict[str, ast.Constructed] = {}
+    for pred in sorted(idb):
+        branches = [
+            # Identity branch: the base relation (seed facts) is included.
+            ast.Branch((ast.Binding("r", ast.RelRef("Rel")),), ast.TRUE, None)
+        ]
+        for rule in program.rules_for(pred):
+            if rule.is_fact:
+                continue
+            branches.append(_rule_to_branch(rule, idb, {pred: "Rel"}))
+        define_constructor(
+            db,
+            name=f"c_{pred}",
+            formal_rel="Rel",
+            rel_type=rel_types[pred],
+            result_type=rel_types[pred],
+            body=ast.Query(tuple(branches)),
+        )
+        applications[pred] = ast.Constructed(
+            ast.RelRef(f"{pred}__base"), f"c_{pred}", ()
+        )
+    return db, applications

@@ -1,0 +1,41 @@
+"""DBPL surface language: lexer, parser, and interactive sessions."""
+
+from .astnodes import (
+    ConstructorDecl,
+    EnumTypeExpr,
+    FieldGroup,
+    Module,
+    ParamDecl,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RelationTypeExpr,
+    SelectorDecl,
+    TypeDecl,
+    TypeName,
+    VarDecl,
+)
+from .lexer import Token, tokenize
+from .parser import Parser, parse_declarations, parse_expression, parse_module
+from .session import Session
+
+__all__ = [
+    "ConstructorDecl",
+    "EnumTypeExpr",
+    "FieldGroup",
+    "Module",
+    "ParamDecl",
+    "Parser",
+    "RangeTypeExpr",
+    "RecordTypeExpr",
+    "RelationTypeExpr",
+    "SelectorDecl",
+    "Session",
+    "Token",
+    "TypeDecl",
+    "TypeName",
+    "VarDecl",
+    "parse_declarations",
+    "parse_expression",
+    "parse_module",
+    "tokenize",
+]

@@ -1,0 +1,103 @@
+"""Declaration-level AST for the DBPL surface language.
+
+Expressions parse directly into :mod:`repro.calculus.ast`; the nodes here
+cover the declaration forms the paper uses — TYPE, VAR, SELECTOR,
+CONSTRUCTOR — plus the MODULE wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..calculus import ast
+
+
+# -- type expressions ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeName:
+    """Reference to a declared or built-in type."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class RangeTypeExpr:
+    lo: int
+    hi: int
+
+
+@dataclass(frozen=True)
+class EnumTypeExpr:
+    labels: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FieldGroup:
+    names: tuple[str, ...]
+    type: "TypeExpr"
+
+
+@dataclass(frozen=True)
+class RecordTypeExpr:
+    fields: tuple[FieldGroup, ...]
+
+
+@dataclass(frozen=True)
+class RelationTypeExpr:
+    key: tuple[str, ...]  # empty = the paper's "RELATION ... OF"
+    element: "TypeExpr"
+
+
+TypeExpr = object  # union of the above
+
+
+# -- declarations -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TypeDecl:
+    name: str
+    type: TypeExpr
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    names: tuple[str, ...]
+    type: TypeName
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    name: str
+    type: TypeName
+
+
+@dataclass(frozen=True)
+class SelectorDecl:
+    name: str
+    params: tuple[ParamDecl, ...]
+    formal_rel: str
+    rel_type: TypeName
+    var: str
+    pred: ast.Pred
+
+
+@dataclass(frozen=True)
+class ConstructorDecl:
+    name: str
+    formal_rel: str
+    rel_type: TypeName
+    params: tuple[ParamDecl, ...]
+    result_type: TypeName
+    body: ast.Query
+
+
+@dataclass(frozen=True)
+class Module:
+    name: str
+    declarations: tuple[object, ...] = field(default_factory=tuple)
+
+
+Declaration = object  # union of TypeDecl / VarDecl / SelectorDecl / ConstructorDecl

@@ -1,0 +1,123 @@
+"""Lexer for the DBPL surface syntax used in the paper.
+
+Token kinds: keywords (upper-case reserved words), identifiers, integer
+and string literals, and punctuation.  ``(* ... *)`` comments nest, as
+in MODULA-2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DBPLSyntaxError
+
+KEYWORDS = {
+    "MODULE", "TYPE", "VAR", "SELECTOR", "CONSTRUCTOR", "FOR", "BEGIN", "END",
+    "EACH", "IN", "SOME", "ALL", "NOT", "AND", "OR", "TRUE", "FALSE",
+    "RECORD", "RELATION", "OF", "RANGE", "DIV", "MOD", "IS",
+}
+
+SYMBOLS = [
+    "<=", ">=", "<>", "..", ":=",
+    ";", ":", ",", ".", "(", ")", "[", "]", "{", "}",
+    "<", ">", "=", "+", "-", "*",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # keyword name, "ident", "int", "string", symbol text, "eof"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.text!r} @{self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    col = 1
+    length = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal line, col
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            col = len(text) - text.rfind("\n")
+        else:
+            col += len(text)
+
+    while pos < length:
+        ch = source[pos]
+        # whitespace
+        if ch in " \t\r\n":
+            end = pos
+            while end < length and source[end] in " \t\r\n":
+                end += 1
+            advance(source[pos:end])
+            pos = end
+            continue
+        # nesting comments (* ... *)
+        if source.startswith("(*", pos):
+            depth = 1
+            end = pos + 2
+            while end < length and depth:
+                if source.startswith("(*", end):
+                    depth += 1
+                    end += 2
+                elif source.startswith("*)", end):
+                    depth -= 1
+                    end += 2
+                else:
+                    end += 1
+            if depth:
+                raise DBPLSyntaxError("unterminated comment", line, col)
+            advance(source[pos:end])
+            pos = end
+            continue
+        # string literals
+        if ch == '"':
+            end = source.find('"', pos + 1)
+            if end < 0:
+                raise DBPLSyntaxError("unterminated string literal", line, col)
+            text = source[pos : end + 1]
+            tokens.append(Token("string", text[1:-1], line, col))
+            advance(text)
+            pos = end + 1
+            continue
+        # numbers
+        if ch.isdigit():
+            end = pos
+            while end < length and source[end].isdigit():
+                end += 1
+            # do not swallow the '..' of RANGE bounds
+            tokens.append(Token("int", source[pos:end], line, col))
+            advance(source[pos:end])
+            pos = end
+            continue
+        # identifiers and keywords
+        if ch.isalpha() or ch == "_":
+            end = pos
+            while end < length and (source[end].isalnum() or source[end] == "_"):
+                end += 1
+            word = source[pos:end]
+            kind = word if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line, col))
+            advance(word)
+            pos = end
+            continue
+        # symbols (longest first)
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, pos):
+                tokens.append(Token(symbol, symbol, line, col))
+                advance(symbol)
+                pos += len(symbol)
+                break
+        else:
+            raise DBPLSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

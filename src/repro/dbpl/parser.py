@@ -1,0 +1,541 @@
+"""Recursive-descent parser for the DBPL surface syntax.
+
+The concrete syntax follows the paper's examples:
+
+    TYPE parttype = STRING;
+         infrontrel = RELATION ... OF RECORD front, back: parttype END;
+    VAR Infront: infrontrel;
+
+    SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+    BEGIN EACH r IN Rel: r.front = Obj END hidden_by;
+
+    CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+    BEGIN EACH r IN Rel: TRUE,
+          <r.front, ah.tail> OF EACH r IN Rel,
+               EACH ah IN Rel{ahead(Ontop)}: r.back = ah.head
+    END ahead;
+
+Expressions parse directly into :mod:`repro.calculus.ast`.  The parser
+tracks bound tuple variables, so a bare identifier becomes a
+:class:`~repro.calculus.ast.VarRef` when bound and a
+:class:`~repro.calculus.ast.ParamRef` otherwise; bare identifiers in
+*argument* position parse as :class:`~repro.calculus.ast.RelRef` and the
+binder rewrites those naming scalar formals into ParamRefs.
+"""
+
+from __future__ import annotations
+
+from ..calculus import ast
+from ..errors import DBPLSyntaxError
+from .astnodes import (
+    ConstructorDecl,
+    EnumTypeExpr,
+    FieldGroup,
+    Module,
+    ParamDecl,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RelationTypeExpr,
+    SelectorDecl,
+    TypeDecl,
+    TypeName,
+    VarDecl,
+)
+from .lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.index = 0
+        self.bound: list[set[str]] = [set()]
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.index + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, kind: str) -> Token | None:
+        if self.at(kind):
+            return self.next()
+        return None
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise DBPLSyntaxError(
+                f"expected {kind!r}, got {token.text!r}", token.line, token.column
+            )
+        return self.next()
+
+    def error(self, message: str) -> DBPLSyntaxError:
+        token = self.peek()
+        return DBPLSyntaxError(message + f" (at {token.text!r})", token.line, token.column)
+
+    # -- variable scopes ----------------------------------------------------------
+
+    def _push_scope(self, names: set[str]) -> None:
+        self.bound.append(self.bound[-1] | names)
+
+    def _pop_scope(self) -> None:
+        self.bound.pop()
+
+    def _is_bound(self, name: str) -> bool:
+        return name in self.bound[-1]
+
+    # ======================================================================
+    # Declarations
+    # ======================================================================
+
+    def parse_module(self) -> Module:
+        if self.accept("MODULE"):
+            name = self.expect("ident").text
+            self.expect(";")
+            decls = self.parse_declarations(until={"END"})
+            self.expect("END")
+            self.expect("ident")
+            self.expect(".")
+            return Module(name, tuple(decls))
+        decls = self.parse_declarations(until={"eof"})
+        return Module("anonymous", tuple(decls))
+
+    def parse_declarations(self, until: set[str]) -> list[object]:
+        decls: list[object] = []
+        while self.peek().kind not in until:
+            if self.accept("TYPE"):
+                while self.at("ident") and self.peek(1).kind in ("=", "IS"):
+                    decls.append(self.parse_type_decl())
+            elif self.accept("VAR"):
+                while self.at("ident") and self.peek(1).kind in (",", ":"):
+                    decls.append(self.parse_var_decl())
+            elif self.at("SELECTOR"):
+                decls.append(self.parse_selector_decl())
+            elif self.at("CONSTRUCTOR"):
+                decls.append(self.parse_constructor_decl())
+            else:
+                raise self.error("expected a declaration")
+        return decls
+
+    def parse_type_decl(self) -> TypeDecl:
+        name = self.expect("ident").text
+        if not (self.accept("=") or self.accept("IS")):
+            raise self.error("expected '=' in type declaration")
+        texpr = self.parse_type_expr()
+        self.expect(";")
+        return TypeDecl(name, texpr)
+
+    def parse_type_expr(self):
+        if self.accept("RANGE"):
+            lo = int(self.expect("int").text)
+            self.expect("..")
+            hi = int(self.expect("int").text)
+            return RangeTypeExpr(lo, hi)
+        if self.accept("("):
+            labels = [self.expect("ident").text]
+            while self.accept(","):
+                labels.append(self.expect("ident").text)
+            self.expect(")")
+            return EnumTypeExpr(tuple(labels))
+        if self.accept("RECORD"):
+            groups = [self.parse_field_group()]
+            while self.accept(";"):
+                if self.at("END"):
+                    break
+                groups.append(self.parse_field_group())
+            self.expect("END")
+            return RecordTypeExpr(tuple(groups))
+        if self.accept("RELATION"):
+            key: list[str] = []
+            if self.accept(".."):
+                # "RELATION ... OF" — the lexer yields '..' '.' for "..."
+                self.accept(".")
+            else:
+                key.append(self.expect("ident").text)
+                while self.accept(","):
+                    key.append(self.expect("ident").text)
+            self.expect("OF")
+            element = self.parse_type_expr()
+            return RelationTypeExpr(tuple(key), element)
+        name = self.expect("ident").text
+        return TypeName(name)
+
+    def parse_field_group(self) -> FieldGroup:
+        names = [self.expect("ident").text]
+        while self.accept(","):
+            names.append(self.expect("ident").text)
+        self.expect(":")
+        return FieldGroup(tuple(names), self.parse_type_expr())
+
+    def parse_var_decl(self) -> VarDecl:
+        names = [self.expect("ident").text]
+        while self.accept(","):
+            names.append(self.expect("ident").text)
+        self.expect(":")
+        tname = self.expect("ident").text
+        self.expect(";")
+        return VarDecl(tuple(names), TypeName(tname))
+
+    def parse_params(self) -> tuple[ParamDecl, ...]:
+        params: list[ParamDecl] = []
+        if self.accept("("):
+            while not self.accept(")"):
+                name = self.expect("ident").text
+                self.expect(":")
+                tname = self.expect("ident").text
+                params.append(ParamDecl(name, TypeName(tname)))
+                if not self.at(")"):
+                    if not (self.accept(";") or self.accept(",")):
+                        raise self.error("expected ';' or ',' between parameters")
+        return tuple(params)
+
+    def parse_selector_decl(self) -> SelectorDecl:
+        self.expect("SELECTOR")
+        name = self.expect("ident").text
+        params = self.parse_params()
+        self.expect("FOR")
+        formal = self.expect("ident").text
+        self.expect(":")
+        rel_type = self.expect("ident").text
+        if not params:
+            params = self.parse_params()  # the trailing "()" variant
+        self.expect(";")
+        self.expect("BEGIN")
+        self.expect("EACH")
+        var = self.expect("ident").text
+        self.expect("IN")
+        range_name = self.expect("ident").text
+        if range_name != formal:
+            raise self.error(
+                f"selector body must range over the formal relation {formal!r}"
+            )
+        self.expect(":")
+        self._push_scope({var})
+        pred = self.parse_pred()
+        self._pop_scope()
+        self.expect("END")
+        end_name = self.expect("ident").text
+        if end_name != name:
+            raise self.error(f"END {end_name} does not match SELECTOR {name}")
+        self.expect(";")
+        return SelectorDecl(name, params, formal, TypeName(rel_type), var, pred)
+
+    def parse_constructor_decl(self) -> ConstructorDecl:
+        self.expect("CONSTRUCTOR")
+        name = self.expect("ident").text
+        self.expect("FOR")
+        formal = self.expect("ident").text
+        self.expect(":")
+        rel_type = self.expect("ident").text
+        params = self.parse_params()
+        self.expect(":")
+        result_type = self.expect("ident").text
+        self.expect(";")
+        self.expect("BEGIN")
+        branches = [self.parse_branch()]
+        while self.accept(","):
+            branches.append(self.parse_branch())
+        self.expect("END")
+        end_name = self.expect("ident").text
+        if end_name != name:
+            raise self.error(f"END {end_name} does not match CONSTRUCTOR {name}")
+        self.expect(";")
+        return ConstructorDecl(
+            name, formal, TypeName(rel_type), params, TypeName(result_type),
+            ast.Query(tuple(branches)),
+        )
+
+    # ======================================================================
+    # Queries, branches, ranges
+    # ======================================================================
+
+    def parse_branch(self) -> ast.Branch:
+        targets: list[ast.Term] | None = None
+        target_tokens: int | None = None
+        if self.accept("<"):
+            target_start = self.index
+            raw_targets: list = []
+            # Targets may reference the branch's variables, which are not
+            # bound yet; parse terms afterwards by re-visiting.  We first
+            # skip to the closing '>' to find OF, collecting token span.
+            depth = 0
+            while not (self.at(">") and depth == 0):
+                if self.at("(") or self.at("["):
+                    depth += 1
+                elif self.at(")") or self.at("]"):
+                    depth -= 1
+                if self.at("eof"):
+                    raise self.error("unterminated target list")
+                self.next()
+            self.expect(">")
+            target_tokens = (target_start, self.index - 1)
+            self.expect("OF")
+
+        bindings = [*self.parse_each_group()]
+        while self.at(",") and self.peek(1).kind == "EACH":
+            self.next()
+            bindings.extend(self.parse_each_group())
+        self.expect(":")
+        names = {b.var for b in bindings}
+        self._push_scope(names)
+        if target_tokens is not None:
+            saved = self.index
+            self.index = target_tokens[0]
+            targets = [self.parse_add_expr()]
+            while self.accept(","):
+                targets.append(self.parse_add_expr())
+            self.index = saved
+        pred = self.parse_pred()
+        self._pop_scope()
+        return ast.Branch(tuple(bindings), pred, tuple(targets) if targets else None)
+
+    def parse_each_group(self) -> list[ast.Binding]:
+        self.expect("EACH")
+        names = [self.expect("ident").text]
+        while self.at(",") and self.peek(1).kind == "ident" and self.peek(2).kind in (",", "IN"):
+            self.next()
+            names.append(self.expect("ident").text)
+        self.expect("IN")
+        rng = self.parse_range()
+        return [ast.Binding(n, rng) for n in names]
+
+    def parse_range(self) -> ast.RangeExpr:
+        if self.at("{"):
+            # inline set expression
+            self.expect("{")
+            branches = [self.parse_branch()]
+            while self.accept(","):
+                branches.append(self.parse_branch())
+            self.expect("}")
+            rng: ast.RangeExpr = ast.QueryRange(ast.Query(tuple(branches)))
+        else:
+            name = self.expect("ident").text
+            rng = ast.RelRef(name)
+        while self.at("[") or self.at("{"):
+            if self.accept("["):
+                sel = self.expect("ident").text
+                args = self.parse_application_args()
+                self.expect("]")
+                rng = ast.Selected(rng, sel, args)
+            else:
+                self.expect("{")
+                con = self.expect("ident").text
+                args = self.parse_application_args()
+                self.expect("}")
+                rng = ast.Constructed(rng, con, args)
+        return rng
+
+    def parse_application_args(self) -> tuple[ast.Argument, ...]:
+        args: list[ast.Argument] = []
+        if self.accept("("):
+            while not self.accept(")"):
+                args.append(self.parse_argument())
+                if not self.at(")"):
+                    self.expect(",")
+        return tuple(args)
+
+    def parse_argument(self) -> ast.Argument:
+        token = self.peek()
+        if token.kind == "ident":
+            if self.peek(1).kind in ("[", "{"):
+                return self.parse_range()
+            if self.peek(1).kind == ".":
+                return self.parse_add_expr()  # correlated attribute argument
+            name = self.next().text
+            if self._is_bound(name):
+                return ast.VarRef(name)
+            # Bare name: relation or scalar formal; the binder decides.
+            return ast.RelRef(name)
+        return self.parse_add_expr()
+
+    # ======================================================================
+    # Predicates
+    # ======================================================================
+
+    def parse_pred(self) -> ast.Pred:
+        parts = [self.parse_conjunction()]
+        while self.accept("OR"):
+            parts.append(self.parse_conjunction())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Or(tuple(parts))
+
+    def parse_conjunction(self) -> ast.Pred:
+        parts = [self.parse_factor()]
+        while self.accept("AND"):
+            parts.append(self.parse_factor())
+        if len(parts) == 1:
+            return parts[0]
+        return ast.And(tuple(parts))
+
+    def parse_factor(self) -> ast.Pred:
+        if self.accept("NOT"):
+            return ast.Not(self.parse_factor())
+        if self.accept("TRUE"):
+            return ast.TRUE
+        if self.accept("FALSE"):
+            return ast.Not(ast.TRUE)
+        if self.at("SOME") or self.at("ALL"):
+            existential = self.next().kind == "SOME"
+            names = [self.expect("ident").text]
+            while self.accept(","):
+                names.append(self.expect("ident").text)
+            self.expect("IN")
+            rng = self.parse_range()
+            self.expect("(")
+            self._push_scope(set(names))
+            inner = self.parse_pred()
+            self._pop_scope()
+            self.expect(")")
+            node = ast.Some if existential else ast.All
+            return node(tuple(names), rng, inner)
+        if self.at("("):
+            # Could be a parenthesized predicate or a parenthesized term;
+            # try the predicate reading first and backtrack on failure.
+            saved = self.index
+            try:
+                self.expect("(")
+                pred = self.parse_pred()
+                self.expect(")")
+                return pred
+            except DBPLSyntaxError:
+                self.index = saved
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> ast.Pred:
+        left = self.parse_add_expr()
+        if self.accept("IN"):
+            rng = self.parse_range()
+            return ast.InRel(left, rng)
+        token = self.peek()
+        if token.kind in ("=", "<>", "<", "<=", ">", ">="):
+            op = self.next().kind
+            right = self.parse_add_expr()
+            return ast.Cmp(op, left, right)
+        raise self.error("expected a comparison operator or IN")
+
+    # ======================================================================
+    # Scalar terms
+    # ======================================================================
+
+    def parse_add_expr(self) -> ast.Term:
+        left = self.parse_mul_expr()
+        while self.at("+") or self.at("-"):
+            op = self.next().kind
+            right = self.parse_mul_expr()
+            left = ast.Arith(op, left, right)
+        return left
+
+    def parse_mul_expr(self) -> ast.Term:
+        left = self.parse_unary()
+        while self.at("*") or self.at("DIV") or self.at("MOD"):
+            op = self.next().kind
+            right = self.parse_unary()
+            left = ast.Arith(op, left, right)
+        return left
+
+    def parse_unary(self) -> ast.Term:
+        token = self.peek()
+        if token.kind == "int":
+            self.next()
+            return ast.Const(int(token.text))
+        if token.kind == "string":
+            self.next()
+            return ast.Const(token.text)
+        if token.kind == "TRUE":
+            self.next()
+            return ast.Const(True)
+        if token.kind == "FALSE":
+            self.next()
+            return ast.Const(False)
+        if token.kind == "-":
+            self.next()
+            inner = self.parse_unary()
+            return ast.Arith("-", ast.Const(0), inner)
+        if token.kind == "(":
+            self.next()
+            inner = self.parse_add_expr()
+            self.expect(")")
+            return inner
+        if token.kind == "<":
+            self.next()
+            items = [self.parse_add_expr()]
+            while self.accept(","):
+                items.append(self.parse_add_expr())
+            self.expect(">")
+            return ast.TupleCons(tuple(items))
+        if token.kind == "ident":
+            name = self.next().text
+            if self.accept("."):
+                attr = self.expect("ident").text
+                return ast.AttrRef(name, attr)
+            if self._is_bound(name):
+                return ast.VarRef(name)
+            return ast.ParamRef(name)
+        raise self.error("expected a term")
+
+    # ======================================================================
+    # Top-level expression entry points
+    # ======================================================================
+
+    def parse_expression(self):
+        """A query expression: set former, or a (suffixed) range."""
+        if self.at("{"):
+            self.expect("{")
+            branches = [self.parse_branch()]
+            while self.accept(","):
+                branches.append(self.parse_branch())
+            self.expect("}")
+            node: object = ast.Query(tuple(branches))
+            # allow suffixes after a set former, e.g. {...}{ahead}
+            if self.at("[") or self.at("{"):
+                rng: ast.RangeExpr = ast.QueryRange(node)  # type: ignore[arg-type]
+                while self.at("[") or self.at("{"):
+                    if self.accept("["):
+                        sel = self.expect("ident").text
+                        args = self.parse_application_args()
+                        self.expect("]")
+                        rng = ast.Selected(rng, sel, args)
+                    else:
+                        self.expect("{")
+                        con = self.expect("ident").text
+                        args = self.parse_application_args()
+                        self.expect("}")
+                        rng = ast.Constructed(rng, con, args)
+                return rng
+            return node
+        return self.parse_range()
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_module(source: str) -> Module:
+    parser = Parser(source)
+    module = parser.parse_module()
+    parser.expect("eof")
+    return module
+
+
+def parse_declarations(source: str) -> list[object]:
+    parser = Parser(source)
+    decls = parser.parse_declarations(until={"eof"})
+    parser.expect("eof")
+    return decls
+
+
+def parse_expression(source: str):
+    parser = Parser(source)
+    node = parser.parse_expression()
+    parser.expect("eof")
+    return node

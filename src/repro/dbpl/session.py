@@ -1,0 +1,199 @@
+"""DBPL sessions: bind parsed declarations to library objects and run queries.
+
+A :class:`Session` owns a :class:`~repro.relational.Database` and a type
+environment seeded with the built-in scalar types.  ``execute`` accepts
+DBPL source text (TYPE/VAR/SELECTOR/CONSTRUCTOR declarations, optionally
+wrapped in a MODULE); ``query`` evaluates a query expression — a set
+former or a selected/constructed range — and returns the raw rows;
+``assign`` performs (possibly selector-checked) assignment.
+
+This is the programmer-facing surface of the reproduction: the paper's
+examples run verbatim (see ``examples/dbpl_tour.py``).
+"""
+
+from __future__ import annotations
+
+from ..calculus import ast
+from ..calculus.evaluator import Evaluator
+from ..constructors import construct
+from ..constructors.definition import Constructor
+from ..errors import BindingError
+from ..relational import Database
+from ..selectors import Parameter, SelectedRelation, Selector
+from ..types import (
+    ATOMIC_TYPES,
+    EnumType,
+    Field,
+    RangeType,
+    RecordType,
+    RelationType,
+    Type,
+)
+from .astnodes import (
+    ConstructorDecl,
+    EnumTypeExpr,
+    Module,
+    RangeTypeExpr,
+    RecordTypeExpr,
+    RelationTypeExpr,
+    SelectorDecl,
+    TypeDecl,
+    TypeName,
+    VarDecl,
+)
+from .parser import parse_expression, parse_module
+
+
+class Session:
+    """An interactive DBPL scope over one database."""
+
+    def __init__(self, db: Database | None = None, name: str = "session") -> None:
+        self.db = db if db is not None else Database(name)
+        self.types: dict[str, Type] = dict(ATOMIC_TYPES)
+        self._anon = 0
+
+    # -- declarations ---------------------------------------------------------
+
+    def execute(self, source: str) -> Module:
+        """Parse and bind DBPL declarations."""
+        module = parse_module(source)
+        for decl in module.declarations:
+            self._bind(decl)
+        return module
+
+    def _bind(self, decl) -> None:
+        if isinstance(decl, TypeDecl):
+            self.types[decl.name] = self._resolve_type(decl.type, decl.name)
+        elif isinstance(decl, VarDecl):
+            rtype = self._named_type(decl.type.name)
+            if not isinstance(rtype, RelationType):
+                raise BindingError(
+                    f"VAR {', '.join(decl.names)}: only relation-typed "
+                    f"variables are supported, got {rtype.name}"
+                )
+            for name in decl.names:
+                self.db.declare(name, rtype)
+        elif isinstance(decl, SelectorDecl):
+            self._bind_selector(decl)
+        elif isinstance(decl, ConstructorDecl):
+            self._bind_constructor(decl)
+        else:
+            raise BindingError(f"unsupported declaration {decl!r}")
+
+    def _named_type(self, name: str) -> Type:
+        try:
+            return self.types[name]
+        except KeyError:
+            raise BindingError(f"unknown type {name!r}") from None
+
+    def _resolve_type(self, texpr, name: str) -> Type:
+        if isinstance(texpr, TypeName):
+            return self._named_type(texpr.name)
+        if isinstance(texpr, RangeTypeExpr):
+            return RangeType(name, texpr.lo, texpr.hi)
+        if isinstance(texpr, EnumTypeExpr):
+            return EnumType(name, texpr.labels)
+        if isinstance(texpr, RecordTypeExpr):
+            fields = []
+            for group in texpr.fields:
+                ftype = self._resolve_type(group.type, f"{name}_field")
+                for fname in group.names:
+                    fields.append(Field(fname, ftype))
+            return RecordType(name, tuple(fields))
+        if isinstance(texpr, RelationTypeExpr):
+            element = self._resolve_type(texpr.element, f"{name}_rec")
+            if not isinstance(element, RecordType):
+                raise BindingError(
+                    f"relation type {name}: element must be a record type"
+                )
+            return RelationType(name, element, texpr.key)
+        raise BindingError(f"unsupported type expression {texpr!r}")
+
+    def _bind_params(self, decls) -> tuple[Parameter, ...]:
+        return tuple(Parameter(p.name, self._named_type(p.type.name)) for p in decls)
+
+    def _scalar_param_fixup(self, node, params: tuple[Parameter, ...]):
+        """Rewrite RelRefs naming scalar formals into ParamRefs."""
+        scalars = {p.name for p in params if not p.is_relation}
+        if not scalars:
+            return node
+        from ..calculus.subst import transform
+
+        def rule(n):
+            if isinstance(n, ast.RelRef) and n.name in scalars:
+                return ast.ParamRef(n.name)
+            return None
+
+        return transform(node, rule)
+
+    def _bind_selector(self, decl: SelectorDecl) -> None:
+        rel_type = self._named_type(decl.rel_type.name)
+        if not isinstance(rel_type, RelationType):
+            raise BindingError(f"selector {decl.name}: FOR type must be a relation")
+        params = self._bind_params(decl.params)
+        pred = self._scalar_param_fixup(decl.pred, params)
+        selector = Selector(
+            decl.name, decl.formal_rel, rel_type, decl.var, pred, params
+        )
+        self.db.register_selector(selector)
+
+    def _bind_constructor(self, decl: ConstructorDecl) -> None:
+        rel_type = self._named_type(decl.rel_type.name)
+        result_type = self._named_type(decl.result_type.name)
+        if not isinstance(rel_type, RelationType) or not isinstance(
+            result_type, RelationType
+        ):
+            raise BindingError(
+                f"constructor {decl.name}: FOR and result types must be relations"
+            )
+        params = self._bind_params(decl.params)
+        body = self._scalar_param_fixup(decl.body, params)
+        constructor = Constructor(
+            decl.name, decl.formal_rel, rel_type, result_type, body, params
+        )
+        self.db.register_constructor(constructor)
+
+    # -- queries and statements ------------------------------------------------------
+
+    def query(self, source: str, mode: str = "auto") -> set[tuple]:
+        """Evaluate a query expression; returns the raw row set."""
+        node = parse_expression(source)
+        if isinstance(node, ast.Query):
+            return Evaluator(self.db).eval_query(node)
+        if isinstance(node, ast.Constructed):
+            return set(construct(self.db, node, mode=mode).rows)
+        if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
+            value = Evaluator(self.db).resolve_range(node, {})
+            return set(value.rows)
+        raise BindingError(f"not a query expression: {source!r}")
+
+    def assign(self, target: str, rows) -> None:
+        """``Target := rows`` or ``Target[sel(args)] := rows``."""
+        node = parse_expression(target)
+        rows = [tuple(r) for r in rows]
+        if isinstance(node, ast.RelRef):
+            self.db.relation(node.name).assign(rows)
+            return
+        if isinstance(node, ast.Selected) and isinstance(node.base, ast.RelRef):
+            selector = self.db.selector(node.selector)
+            args = tuple(
+                a.value if isinstance(a, ast.Const) else self._arg_value(a)
+                for a in node.args
+            )
+            view = SelectedRelation(
+                self.db, self.db.relation(node.base.name), selector, args
+            )
+            view.assign(rows)
+            return
+        raise BindingError(f"not an assignable target: {target!r}")
+
+    def _arg_value(self, arg):
+        if isinstance(arg, ast.RelRef):
+            return self.db.relation(arg.name)
+        raise BindingError(f"unsupported selector argument {arg!r}")
+
+    def insert(self, relation: str, rows) -> None:
+        self.db.relation(relation).insert([tuple(r) for r in rows])
+
+    def relation(self, name: str):
+        return self.db.relation(name)

@@ -1,0 +1,120 @@
+"""Exception taxonomy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`DBPLError`, named
+after the database programming language (DBPL) whose construct set the
+paper extends.  Grouping the hierarchy in one module keeps the mapping
+between paper concepts and failure modes explicit:
+
+* type and key violations correspond to the ``<exception>`` arms of the
+  paper's checked-assignment expansions (sections 2.1 and 2.2);
+* :class:`PositivityError` is the compile-time rejection of section 3.3;
+* :class:`ConvergenceError` is the runtime detection of a fixpoint
+  iteration that provably has no limit (the ``nonsense`` constructor);
+* parse/binding errors belong to the DBPL surface language front end.
+"""
+
+from __future__ import annotations
+
+
+class DBPLError(Exception):
+    """Base class of every error raised by the ``repro`` library."""
+
+
+# ---------------------------------------------------------------------------
+# Typing and data integrity
+# ---------------------------------------------------------------------------
+
+
+class TypeMismatchError(DBPLError):
+    """A value does not belong to the domain set of the declared type."""
+
+
+class SchemaError(DBPLError):
+    """A record/relation schema is malformed or two schemas are incompatible."""
+
+
+class KeyConstraintError(DBPLError):
+    """An assignment would violate a relation's key functional dependency.
+
+    This corresponds to the ``ELSE <exception>`` arm of the key-checking
+    conditional assignment in section 2.2 of the paper.
+    """
+
+
+class IntegrityError(DBPLError):
+    """A checked (selector-guarded) assignment rejected its right-hand side.
+
+    Raised when ``Rel[selector] := rex`` finds a tuple of ``rex`` that does
+    not satisfy the selector predicate (section 2.3, Fig. 1).
+    """
+
+
+# ---------------------------------------------------------------------------
+# Names and scope
+# ---------------------------------------------------------------------------
+
+
+class NameResolutionError(DBPLError):
+    """An identifier (relation, selector, constructor, parameter) is unknown."""
+
+
+class ArityError(DBPLError):
+    """An application supplies the wrong number or kind of arguments."""
+
+
+# ---------------------------------------------------------------------------
+# Constructor semantics
+# ---------------------------------------------------------------------------
+
+
+class PositivityError(DBPLError):
+    """A constructor body violates the positivity constraint (section 3.3).
+
+    Some occurrence of a recursive relation name appears under an odd
+    total number of negations and universal quantifiers, so monotonicity
+    — and therefore convergence of the fixpoint iteration — cannot be
+    guaranteed.  The DBPL compiler rejects such constructors.
+    """
+
+
+class ConvergenceError(DBPLError):
+    """A (non-monotone) fixpoint iteration was detected not to converge.
+
+    Either the iteration revisited an earlier state without reaching a
+    consecutive-equal pair (a genuine oscillation, as with the paper's
+    ``nonsense`` constructor), or it exceeded the configured iteration
+    budget.
+    """
+
+
+class EvaluationError(DBPLError):
+    """A calculus expression could not be evaluated (bad term, bad range)."""
+
+
+# ---------------------------------------------------------------------------
+# Translation (Datalog / PROLOG bridge)
+# ---------------------------------------------------------------------------
+
+
+class TranslationError(DBPLError):
+    """A constructor (or Datalog program) falls outside the translatable
+    fragment of the section 3.4 equivalence lemma."""
+
+
+# ---------------------------------------------------------------------------
+# Surface language
+# ---------------------------------------------------------------------------
+
+
+class DBPLSyntaxError(DBPLError):
+    """The DBPL surface parser rejected the input text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class BindingError(DBPLError):
+    """A parsed DBPL declaration could not be bound to library objects."""

@@ -1,0 +1,311 @@
+"""Transcriptions of every definition appearing in the paper.
+
+This module is the executable form of the paper's running examples, used
+by the tests (which assert the paper's claimed values), the examples, and
+the benchmark harness:
+
+* the CAD schema — ``objectrel``, ``infrontrel``, ``ontoprel``,
+  ``aheadrel``, ``aboverel`` (sections 2.3 and 3.1);
+* the ``refint`` referential-integrity selector and the parameterized
+  ``hidden_by`` selector (section 2.3 / 3.1);
+* the ``ahead_2`` constructor (section 2.3);
+* the simply recursive ``ahead`` constructor and its bounded ``ahead_n``
+  family (section 3.1);
+* the mutually recursive ``ahead``/``above`` pair (section 3.1);
+* the ``nonsense`` and ``strange`` constructors (section 3.3).
+
+Each ``define_*`` function registers the relevant definitions with a
+database and returns them; ``cad_schema()`` declares the base relations.
+"""
+
+from __future__ import annotations
+
+from .calculus import dsl as d
+from .constructors import Constructor, Parameter, define_constructor
+from .relational import Database
+from .selectors import define_selector
+from .types import CARDINAL, STRING, record, relation_type
+
+# ---------------------------------------------------------------------------
+# Schema (sections 2.3, 3.1)
+# ---------------------------------------------------------------------------
+
+OBJECTREC = record("objectrec", part=STRING, kind=STRING)
+OBJECTREL = relation_type("objectrel", OBJECTREC, key=("part",))
+
+INFRONTREC = record("infrontrec", front=STRING, back=STRING)
+INFRONTREL = relation_type("infrontrel", INFRONTREC)
+
+ONTOPREC = record("ontoprec", top=STRING, base=STRING)
+ONTOPREL = relation_type("ontoprel", ONTOPREC)
+
+AHEADREC = record("aheadrec", head=STRING, tail=STRING)
+AHEADREL = relation_type("aheadrel", AHEADREC)
+
+ABOVEREC = record("aboverec", high=STRING, low=STRING)
+ABOVEREL = relation_type("aboverel", ABOVEREC)
+
+CARDREC = record("cardrec", number=CARDINAL)
+CARDREL = relation_type("cardrel", CARDREC)
+
+
+def cad_schema(db: Database) -> None:
+    """Declare the paper's CAD relation variables (empty)."""
+    db.declare("Objects", OBJECTREL)
+    db.declare("Infront", INFRONTREL)
+    db.declare("Ontop", ONTOPREL)
+
+
+# ---------------------------------------------------------------------------
+# Selectors (section 2.3 / 3.1)
+# ---------------------------------------------------------------------------
+
+
+def define_refint(db: Database):
+    """SELECTOR refint FOR Rel: infrontrel();
+    BEGIN EACH r IN Rel: SOME r1, r2 IN Objects
+          (r.front = r1.part AND r.back = r2.part)
+    END refint
+    """
+    return define_selector(
+        db,
+        name="refint",
+        formal_rel="Rel",
+        rel_type=INFRONTREL,
+        var="r",
+        pred=d.some(
+            ("r1", "r2"),
+            "Objects",
+            d.and_(
+                d.eq(d.a("r", "front"), d.a("r1", "part")),
+                d.eq(d.a("r", "back"), d.a("r2", "part")),
+            ),
+        ),
+    )
+
+
+def define_hidden_by(db: Database):
+    """SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+    BEGIN EACH r IN Rel: r.front = Obj END hidden_by
+    """
+    return define_selector(
+        db,
+        name="hidden_by",
+        formal_rel="Rel",
+        rel_type=INFRONTREL,
+        var="r",
+        pred=d.eq(d.a("r", "front"), d.param("Obj")),
+        params=(Parameter("Obj", STRING),),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Constructors (sections 2.3, 3.1)
+# ---------------------------------------------------------------------------
+
+
+def define_ahead_2(db: Database) -> Constructor:
+    """CONSTRUCTOR ahead2 FOR Rel: infrontrel(): aheadrel;
+    BEGIN EACH r IN Rel: TRUE,
+          <f.front, b.back> OF EACH f, b IN Rel: f.back = b.front
+    END ahead2
+    """
+    body = d.query(
+        d.branch(d.each("r", "Rel")),
+        d.branch(
+            d.each("f", "Rel"),
+            d.each("b", "Rel"),
+            pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+            targets=[d.a("f", "front"), d.a("b", "back")],
+        ),
+    )
+    return define_constructor(
+        db,
+        name="ahead2",
+        formal_rel="Rel",
+        rel_type=INFRONTREL,
+        result_type=AHEADREL,
+        body=body,
+    )
+
+
+def define_simple_ahead(db: Database) -> Constructor:
+    """CONSTRUCTOR ahead FOR Rel: infrontrel(): aheadrel;
+    BEGIN EACH r IN Rel: TRUE,
+          <f.front, b.tail> OF EACH f IN Rel,
+                               EACH b IN Rel{ahead}: f.back = b.head
+    END ahead
+    """
+    body = d.query(
+        d.branch(d.each("r", "Rel")),
+        d.branch(
+            d.each("f", "Rel"),
+            d.each("b", d.constructed("Rel", "ahead")),
+            pred=d.eq(d.a("f", "back"), d.a("b", "head")),
+            targets=[d.a("f", "front"), d.a("b", "tail")],
+        ),
+    )
+    return define_constructor(
+        db,
+        name="ahead",
+        formal_rel="Rel",
+        rel_type=INFRONTREL,
+        result_type=AHEADREL,
+        body=body,
+    )
+
+
+def define_mutual_ahead_above(db: Database) -> tuple[Constructor, Constructor]:
+    """The mutually recursive pair of section 3.1.
+
+    CONSTRUCTOR ahead FOR Rel: infrontrel (Ontop: ontoprel): aheadrel;
+    BEGIN EACH r IN Rel: TRUE,
+          <r.front, ah.tail> OF EACH r IN Rel,
+                                EACH ah IN Rel{ahead(Ontop)}: r.back = ah.head,
+          <r.front, ab.low>  OF EACH r IN Rel,
+                                EACH ab IN Ontop{above(Rel)}: r.back = ab.high
+    END ahead
+
+    CONSTRUCTOR above FOR Rel: ontoprel (Infront: infrontrel): aboverel;
+    BEGIN EACH r IN Rel: TRUE,
+          <r.top, ab.low>  OF EACH r IN Rel,
+                              EACH ab IN Rel{above(Infront)}: r.base = ab.high,
+          <r.top, ah.tail> OF EACH r IN Rel,
+                              EACH ah IN Infront{ahead(Rel)}: r.base = ah.head
+    END above
+    """
+    ahead_body = d.query(
+        d.branch(d.each("r", "Rel")),
+        d.branch(
+            d.each("r", "Rel"),
+            d.each("ah", d.constructed("Rel", "ahead", d.rel("Ontop"))),
+            pred=d.eq(d.a("r", "back"), d.a("ah", "head")),
+            targets=[d.a("r", "front"), d.a("ah", "tail")],
+        ),
+        d.branch(
+            d.each("r", "Rel"),
+            d.each("ab", d.constructed("Ontop", "above", d.rel("Rel"))),
+            pred=d.eq(d.a("r", "back"), d.a("ab", "high")),
+            targets=[d.a("r", "front"), d.a("ab", "low")],
+        ),
+    )
+    ahead = define_constructor(
+        db,
+        name="ahead",
+        formal_rel="Rel",
+        rel_type=INFRONTREL,
+        result_type=AHEADREL,
+        body=ahead_body,
+        params=(Parameter("Ontop", ONTOPREL),),
+    )
+    above_body = d.query(
+        d.branch(d.each("r", "Rel")),
+        d.branch(
+            d.each("r", "Rel"),
+            d.each("ab", d.constructed("Rel", "above", d.rel("Infront"))),
+            pred=d.eq(d.a("r", "base"), d.a("ab", "high")),
+            targets=[d.a("r", "top"), d.a("ab", "low")],
+        ),
+        d.branch(
+            d.each("r", "Rel"),
+            d.each("ah", d.constructed("Infront", "ahead", d.rel("Rel"))),
+            pred=d.eq(d.a("r", "base"), d.a("ah", "head")),
+            targets=[d.a("r", "top"), d.a("ah", "tail")],
+        ),
+    )
+    above = define_constructor(
+        db,
+        name="above",
+        formal_rel="Rel",
+        rel_type=ONTOPREL,
+        result_type=ABOVEREL,
+        body=above_body,
+        params=(Parameter("Infront", INFRONTREL),),
+    )
+    return ahead, above
+
+
+# ---------------------------------------------------------------------------
+# Negative examples (section 3.3)
+# ---------------------------------------------------------------------------
+
+
+def define_nonsense(db: Database, check_positivity: bool = False) -> Constructor:
+    """CONSTRUCTOR nonsense FOR Rel: anytype(): anyothertype;
+    BEGIN EACH r IN Rel: NOT (r IN Rel{nonsense}) END nonsense
+
+    With positivity checking on, the definition is rejected; with it off,
+    the iteration provably oscillates and the engine raises
+    :class:`~repro.errors.ConvergenceError`.
+    """
+    body = d.query(
+        d.branch(
+            d.each("r", "Rel"),
+            pred=d.not_(d.in_(d.v("r"), d.constructed("Rel", "nonsense"))),
+        )
+    )
+    return define_constructor(
+        db,
+        name="nonsense",
+        formal_rel="Rel",
+        rel_type=CARDREL,
+        result_type=CARDREL,
+        body=body,
+        check_positivity=check_positivity,
+    )
+
+
+def define_strange(db: Database, check_positivity: bool = False) -> Constructor:
+    """CONSTRUCTOR strange FOR Baserel: cardrel(): cardrel;
+    BEGIN EACH r IN Baserel:
+          NOT SOME s IN Baserel{strange} (r.number = s.number + 1)
+    END strange
+
+    Non-monotone but convergent ([Hehn 84]): on {0..6} the limit is
+    {0, 2, 4, 6}.  Rejected by the compiler's positivity check; the
+    engine finds the limit when the check is explicitly overridden.
+    """
+    body = d.query(
+        d.branch(
+            d.each("r", "Baserel"),
+            pred=d.not_(
+                d.some(
+                    "s",
+                    d.constructed("Baserel", "strange"),
+                    d.eq(d.a("r", "number"), d.plus(d.a("s", "number"), 1)),
+                )
+            ),
+        )
+    )
+    return define_constructor(
+        db,
+        name="strange",
+        formal_rel="Baserel",
+        rel_type=CARDREL,
+        result_type=CARDREL,
+        body=body,
+        check_positivity=check_positivity,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ready-made databases
+# ---------------------------------------------------------------------------
+
+
+def cad_database(
+    objects=(), infront=(), ontop=(), mutual: bool = True
+) -> Database:
+    """A CAD database with the paper's schema, data, and definitions."""
+    db = Database("cad")
+    db.declare("Objects", OBJECTREL, objects)
+    db.declare("Infront", INFRONTREL, infront)
+    db.declare("Ontop", ONTOPREL, ontop)
+    define_refint(db)
+    define_hidden_by(db)
+    define_ahead_2(db)
+    if mutual:
+        define_mutual_ahead_above(db)
+    else:
+        define_simple_ahead(db)
+    return db

@@ -1,0 +1,21 @@
+"""Proof-oriented engines: SLD resolution and tabled top-down evaluation."""
+
+from .kb import KnowledgeBase
+from .sld import DEFAULT_MAX_DEPTH, DepthLimitExceeded, SLDEngine, SLDStats
+from .tabling import TabledEngine, TabledStats
+from .unify import ground_tuple, rename_apart, unify_atoms, unify_terms, walk
+
+__all__ = [
+    "DEFAULT_MAX_DEPTH",
+    "DepthLimitExceeded",
+    "KnowledgeBase",
+    "SLDEngine",
+    "SLDStats",
+    "TabledEngine",
+    "TabledStats",
+    "ground_tuple",
+    "rename_apart",
+    "unify_atoms",
+    "unify_terms",
+    "walk",
+]

@@ -1,0 +1,78 @@
+"""Knowledge bases for the proof-oriented engines.
+
+A knowledge base is the PROLOG-side view of a database program: ground
+facts (the extensional relations) plus definite clauses.  Clause order is
+preserved — SLD resolution honours it, exactly like a 1985 PROLOG.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..datalog.ast import Atom, Const, Program, Rule
+from ..relational import Database
+
+
+class KnowledgeBase:
+    """Facts and rules, indexed by predicate."""
+
+    def __init__(self) -> None:
+        self.facts: dict[str, list[tuple]] = {}
+        self.fact_sets: dict[str, set[tuple]] = {}
+        self.rules: dict[str, list[Rule]] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_fact(self, pred: str, row: tuple) -> None:
+        existing = self.fact_sets.setdefault(pred, set())
+        if row not in existing:
+            existing.add(row)
+            self.facts.setdefault(pred, []).append(row)
+
+    def add_rule(self, rule: Rule) -> None:
+        if rule.is_fact:
+            self.add_fact(
+                rule.head.pred,
+                tuple(t.value for t in rule.head.terms),  # type: ignore[union-attr]
+            )
+        else:
+            self.rules.setdefault(rule.head.pred, []).append(rule)
+
+    @classmethod
+    def from_program(
+        cls, program: Program, edb: dict[str, Iterable[tuple]] | None = None
+    ) -> "KnowledgeBase":
+        kb = cls()
+        for pred, rows in (edb or {}).items():
+            for row in rows:
+                kb.add_fact(pred, tuple(row))
+        for rule in program.rules:
+            kb.add_rule(rule)
+        return kb
+
+    @classmethod
+    def from_database(
+        cls, db: Database, program: Program | None = None
+    ) -> "KnowledgeBase":
+        """Facts from every database relation (predicate = lower-cased name)."""
+        kb = cls()
+        for name, relation in db.relations.items():
+            for row in relation.raw():
+                kb.add_fact(name.lower(), row)
+        if program is not None:
+            for rule in program.rules:
+                kb.add_rule(rule)
+        return kb
+
+    # -- inspection -----------------------------------------------------------
+
+    def predicates(self) -> set[str]:
+        return set(self.facts) | set(self.rules)
+
+    def clauses_for(self, pred: str) -> tuple[list[tuple], list[Rule]]:
+        return self.facts.get(pred, []), self.rules.get(pred, [])
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        nfacts = sum(len(v) for v in self.facts.values())
+        nrules = sum(len(v) for v in self.rules.values())
+        return f"<KnowledgeBase {nfacts} facts, {nrules} rules>"

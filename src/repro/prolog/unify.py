@@ -1,0 +1,94 @@
+"""Unification for function-free terms.
+
+Shared term representation with :mod:`repro.datalog.ast` (Var/Const/Atom);
+substitutions are immutable-by-discipline dicts from variable names to
+terms.  With no function symbols there is no occurs-check concern and
+every walk chain terminates.
+"""
+
+from __future__ import annotations
+
+from ..datalog.ast import Atom, Const, Term, Var
+
+Subst = dict[str, Term]
+
+
+def walk(term: Term, subst: Subst) -> Term:
+    """Follow variable bindings until a constant or free variable."""
+    while isinstance(term, Var):
+        bound = subst.get(term.name)
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def unify_terms(a: Term, b: Term, subst: Subst) -> Subst | None:
+    """Most general unifier extending ``subst``, or None."""
+    a = walk(a, subst)
+    b = walk(b, subst)
+    if isinstance(a, Const) and isinstance(b, Const):
+        return subst if a.value == b.value else None
+    if isinstance(a, Var):
+        if isinstance(b, Var) and a.name == b.name:
+            return subst
+        out = dict(subst)
+        out[a.name] = b
+        return out
+    if isinstance(b, Var):
+        out = dict(subst)
+        out[b.name] = a
+        return out
+    return None
+
+
+def unify_atoms(a: Atom, b: Atom, subst: Subst) -> Subst | None:
+    """Unify two atoms (same predicate and arity required)."""
+    if a.pred != b.pred or a.arity != b.arity:
+        return None
+    current: Subst | None = subst
+    for ta, tb in zip(a.terms, b.terms):
+        current = unify_terms(ta, tb, current)
+        if current is None:
+            return None
+    return current
+
+
+def resolve_atom(atom: Atom, subst: Subst) -> Atom:
+    """Apply a substitution to an atom."""
+    return Atom(atom.pred, tuple(walk(t, subst) for t in atom.terms))
+
+
+def ground_tuple(atom: Atom, subst: Subst) -> tuple | None:
+    """The constant tuple of a fully instantiated atom, else None."""
+    values = []
+    for term in atom.terms:
+        term = walk(term, subst)
+        if not isinstance(term, Const):
+            return None
+        values.append(term.value)
+    return tuple(values)
+
+
+def rename_apart(atom_or_rule, suffix: str):
+    """Rename all variables with a unique suffix (standardizing apart)."""
+    from ..datalog.ast import Comparison, Rule
+
+    def rn_term(term: Term) -> Term:
+        if isinstance(term, Var):
+            return Var(f"{term.name}#{suffix}")
+        return term
+
+    def rn_atom(atom: Atom) -> Atom:
+        return Atom(atom.pred, tuple(rn_term(t) for t in atom.terms))
+
+    if isinstance(atom_or_rule, Atom):
+        return rn_atom(atom_or_rule)
+    if isinstance(atom_or_rule, Comparison):
+        return Comparison(atom_or_rule.op, rn_term(atom_or_rule.left), rn_term(atom_or_rule.right))
+    if isinstance(atom_or_rule, Rule):
+        return Rule(
+            rn_atom(atom_or_rule.head),
+            tuple(rename_apart(lit, suffix) for lit in atom_or_rule.body),
+        )
+    raise TypeError(f"cannot rename {atom_or_rule!r}")

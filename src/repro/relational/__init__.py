@@ -1,0 +1,34 @@
+"""Relational substrate: rows, relation variables, databases, algebra."""
+
+from .algebra import (
+    antijoin,
+    cartesian,
+    difference,
+    equijoin,
+    intersection,
+    project,
+    select,
+    semijoin,
+    union,
+)
+from .database import Database
+from .indexes import HashIndex, IndexCache
+from .relation import Relation
+from .rows import Row
+
+__all__ = [
+    "Database",
+    "HashIndex",
+    "IndexCache",
+    "Relation",
+    "Row",
+    "antijoin",
+    "cartesian",
+    "difference",
+    "equijoin",
+    "intersection",
+    "project",
+    "select",
+    "semijoin",
+    "union",
+]

@@ -1,0 +1,90 @@
+"""The database: a named scope of relation variables and rule definitions.
+
+A :class:`Database` plays the role of the DBPL module scope in the paper:
+it owns relation variables (section 2.2) and registers the selector and
+selector/constructor abstractions defined over them (sections 2.3 and 3).
+Selectors and constructors are *defined* in their own subpackages; the
+database only stores and resolves them by name so that query evaluation,
+compilation, and the surface-language binder share one name space.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import NameResolutionError, SchemaError
+from ..types import RelationType
+from .relation import Relation
+
+
+class Database:
+    """A scope of relation variables plus selector/constructor registries."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self.relations: dict[str, Relation] = {}
+        # Populated by repro.selectors / repro.constructors definitions.
+        self.selectors: dict[str, object] = {}
+        self.constructors: dict[str, object] = {}
+
+    # -- relation variables ------------------------------------------------
+
+    def declare(
+        self,
+        name: str,
+        rtype: RelationType,
+        rows: Iterable[tuple] = (),
+    ) -> Relation:
+        """``VAR name: rtype`` — declare (and optionally initialize) a variable."""
+        if name in self.relations:
+            raise SchemaError(f"relation variable {name!r} is already declared")
+        rel = Relation(name, rtype, rows)
+        self.relations[name] = rel
+        return rel
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            known = ", ".join(sorted(self.relations)) or "<none>"
+            raise NameResolutionError(
+                f"unknown relation {name!r}; declared relations: {known}"
+            ) from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    # -- rule registries -----------------------------------------------------
+
+    def register_selector(self, selector) -> None:
+        if selector.name in self.selectors:
+            raise SchemaError(f"selector {selector.name!r} is already defined")
+        self.selectors[selector.name] = selector
+
+    def register_constructor(self, constructor) -> None:
+        if constructor.name in self.constructors:
+            raise SchemaError(
+                f"constructor {constructor.name!r} is already defined"
+            )
+        self.constructors[constructor.name] = constructor
+
+    def selector(self, name: str):
+        try:
+            return self.selectors[name]
+        except KeyError:
+            raise NameResolutionError(f"unknown selector {name!r}") from None
+
+    def constructor(self, name: str):
+        try:
+            return self.constructors[name]
+        except KeyError:
+            raise NameResolutionError(f"unknown constructor {name!r}") from None
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"<Database {self.name}: {len(self.relations)} relations, "
+            f"{len(self.selectors)} selectors, {len(self.constructors)} constructors>"
+        )

@@ -1,0 +1,66 @@
+"""Hash indexes over relation contents.
+
+The paper's runtime level (section 4) generates *physical access paths*
+— materialized partitions of a relation keyed by the constant values a
+query restricts on.  :class:`HashIndex` is the underlying mechanism: a
+dict from key projection to the set of matching rows.  Indexes are built
+lazily and cached per (relation version, attribute positions); any
+mutation of the relation invalidates the cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class HashIndex:
+    """A hash partition of a row set on a tuple of attribute positions."""
+
+    __slots__ = ("positions", "buckets")
+
+    def __init__(self, positions: tuple[int, ...], rows: Iterable[tuple]) -> None:
+        self.positions = positions
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in rows:
+            key = tuple(row[i] for i in positions)
+            buckets.setdefault(key, []).append(row)
+        self.buckets = buckets
+
+    def lookup(self, key: tuple) -> list[tuple]:
+        """All rows whose projection on ``positions`` equals ``key``."""
+        return self.buckets.get(key, _EMPTY)
+
+    def keys(self) -> Iterable[tuple]:
+        return self.buckets.keys()
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+
+_EMPTY: list[tuple] = []
+
+
+class IndexCache:
+    """Per-relation cache of hash indexes, invalidated by version stamps."""
+
+    __slots__ = ("_version", "_indexes")
+
+    def __init__(self) -> None:
+        self._version = -1
+        self._indexes: dict[tuple[int, ...], HashIndex] = {}
+
+    def get(
+        self,
+        version: int,
+        positions: tuple[int, ...],
+        rows: Iterable[tuple],
+    ) -> HashIndex:
+        """Return (building if necessary) the index for ``positions``."""
+        if version != self._version:
+            self._indexes.clear()
+            self._version = version
+        index = self._indexes.get(positions)
+        if index is None:
+            index = HashIndex(positions, rows)
+            self._indexes[positions] = index
+        return index

@@ -1,0 +1,147 @@
+"""Relation variables: typed, key-enforcing sets of tuples.
+
+A :class:`Relation` is the runtime object behind a DBPL ``VAR`` of a
+relation type.  Every state change goes through the checked-assignment
+discipline of section 2.2: element typing and the key functional
+dependency are verified before the variable's value changes, otherwise
+a :class:`~repro.errors.KeyConstraintError` or
+:class:`~repro.errors.TypeMismatchError` is raised and the old value is
+kept (the paper's ``ELSE <exception>``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import KeyConstraintError, TypeMismatchError
+from ..types import RelationType, check_relation_assignment
+from .indexes import HashIndex, IndexCache
+from .rows import Row
+
+
+class Relation:
+    """A mutable relation variable holding a set of raw value tuples."""
+
+    __slots__ = ("name", "rtype", "_rows", "_version", "_index_cache")
+
+    def __init__(
+        self,
+        name: str,
+        rtype: RelationType,
+        rows: Iterable[tuple] = (),
+    ) -> None:
+        self.name = name
+        self.rtype = rtype
+        self._rows: set[tuple] = set()
+        self._version = 0
+        self._index_cache = IndexCache()
+        rows = tuple(rows)
+        if rows:
+            self.assign(rows)
+
+    # -- value access -------------------------------------------------------
+
+    @property
+    def element_type(self):
+        return self.rtype.element
+
+    def rows(self) -> frozenset[tuple]:
+        """The current value as an immutable set of raw tuples."""
+        return frozenset(self._rows)
+
+    def raw(self) -> set[tuple]:
+        """The live underlying set; callers must not mutate it."""
+        return self._rows
+
+    @property
+    def version(self) -> int:
+        """Monotone stamp, bumped on every mutation (index invalidation)."""
+        return self._version
+
+    def __iter__(self) -> Iterator[Row]:
+        schema = self.rtype.element
+        for values in self._rows:
+            yield Row(schema, values)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, item: object) -> bool:
+        if isinstance(item, Row):
+            return item.values in self._rows
+        return item in self._rows
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def sorted_rows(self) -> list[tuple]:
+        """Deterministically ordered contents, for display and tests."""
+        return sorted(self._rows)
+
+    # -- checked mutation ----------------------------------------------------
+
+    def assign(self, rows: Iterable[object]) -> None:
+        """``rel := rex`` with full type and key checking."""
+        raw = tuple(self._coerce(r) for r in rows)
+        checked = check_relation_assignment(self.rtype, raw)
+        self._rows = set(checked)
+        self._version += 1
+
+    def insert(self, rows: Iterable[object]) -> None:
+        """``rel :+ rex`` — add tuples, keeping typing and key integrity."""
+        raw = [self._coerce(r) for r in rows]
+        element = self.rtype.element
+        for row in raw:
+            if not element.contains(row):
+                raise TypeMismatchError(
+                    f"tuple {row!r} is not of element type {element.name} "
+                    f"(insert into {self.name})"
+                )
+        combined = list(self._rows) + raw
+        try:
+            self.rtype.check_key(combined)
+        except KeyConstraintError:
+            raise
+        self._rows.update(raw)
+        self._version += 1
+
+    def delete(self, rows: Iterable[object]) -> None:
+        """``rel :- rex`` — remove tuples (absent tuples are ignored)."""
+        raw = {self._coerce(r) for r in rows}
+        self._rows.difference_update(raw)
+        self._version += 1
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._version += 1
+
+    @staticmethod
+    def _coerce(item: object) -> tuple:
+        if isinstance(item, Row):
+            return item.values
+        if isinstance(item, tuple):
+            return item
+        if isinstance(item, list):
+            return tuple(item)
+        raise TypeMismatchError(
+            f"relation elements must be tuples or Rows, got {type(item).__name__}"
+        )
+
+    # -- indexes ------------------------------------------------------------
+
+    def index_on(self, attrs: tuple[str, ...]) -> HashIndex:
+        """A (cached) hash index on the named attributes."""
+        positions = tuple(self.rtype.element.index_of(a) for a in attrs)
+        return self._index_cache.get(self._version, positions, self._rows)
+
+    # -- misc ------------------------------------------------------------
+
+    def snapshot(self, name: str | None = None) -> "Relation":
+        """An independent copy (used by the paper's REPEAT-loop programs)."""
+        copy = Relation(name or self.name, self.rtype)
+        copy._rows = set(self._rows)
+        copy._version = 1
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<Relation {self.name}: {len(self._rows)} x {self.rtype.element.name}>"

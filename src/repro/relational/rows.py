@@ -1,0 +1,84 @@
+"""Row views: attribute-named access over raw value tuples.
+
+Internally the library stores relation elements as plain Python tuples in
+declaration order — the representation every engine (reference evaluator,
+plan executor, fixpoint engines, proof engines) shares, so cross-engine
+result comparison is a set equality on raw tuples.  :class:`Row` is the
+thin, immutable, user-facing view that adds ``row.front`` / ``row["front"]``
+access for examples and the reference evaluator.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from ..types import RecordType
+
+
+class Row:
+    """An immutable, schema-aware view of one relation element."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: RecordType, values: tuple) -> None:
+        if len(values) != schema.arity:
+            raise SchemaError(
+                f"row arity {len(values)} does not match record type "
+                f"{schema.name} (arity {schema.arity})"
+            )
+        object.__setattr__(self, "_schema", schema)
+        object.__setattr__(self, "_values", tuple(values))
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def schema(self) -> RecordType:
+        return self._schema
+
+    @property
+    def values(self) -> tuple:
+        return self._values
+
+    def __getitem__(self, attr: str) -> object:
+        return self._values[self._schema.index_of(attr)]
+
+    def __getattr__(self, attr: str) -> object:
+        # Only called when normal attribute lookup fails, i.e. for field
+        # names.  Unknown names raise AttributeError so hasattr() behaves.
+        schema = object.__getattribute__(self, "_schema")
+        if schema.has_attribute(attr):
+            values = object.__getattribute__(self, "_values")
+            return values[schema.index_of(attr)]
+        raise AttributeError(attr)
+
+    def as_dict(self) -> dict[str, object]:
+        return dict(zip(self._schema.attribute_names, self._values))
+
+    # -- identity ----------------------------------------------------------
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Row objects are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        """Rows compare by attribute names and values (structural equality).
+
+        Two rows of structurally compatible record types with equal values
+        are the same element — exactly the equality the paper's key
+        constraint and set semantics rely on.
+        """
+        if isinstance(other, Row):
+            return (
+                self._values == other._values
+                and self._schema.attribute_names == other._schema.attribute_names
+            )
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{n}={v!r}" for n, v in zip(self._schema.attribute_names, self._values)
+        )
+        return f"<{self._schema.name} {inner}>"

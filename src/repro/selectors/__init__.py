@@ -1,0 +1,11 @@
+"""Selectors: named restriction predicates and checked assignment (Fig. 1)."""
+
+from .selector import Parameter, SelectedRelation, Selector, define_selector, selected
+
+__all__ = [
+    "Parameter",
+    "SelectedRelation",
+    "Selector",
+    "define_selector",
+    "selected",
+]

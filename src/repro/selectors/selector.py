@@ -1,0 +1,229 @@
+"""Selectors: named restriction predicates over relations (section 2.3).
+
+A selector "factors out" a condition on a relation and makes it available
+uniformly — to queries (``Rel[sel]`` as a range), to checked assignment
+(``Rel[sel] := rex`` enforcing the condition on every inserted tuple,
+Fig. 1), and to the optimizer (which can reason about the predicate
+symbolically).  The paper's examples:
+
+    SELECTOR refint FOR Rel: infrontrel();
+    BEGIN EACH r IN Rel: SOME r1, r2 IN Objects
+          (r.front = r1.part AND r.back = r2.part)
+    END refint
+
+    SELECTOR hidden_by (Obj: parttype) FOR Rel: infrontrel;
+    BEGIN EACH r IN Rel: r.front = Obj END hidden_by
+
+Selectors may take scalar parameters (``Obj``) and relation parameters;
+inside the body the formal base relation name (``Rel``) and the formal
+parameters are in scope, along with every database relation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from ..calculus import ast
+from ..calculus.evaluator import Env, Evaluator, RangeValue
+from ..errors import ArityError, IntegrityError
+from ..relational import Database, Relation
+from ..types import RelationType, Type
+
+
+@dataclass(frozen=True)
+class Parameter:
+    """A formal parameter of a selector or constructor."""
+
+    name: str
+    type: Type
+
+    @property
+    def is_relation(self) -> bool:
+        return isinstance(self.type, RelationType)
+
+
+class Selector:
+    """A named, possibly parameterized restriction predicate."""
+
+    def __init__(
+        self,
+        name: str,
+        formal_rel: str,
+        rel_type: RelationType,
+        var: str,
+        pred: ast.Pred,
+        params: Sequence[Parameter] = (),
+    ) -> None:
+        self.name = name
+        self.formal_rel = formal_rel
+        self.rel_type = rel_type
+        self.var = var
+        self.pred = pred
+        self.params = tuple(params)
+
+    # -- parameter binding ---------------------------------------------------
+
+    def bind_args(
+        self, evaluator: Evaluator, args: tuple[ast.Argument, ...], env: Env
+    ) -> dict[str, object]:
+        """Evaluate actual arguments and map them onto formal names."""
+        if len(args) != len(self.params):
+            raise ArityError(
+                f"selector {self.name} expects {len(self.params)} argument(s), "
+                f"got {len(args)}"
+            )
+        bound: dict[str, object] = {}
+        for formal, actual in zip(self.params, args):
+            if formal.is_relation:
+                if not isinstance(
+                    actual,
+                    (ast.RelRef, ast.Selected, ast.Constructed, ast.QueryRange, ast.ApplyVar),
+                ):
+                    raise ArityError(
+                        f"selector {self.name}: parameter {formal.name} is "
+                        f"relation-typed but got a scalar argument"
+                    )
+                bound[formal.name] = evaluator.resolve_range(actual, env)
+            else:
+                value = evaluator.eval_term(actual, env)  # type: ignore[arg-type]
+                formal.type.check(value, context=f"{self.name}({formal.name})")
+                bound[formal.name] = value
+        return bound
+
+    # -- evaluation --------------------------------------------------------------
+
+    def apply_range(
+        self, evaluator: Evaluator, node: ast.Selected, env: Env
+    ) -> RangeValue:
+        """Evaluate ``base[self(args)]`` as a range (called by the evaluator)."""
+        base = evaluator.resolve_range(node.base, env)
+        bound = self.bind_args(evaluator, node.args, env)
+        return RangeValue(self.filter_rows(evaluator.db, base, bound), base.schema)
+
+    def filter_rows(
+        self,
+        db: Database,
+        base: RangeValue,
+        bound_params: dict[str, object],
+    ) -> set[tuple]:
+        """The selected subset of ``base`` under the bound parameters."""
+        params = dict(bound_params)
+        params[self.formal_rel] = base
+        sub = Evaluator(db, params=params)
+        out: set[tuple] = set()
+        for row in base.rows:
+            if sub.eval_pred(self.pred, {self.var: (row, base.schema)}):
+                out.add(row)
+        return out
+
+    def admits(
+        self,
+        db: Database,
+        candidate: RangeValue,
+        bound_params: dict[str, object],
+    ) -> tuple | None:
+        """First tuple of ``candidate`` violating the predicate, or None.
+
+        The formal base relation is bound to the *candidate* value, per
+        the paper's expansion of ``Rel[sel] := rex`` (the condition is
+        checked against the incoming value rex).
+        """
+        params = dict(bound_params)
+        params[self.formal_rel] = candidate
+        sub = Evaluator(db, params=params)
+        for row in candidate.rows:
+            if not sub.eval_pred(self.pred, {self.var: (row, candidate.schema)}):
+                return row
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        params = ", ".join(f"{p.name}: {p.type.name}" for p in self.params)
+        return f"<Selector {self.name}({params}) FOR {self.formal_rel}: {self.rel_type.name}>"
+
+
+def define_selector(
+    db: Database,
+    name: str,
+    formal_rel: str,
+    rel_type: RelationType,
+    var: str,
+    pred: ast.Pred,
+    params: Sequence[Parameter] = (),
+) -> Selector:
+    """Define a selector and register it with the database."""
+    selector = Selector(name, formal_rel, rel_type, var, pred, params)
+    db.register_selector(selector)
+    return selector
+
+
+class SelectedRelation:
+    """The selected-relation variable ``Rel[sel(args)]`` of Fig. 1.
+
+    Reading yields the selected subset; assigning enforces the selector
+    predicate on the right-hand side (checked assignment), raising
+    :class:`IntegrityError` on the first violating tuple.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        relation: Relation,
+        selector: Selector,
+        args: tuple[object, ...] = (),
+    ) -> None:
+        self.db = db
+        self.relation = relation
+        self.selector = selector
+        self.args = tuple(args)
+
+    def _bound_params(self) -> dict[str, object]:
+        evaluator = Evaluator(self.db)
+        arg_nodes = tuple(
+            arg if isinstance(arg, (ast.RelRef, ast.Selected, ast.Constructed))
+            else ast.Const(arg)
+            for arg in self.args
+        )
+        return self.selector.bind_args(evaluator, arg_nodes, {})
+
+    def value(self) -> set[tuple]:
+        """Current value of the selected subrelation."""
+        base = RangeValue(self.relation.raw(), self.relation.element_type)
+        return self.selector.filter_rows(self.db, base, self._bound_params())
+
+    def assign(self, rows: Iterable[tuple]) -> None:
+        """``Rel[sel] := rex`` — checked assignment through the selector."""
+        candidate = RangeValue(
+            {r if isinstance(r, tuple) else tuple(r) for r in rows},
+            self.relation.element_type,
+        )
+        violating = self.selector.admits(self.db, candidate, self._bound_params())
+        if violating is not None:
+            raise IntegrityError(
+                f"assignment through selector {self.selector.name} rejected: "
+                f"tuple {violating!r} violates the selection predicate"
+            )
+        self.relation.assign(candidate.rows)
+
+    def insert(self, rows: Iterable[tuple]) -> None:
+        """``Rel[sel] :+ rex`` — checked insertion through the selector."""
+        candidate = RangeValue(
+            {r if isinstance(r, tuple) else tuple(r) for r in rows},
+            self.relation.element_type,
+        )
+        violating = self.selector.admits(self.db, candidate, self._bound_params())
+        if violating is not None:
+            raise IntegrityError(
+                f"insertion through selector {self.selector.name} rejected: "
+                f"tuple {violating!r} violates the selection predicate"
+            )
+        self.relation.insert(candidate.rows)
+
+
+def selected(
+    db: Database, relation_name: str, selector_name: str, *args: object
+) -> SelectedRelation:
+    """Convenience accessor: ``selected(db, "Infront", "hidden_by", "table")``."""
+    return SelectedRelation(
+        db, db.relation(relation_name), db.selector(selector_name), args
+    )

@@ -1,0 +1,43 @@
+"""DBPL-style type system: atomic, subrange, enum, record, relation types.
+
+See section 2 of the paper — "Types, Relations, and Predicates".
+"""
+
+from .atomic import (
+    ANY,
+    ATOMIC_TYPES,
+    BOOLEAN,
+    CARDINAL,
+    INTEGER,
+    REAL,
+    STRING,
+    AtomicType,
+    Type,
+)
+from .checking import check_positional_flow, check_relation_assignment, scalar_comparable
+from .enums import EnumType
+from .ranges import RangeType
+from .records import Field, RecordType, record
+from .relations import RelationType, relation_type
+
+__all__ = [
+    "ANY",
+    "ATOMIC_TYPES",
+    "BOOLEAN",
+    "CARDINAL",
+    "INTEGER",
+    "REAL",
+    "STRING",
+    "AtomicType",
+    "EnumType",
+    "Field",
+    "RangeType",
+    "RecordType",
+    "RelationType",
+    "Type",
+    "check_positional_flow",
+    "check_relation_assignment",
+    "record",
+    "relation_type",
+    "scalar_comparable",
+]

@@ -1,0 +1,96 @@
+"""Atomic data types of the DBPL type calculus.
+
+The paper builds on a PASCAL/MODULA-2 style type system (section 2.1):
+scalar domains, subrange types carved out of them by propositional
+predicates, enumerations, records, and relations.  This module provides
+the scalar leaves of that system.
+
+Values are ordinary Python objects; a type is a *precise characterization*
+of which objects belong to its domain set (the paper quotes [Deut 81]),
+exposed through :meth:`Type.contains` and :meth:`Type.check`.
+"""
+
+from __future__ import annotations
+
+from ..errors import TypeMismatchError
+
+
+class Type:
+    """Abstract base of every DBPL type.
+
+    Subclasses implement :meth:`contains`; :meth:`check` turns a failed
+    membership test into the ``<exception>`` arm of the paper's checked
+    assignments.
+    """
+
+    #: Human-readable type name, used in error messages and pretty printing.
+    name: str = "TYPE"
+
+    def contains(self, value: object) -> bool:
+        """Return True when ``value`` belongs to this type's domain set."""
+        raise NotImplementedError
+
+    def check(self, value: object, context: str = "") -> object:
+        """Return ``value`` unchanged, or raise :class:`TypeMismatchError`."""
+        if not self.contains(value):
+            where = f" in {context}" if context else ""
+            raise TypeMismatchError(
+                f"value {value!r} is not of type {self.name}{where}"
+            )
+        return value
+
+    #: Scalar family used to decide comparability; overridden by subclasses.
+    def family(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"<{self.__class__.__name__} {self.name}>"
+
+
+class AtomicType(Type):
+    """A built-in scalar domain (INTEGER, CARDINAL, STRING, BOOLEAN, REAL)."""
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+
+    def contains(self, value: object) -> bool:
+        kind = self.kind
+        if kind == "integer":
+            return isinstance(value, int) and not isinstance(value, bool)
+        if kind == "cardinal":
+            return isinstance(value, int) and not isinstance(value, bool) and value >= 0
+        if kind == "string":
+            return isinstance(value, str)
+        if kind == "boolean":
+            return isinstance(value, bool)
+        if kind == "real":
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if kind == "any":
+            # The universal scalar domain used by the Datalog bridge,
+            # where predicates carry no declared attribute types.
+            return isinstance(value, (str, int, float, bool))
+        raise AssertionError(f"unknown atomic kind {kind!r}")
+
+    def family(self) -> str:
+        if self.kind in ("integer", "cardinal", "real"):
+            return "numeric"
+        return self.kind
+
+
+#: The scalar domains named in the paper's examples.
+INTEGER = AtomicType("INTEGER", "integer")
+CARDINAL = AtomicType("CARDINAL", "cardinal")
+STRING = AtomicType("STRING", "string")
+BOOLEAN = AtomicType("BOOLEAN", "boolean")
+REAL = AtomicType("REAL", "real")
+#: Universal scalar domain for untyped bridges (Datalog predicates).
+ANY = AtomicType("ANY", "any")
+
+#: Name -> instance map used by the DBPL binder.
+ATOMIC_TYPES = {
+    t.name: t for t in (INTEGER, CARDINAL, STRING, BOOLEAN, REAL, ANY)
+}

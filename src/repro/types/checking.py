@@ -1,0 +1,59 @@
+"""Cross-type compatibility rules used by the calculus type checker.
+
+The paper's point in section 2 is that *one* logic serves the type level
+and the expression level.  This module hosts the small set of judgments
+the expression level needs:
+
+* when two scalar types are comparable (``r.back = b.front``);
+* when a record value can flow positionally into another record type
+  (identity branches of constructors);
+* when a relational expression value can be assigned to a relation
+  variable (element compatibility plus the key check).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..errors import TypeMismatchError
+from .atomic import Type
+from .records import RecordType
+from .relations import RelationType
+
+
+def scalar_comparable(a: Type, b: Type) -> bool:
+    """True when values of ``a`` and ``b`` may appear in one comparison.
+
+    Numeric types (INTEGER, CARDINAL, REAL, any RANGE) are mutually
+    comparable; strings compare with strings; booleans with booleans;
+    enumerations only with the same enumeration.
+    """
+    return a.family() == b.family()
+
+
+def check_positional_flow(source: RecordType, target: RecordType) -> None:
+    """Raise unless tuples of ``source`` may positionally fill ``target``."""
+    if not source.positionally_compatible(target):
+        raise TypeMismatchError(
+            f"record type {source.name} ({source.family()}) cannot flow "
+            f"positionally into {target.name} ({target.family()})"
+        )
+
+
+def check_relation_assignment(
+    target: RelationType, rows: Iterable[tuple]
+) -> tuple[tuple, ...]:
+    """Type- and key-check an assignment ``rel := rex``.
+
+    Returns the materialized row tuple so callers iterate only once.
+    """
+    materialized = tuple(rows)
+    element = target.element
+    for row in materialized:
+        if not element.contains(row):
+            raise TypeMismatchError(
+                f"tuple {row!r} is not of element type {element.name} "
+                f"(assignment to {target.name})"
+            )
+    target.check_key(materialized)
+    return materialized

@@ -1,0 +1,41 @@
+"""Enumeration types, MODULA-2 style.
+
+An enumeration declares a small closed label set; values are represented
+by their label strings.  Enumerations give the CAD examples realistic
+attribute domains (object categories, colours) without inventing
+machinery the paper does not discuss.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .atomic import Type
+
+
+class EnumType(Type):
+    """A closed set of symbolic labels, e.g. ``(chair, table, vase)``."""
+
+    def __init__(self, name: str, labels: tuple[str, ...]) -> None:
+        if not labels:
+            raise SchemaError(f"enumeration {name} must declare at least one label")
+        if len(set(labels)) != len(labels):
+            raise SchemaError(f"enumeration {name} has duplicate labels")
+        self.name = name
+        self.labels = tuple(labels)
+        self._label_set = frozenset(labels)
+
+    def contains(self, value: object) -> bool:
+        return isinstance(value, str) and value in self._label_set
+
+    def family(self) -> str:
+        return f"enum:{self.name}"
+
+    def ordinal(self, label: str) -> int:
+        """Position of ``label`` in the declaration order (MODULA-2 ORD)."""
+        try:
+            return self.labels.index(label)
+        except ValueError:
+            raise SchemaError(f"{label!r} is not a label of {self.name}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} = ({', '.join(self.labels)})"

@@ -1,0 +1,52 @@
+"""Subrange types: ``partidtype IS RANGE 1..100``.
+
+Section 2.1 of the paper uses the subrange type as the canonical example
+of a type defined by a (restricted propositional) domain predicate:
+
+    partidtype = { EACH p IN integer: 1 <= p AND p <= 100 }
+
+:class:`RangeType` realizes exactly that domain set, and
+:meth:`RangeType.domain_predicate` exposes the predicate in readable form
+— the paper's point being that the type calculus and the expression
+language share one logic.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .atomic import INTEGER, AtomicType, Type
+
+
+class RangeType(Type):
+    """An integer subrange ``RANGE lo..hi`` over an atomic base type."""
+
+    def __init__(
+        self,
+        name: str,
+        lo: int,
+        hi: int,
+        base: AtomicType = INTEGER,
+    ) -> None:
+        if base.kind not in ("integer", "cardinal"):
+            raise SchemaError(
+                f"RANGE types require an integral base, got {base.name}"
+            )
+        if lo > hi:
+            raise SchemaError(f"empty RANGE {lo}..{hi} in type {name}")
+        self.name = name
+        self.lo = lo
+        self.hi = hi
+        self.base = base
+
+    def contains(self, value: object) -> bool:
+        return self.base.contains(value) and self.lo <= value <= self.hi  # type: ignore[operator]
+
+    def family(self) -> str:
+        return "numeric"
+
+    def domain_predicate(self, var: str = "p") -> str:
+        """The defining predicate, in the paper's notation."""
+        return f"EACH {var} IN {self.base.name.lower()}: {self.lo} <= {var} AND {var} <= {self.hi}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.name} = RANGE {self.lo}..{self.hi}"

@@ -1,0 +1,125 @@
+"""Record types: the element types of DBPL relations.
+
+A record type is an ordered sequence of named, typed fields:
+
+    TYPE infrontrec = RECORD front, back: parttype END
+
+Field order matters: the paper's constructors copy tuples *positionally*
+between structurally compatible record types (an ``infrontrel`` tuple
+becomes an ``aheadrel`` tuple via ``EACH r IN Rel: TRUE`` even though the
+attribute names differ — front/back vs head/tail).  Equality of record
+types is structural on names and types; the type *name* is a label only.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from .atomic import Type
+
+
+class Field:
+    """A single named field of a record type."""
+
+    __slots__ = ("name", "type")
+
+    def __init__(self, name: str, type: Type) -> None:
+        self.name = name
+        self.type = type
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Field({self.name}: {self.type.name})"
+
+
+class RecordType(Type):
+    """An ordered, named-field record type."""
+
+    def __init__(self, name: str, fields: tuple[Field, ...] | list[Field]) -> None:
+        fields = tuple(fields)
+        if not fields:
+            raise SchemaError(f"record type {name} must declare at least one field")
+        seen: set[str] = set()
+        for field in fields:
+            if field.name in seen:
+                raise SchemaError(
+                    f"record type {name} declares field {field.name!r} twice"
+                )
+            seen.add(field.name)
+        self.name = name
+        self.fields = fields
+        self._index = {field.name: i for i, field in enumerate(fields)}
+
+    # -- field access -------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(field.name for field in self.fields)
+
+    @property
+    def arity(self) -> int:
+        return len(self.fields)
+
+    def has_attribute(self, attr: str) -> bool:
+        return attr in self._index
+
+    def index_of(self, attr: str) -> int:
+        """Positional index of ``attr``; raises SchemaError when unknown."""
+        try:
+            return self._index[attr]
+        except KeyError:
+            raise SchemaError(
+                f"record type {self.name} has no attribute {attr!r}; "
+                f"attributes are {', '.join(self.attribute_names)}"
+            ) from None
+
+    def field_type(self, attr: str) -> Type:
+        return self.fields[self.index_of(attr)].type
+
+    # -- membership and compatibility ----------------------------------
+
+    def contains(self, value: object) -> bool:
+        """A record value is a tuple of field values in declaration order."""
+        if not isinstance(value, tuple) or len(value) != len(self.fields):
+            return False
+        return all(f.type.contains(v) for f, v in zip(self.fields, value))
+
+    def family(self) -> str:
+        return "record:" + ",".join(
+            f"{f.name}:{f.type.family()}" for f in self.fields
+        )
+
+    def structurally_equal(self, other: "RecordType") -> bool:
+        """Same attribute names, order, and field families."""
+        return (
+            self.arity == other.arity
+            and self.attribute_names == other.attribute_names
+            and all(
+                a.type.family() == b.type.family()
+                for a, b in zip(self.fields, other.fields)
+            )
+        )
+
+    def positionally_compatible(self, other: "RecordType") -> bool:
+        """Same arity and pairwise-comparable field families.
+
+        This is the compatibility the paper's identity branches rely on:
+        an ``infrontrel`` tuple (front, back: parttype) may populate an
+        ``aheadrel`` variable (head, tail: parttype) because the fields
+        line up positionally.
+        """
+        return self.arity == other.arity and all(
+            a.type.family() == b.type.family()
+            for a, b in zip(self.fields, other.fields)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        inner = "; ".join(f"{f.name}: {f.type.name}" for f in self.fields)
+        return f"{self.name} = RECORD {inner} END"
+
+
+def record(name: str, /, **fields: Type) -> RecordType:
+    """Convenience builder: ``record("infrontrec", front=parttype, back=parttype)``.
+
+    Keyword order is preserved (Python dicts are ordered), matching the
+    declaration-order semantics of :class:`RecordType`.
+    """
+    return RecordType(name, tuple(Field(n, t) for n, t in fields.items()))

@@ -1,0 +1,30 @@
+"""Workload generators: graphs, CAD scenes, bill of materials, genealogy."""
+
+from .bom import bom_database, generate_bom
+from .cad import Scene, generate_scene
+from .genealogy import generate_family, sg_database
+from .graphs import (
+    binary_tree,
+    chain,
+    cycle,
+    grid,
+    layered_dag,
+    random_dag,
+    random_digraph,
+)
+
+__all__ = [
+    "Scene",
+    "binary_tree",
+    "bom_database",
+    "chain",
+    "cycle",
+    "generate_bom",
+    "generate_family",
+    "generate_scene",
+    "grid",
+    "layered_dag",
+    "random_dag",
+    "random_digraph",
+    "sg_database",
+]

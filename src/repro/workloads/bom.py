@@ -1,0 +1,68 @@
+"""Bill-of-materials (parts explosion) workload.
+
+The classic recursive database query of the era: ``contains(part, sub)``
+pairs forming a forest of assemblies; the constructed relation is the
+parts explosion (all direct and indirect subparts).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..calculus import dsl as d
+from ..constructors import Constructor, define_constructor
+from ..relational import Database
+from ..types import CARDINAL, STRING, record, relation_type
+
+CONTAINSREC = record("containsrec", part=STRING, sub=STRING)
+CONTAINSREL = relation_type("containsrel", CONTAINSREC)
+
+EXPLODEREC = record("exploderec", part=STRING, sub=STRING)
+EXPLODEREL = relation_type("exploderel", EXPLODEREC)
+
+
+def generate_bom(
+    assemblies: int = 4, depth: int = 4, fanout: int = 3, seed: int = 5
+) -> list[tuple[str, str]]:
+    """A forest of ``assemblies`` part trees of the given depth/fan-out."""
+    rng = random.Random(seed)
+    edges: list[tuple[str, str]] = []
+    counter = 0
+
+    def expand(part: str, level: int) -> None:
+        nonlocal counter
+        if level >= depth:
+            return
+        for _ in range(rng.randint(1, fanout)):
+            counter += 1
+            sub = f"p{counter}"
+            edges.append((part, sub))
+            expand(sub, level + 1)
+
+    for a in range(assemblies):
+        expand(f"assembly{a}", 0)
+    return edges
+
+
+def bom_database(edges) -> Database:
+    """A database with the Contains relation and the explode constructor:
+
+    CONSTRUCTOR explode FOR Rel: containsrel (): exploderel;
+    BEGIN EACH r IN Rel: TRUE,
+          <c.part, e.sub> OF EACH c IN Rel,
+               EACH e IN Rel{explode}: c.sub = e.part
+    END explode
+    """
+    db = Database("bom")
+    db.declare("Contains", CONTAINSREL, edges)
+    body = d.query(
+        d.branch(d.each("r", "Rel")),
+        d.branch(
+            d.each("c", "Rel"),
+            d.each("e", d.constructed("Rel", "explode")),
+            pred=d.eq(d.a("c", "sub"), d.a("e", "part")),
+            targets=[d.a("c", "part"), d.a("e", "sub")],
+        ),
+    )
+    define_constructor(db, "explode", "Rel", CONTAINSREL, EXPLODEREL, body)
+    return db

@@ -1,0 +1,78 @@
+"""CAD scene generator: scaled versions of the paper's running example.
+
+A scene consists of rooms arranged in a row; each room holds a row of
+furniture pieces (``Infront`` chains) and stacks of objects on some of
+them (``Ontop`` chains).  This reproduces, at scale, exactly the two
+relations of sections 2.3/3.1, with the vase-on-table-in-front-of-chair
+pattern appearing throughout.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..relational import Database
+from .. import paper
+
+
+@dataclass
+class Scene:
+    objects: list[tuple[str, str]]
+    infront: list[tuple[str, str]]
+    ontop: list[tuple[str, str]]
+
+    def database(self, mutual: bool = True) -> Database:
+        """A CAD database with the paper's definitions over this scene."""
+        return paper.cad_database(self.objects, self.infront, self.ontop, mutual=mutual)
+
+
+KINDS = ["table", "chair", "desk", "shelf", "cabinet"]
+TOPPERS = ["vase", "lamp", "book", "plant", "clock"]
+
+
+def generate_scene(
+    rooms: int = 2,
+    row_length: int = 5,
+    stack_height: int = 2,
+    stacks_per_room: int = 2,
+    seed: int = 11,
+) -> Scene:
+    """A deterministic scene with ``rooms * row_length`` furniture pieces.
+
+    * furniture within a room forms an Infront chain;
+    * the last piece of each room is in front of the first piece of the
+      next room (one long gallery);
+    * ``stacks_per_room`` stacks of ``stack_height`` objects stand on
+      randomly chosen furniture pieces (Ontop chains).
+    """
+    rng = random.Random(seed)
+    objects: list[tuple[str, str]] = []
+    infront: list[tuple[str, str]] = []
+    ontop: list[tuple[str, str]] = []
+
+    furniture: list[list[str]] = []
+    for room in range(rooms):
+        row: list[str] = []
+        for i in range(row_length):
+            kind = KINDS[(room + i) % len(KINDS)]
+            name = f"{kind}_{room}_{i}"
+            objects.append((name, kind))
+            row.append(name)
+        furniture.append(row)
+        for a, b in zip(row, row[1:]):
+            infront.append((a, b))
+    for prev, nxt in zip(furniture, furniture[1:]):
+        infront.append((prev[-1], nxt[0]))
+
+    for room in range(rooms):
+        for s in range(stacks_per_room):
+            base = rng.choice(furniture[room])
+            below = base
+            for level in range(stack_height):
+                kind = TOPPERS[(s + level) % len(TOPPERS)]
+                name = f"{kind}_{room}_{s}_{level}"
+                objects.append((name, kind))
+                ontop.append((name, below))
+                below = name
+    return Scene(objects, infront, ontop)

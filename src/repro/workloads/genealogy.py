@@ -1,0 +1,83 @@
+"""Same-generation workload: the other canonical recursive query.
+
+``parent(child, parent)`` facts over a forest; two people are of the same
+generation when they are siblings/cousins at equal depth.  The standard
+non-linear Datalog program is
+
+    sg(X, Y) :- sibling(X, Y).
+    sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).
+
+which exercises *two* recursive joins per step (the non-linear
+differential of the semi-naive engines).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..calculus import dsl as d
+from ..constructors import define_constructor
+from ..relational import Database
+from ..types import STRING, record, relation_type
+
+PARENTREC = record("parentrec", child=STRING, parent=STRING)
+PARENTREL = relation_type("parentrel", PARENTREC)
+
+SGREC = record("sgrec", left=STRING, right=STRING)
+SGREL = relation_type("sgrel", SGREC)
+
+
+def generate_family(
+    roots: int = 2, depth: int = 4, children: int = 2, seed: int = 3
+) -> list[tuple[str, str]]:
+    """(child, parent) pairs for a forest of family trees."""
+    rng = random.Random(seed)
+    edges: list[tuple[str, str]] = []
+    counter = 0
+
+    def expand(person: str, level: int) -> None:
+        nonlocal counter
+        if level >= depth:
+            return
+        for _ in range(rng.randint(1, children)):
+            counter += 1
+            child = f"c{counter}"
+            edges.append((child, person))
+            expand(child, level + 1)
+
+    for r in range(roots):
+        expand(f"root{r}", 0)
+    return edges
+
+
+def sg_database(parent_edges) -> Database:
+    """Database with Parent, Sibling, and the same-generation constructor."""
+    db = Database("genealogy")
+    db.declare("Parent", PARENTREL, parent_edges)
+    siblings = {
+        (a, b)
+        for (a, pa) in parent_edges
+        for (b, pb) in parent_edges
+        if pa == pb and a != b
+    }
+    db.declare("Sibling", SGREL, siblings)
+    body = d.query(
+        d.branch(d.each("s", "Sibling")),
+        d.branch(
+            d.each("px", "Parent"),
+            d.each("g", d.constructed("Rel", "samegen", d.rel("Parent"))),
+            d.each("py", "Parent"),
+            pred=d.and_(
+                d.eq(d.a("px", "parent"), d.a("g", "left")),
+                d.eq(d.a("py", "parent"), d.a("g", "right")),
+            ),
+            targets=[d.a("px", "child"), d.a("py", "child")],
+        ),
+    )
+    from ..selectors.selector import Parameter
+
+    define_constructor(
+        db, "samegen", "Rel", SGREL, SGREL, body,
+        params=(Parameter("Parent", PARENTREL),),
+    )
+    return db

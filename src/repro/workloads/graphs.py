@@ -1,0 +1,96 @@
+"""Graph workload generators for the recursive-query experiments.
+
+All generators return lists of ``(src, dst)`` string pairs, deterministic
+for a given seed, with node labels ``n0, n1, ...`` so results are easy to
+eyeball.  The shapes are the standard early-deductive-database workloads:
+chains and cycles (worst-case recursion depth), balanced trees (fan-out),
+grids (quadratic path multiplicity), layered and random DAGs, and general
+random digraphs (cycles allowed).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _n(i: int) -> str:
+    return f"n{i}"
+
+
+def chain(length: int) -> list[tuple[str, str]]:
+    """n0 -> n1 -> ... -> n(length)."""
+    return [(_n(i), _n(i + 1)) for i in range(length)]
+
+
+def cycle(length: int) -> list[tuple[str, str]]:
+    """A directed cycle of ``length`` nodes (SLD's nemesis)."""
+    edges = chain(length - 1)
+    edges.append((_n(length - 1), _n(0)))
+    return edges
+
+
+def binary_tree(depth: int) -> list[tuple[str, str]]:
+    """Balanced binary tree edges, parent -> child, 2^depth - 1 nodes."""
+    edges: list[tuple[str, str]] = []
+    total = 2 ** depth - 1
+    for i in range(total):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < total:
+                edges.append((_n(i), _n(child)))
+    return edges
+
+
+def grid(width: int, height: int) -> list[tuple[str, str]]:
+    """Directed grid: edges right and down; many distinct paths per pair."""
+
+    def node(x: int, y: int) -> str:
+        return f"g{x}_{y}"
+
+    edges: list[tuple[str, str]] = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append((node(x, y), node(x + 1, y)))
+            if y + 1 < height:
+                edges.append((node(x, y), node(x, y + 1)))
+    return edges
+
+
+def layered_dag(layers: int, width: int, fanout: int = 2, seed: int = 7) -> list[tuple[str, str]]:
+    """A DAG of ``layers`` layers, each node feeding ``fanout`` successors."""
+    rng = random.Random(seed)
+    edges: list[tuple[str, str]] = []
+    for layer in range(layers - 1):
+        for i in range(width):
+            src = f"l{layer}_{i}"
+            for dst_i in rng.sample(range(width), min(fanout, width)):
+                edges.append((src, f"l{layer + 1}_{dst_i}"))
+    return sorted(set(edges))
+
+
+def random_dag(nodes: int, edges: int, seed: int = 7) -> list[tuple[str, str]]:
+    """A random DAG: edges always point from lower to higher node index."""
+    rng = random.Random(seed)
+    out: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(out) < edges and attempts < edges * 20:
+        attempts += 1
+        a, b = rng.sample(range(nodes), 2)
+        if a > b:
+            a, b = b, a
+        out.add((_n(a), _n(b)))
+    return sorted(out)
+
+
+def random_digraph(nodes: int, edges: int, seed: int = 7) -> list[tuple[str, str]]:
+    """A random digraph; cycles allowed (terminates fixpoints, loops SLD)."""
+    rng = random.Random(seed)
+    out: set[tuple[str, str]] = set()
+    attempts = 0
+    while len(out) < edges and attempts < edges * 20:
+        attempts += 1
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a != b:
+            out.add((_n(a), _n(b)))
+    return sorted(out)

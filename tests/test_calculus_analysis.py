@@ -1,0 +1,160 @@
+"""Tests for NOT/ALL occurrence analysis and the positivity constraint."""
+
+from repro.calculus import (
+    ast,
+    dsl as d,
+    free_range_names,
+    free_tuple_vars,
+    is_positive_in,
+    occurrences_of,
+    positivity_violations,
+    range_occurrences,
+)
+
+
+class TestOccurrenceCounting:
+    def test_plain_binding_has_zero_depth(self):
+        q = d.query(d.branch(d.each("r", "Rel")))
+        (occ,) = range_occurrences(q)
+        assert occ.name == "Rel" and occ.nots == 0 and occ.alls == 0
+        assert occ.positive
+
+    def test_name_under_not(self):
+        # NOT (r IN Rel) — one NOT level.
+        p = d.not_(d.in_(d.v("r"), "Rel"))
+        (occ,) = range_occurrences(p)
+        assert occ.nots == 1 and occ.alls == 0
+        assert not occ.positive
+
+    def test_double_negation_is_positive(self):
+        p = d.not_(d.not_(d.in_(d.v("r"), "Rel")))
+        (occ,) = range_occurrences(p)
+        assert occ.nots == 2 and occ.positive
+
+    def test_name_in_all_range_counts(self):
+        # ALL x IN Rel (pred): Rel is under the ALL.
+        p = d.all_("x", "Rel", d.eq(d.a("x", "f"), 1))
+        (occ,) = range_occurrences(p)
+        assert occ.alls == 1 and not occ.positive
+
+    def test_name_in_all_body_does_not_count(self):
+        """Paper: in ALL r IN exp (p), a name appearing in p but not in
+        exp is NOT considered to appear under this ALL."""
+        p = d.all_("x", "Other", d.in_(d.v("x"), "Rel"))
+        occs = {o.name: o for o in range_occurrences(p)}
+        assert occs["Other"].alls == 1
+        assert occs["Rel"].alls == 0 and occs["Rel"].positive
+
+    def test_some_range_does_not_count(self):
+        p = d.some("x", "Rel", d.eq(d.a("x", "f"), 1))
+        (occ,) = range_occurrences(p)
+        assert occ.total == 0
+
+    def test_not_all_nesting_accumulates(self):
+        # NOT (ALL x IN Rel (...)) — Rel at NOT+ALL = 2, even: positive.
+        p = d.not_(d.all_("x", "Rel", d.eq(d.a("x", "f"), 1)))
+        (occ,) = range_occurrences(p)
+        assert occ.nots == 1 and occ.alls == 1 and occ.positive
+
+    def test_selected_base_inherits_depth(self):
+        p = d.not_(d.in_(d.v("r"), d.selected("Rel", "sel")))
+        (occ,) = range_occurrences(p)
+        assert occ.name == "Rel" and occ.nots == 1
+
+    def test_constructed_argument_counted(self):
+        rng = d.constructed("Base", "c", d.rel("ArgRel"))
+        occs = {o.name for o in range_occurrences(d.query(d.branch(d.each("r", rng))))}
+        assert occs == {"Base", "ArgRel"}
+
+    def test_apply_var_token_counted(self):
+        av = ast.ApplyVar(("c", "Base"), None)  # schema unused by analysis
+        p = d.not_(d.some("s", av, d.eq(d.a("s", "n"), 1)))
+        (occ,) = range_occurrences(p)
+        assert occ.name == ("c", "Base") and occ.nots == 1
+
+
+class TestPaperExamples:
+    def test_nonsense_constructor_body_is_not_positive(self):
+        """EACH r IN Rel: NOT (r IN Rel{nonsense}) — Rel under NOT: odd."""
+        body = d.query(
+            d.branch(
+                d.each("r", "Rel"),
+                pred=d.not_(d.in_(d.v("r"), d.constructed("Rel", "nonsense"))),
+            )
+        )
+        violations = positivity_violations(body, {"Rel"})
+        # the occurrence inside NOT(...) is odd; the binding one is fine
+        assert len(violations) == 1
+        assert violations[0].nots == 1
+
+    def test_strange_constructor_body_is_not_positive(self):
+        """EACH r IN Baserel: NOT SOME s IN Baserel{strange} (r.number = s.number+1)."""
+        body = d.query(
+            d.branch(
+                d.each("r", "Baserel"),
+                pred=d.not_(
+                    d.some(
+                        "s",
+                        d.constructed("Baserel", "strange"),
+                        d.eq(d.a("r", "number"), d.plus(d.a("s", "number"), 1)),
+                    )
+                ),
+            )
+        )
+        assert not is_positive_in(body, {"Baserel"})
+
+    def test_ahead_body_is_positive(self):
+        """The recursive ahead body satisfies positivity."""
+        body = d.query(
+            d.branch(d.each("r", "Rel")),
+            d.branch(
+                d.each("f", "Rel"),
+                d.each("b", d.constructed("Rel", "ahead")),
+                pred=d.eq(d.a("f", "back"), d.a("b", "head")),
+                targets=[d.a("f", "front"), d.a("b", "tail")],
+            ),
+        )
+        assert is_positive_in(body, {"Rel"})
+
+    def test_referential_integrity_positive_in_inserted_relation(self):
+        """ALL x IN rex (SOME r1,r2 IN Objects (...)) is positive in Objects
+        but not in rex."""
+        p = d.all_(
+            "x", "rex",
+            d.some(("r1", "r2"), "Objects",
+                   d.and_(d.eq(d.a("x", "front"), d.a("r1", "part")),
+                          d.eq(d.a("x", "back"), d.a("r2", "part")))),
+        )
+        assert is_positive_in(p, {"Objects"})
+        assert not is_positive_in(p, {"rex"})
+
+
+class TestHelpers:
+    def test_free_range_names(self):
+        q = d.query(
+            d.branch(
+                d.each("r", "A"),
+                pred=d.some("s", "B", d.in_(d.v("s"), d.selected("C", "sel"))),
+            )
+        )
+        assert free_range_names(q) == {"A", "B", "C"}
+
+    def test_free_tuple_vars_in_pred(self):
+        p = d.some("s", "E", d.eq(d.a("r", "dst"), d.a("s", "src")))
+        assert free_tuple_vars(p) == {"r"}
+
+    def test_branch_binds_its_variables(self):
+        br = d.branch(
+            d.each("r", "E"),
+            pred=d.eq(d.a("r", "src"), d.a("outer", "x")),
+            targets=[d.a("r", "dst")],
+        )
+        assert free_tuple_vars(br) == {"outer"}
+
+    def test_quantifier_shadowing(self):
+        p = d.some("r", "E", d.eq(d.a("r", "src"), "a"))
+        assert free_tuple_vars(p) == set()
+
+    def test_occurrences_of_filters(self):
+        q = d.query(d.branch(d.each("r", "A"), pred=d.in_(d.v("r"), "B")))
+        assert {o.name for o in occurrences_of(q, {"B"})} == {"B"}

@@ -1,0 +1,263 @@
+"""Unit tests for the reference evaluator over the paper's expressions."""
+
+import pytest
+
+from repro.calculus import Evaluator, ast, dsl as d, evaluate
+from repro.errors import EvaluationError
+
+from .conftest import make_edge_db
+
+
+class TestSimpleSelection:
+    def test_identity_branch(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E")))
+        assert evaluate(edge_db, q) == edge_db["E"].rows()
+
+    def test_selection_predicate(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E"), pred=d.eq(d.a("r", "src"), "b")))
+        assert evaluate(edge_db, q) == {("b", "c"), ("b", "d")}
+
+    def test_projection_targets(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E"), targets=[d.a("r", "dst")]))
+        assert evaluate(edge_db, q) == {("b",), ("c",), ("d",)}
+
+    def test_constant_target(self, edge_db):
+        q = d.query(
+            d.branch(d.each("r", "E"), pred=d.eq(d.a("r", "src"), "a"),
+                     targets=[d.a("r", "src"), d.const("seen")])
+        )
+        assert evaluate(edge_db, q) == {("a", "seen")}
+
+    def test_empty_result(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E"), pred=d.eq(d.a("r", "src"), "zz")))
+        assert evaluate(edge_db, q) == set()
+
+
+class TestJoinsAndUnions:
+    def test_ahead_2_expression(self, cad_db):
+        """The paper's explicit Ahead-2 value expression (section 2.3):
+
+        { EACH r IN Infront: TRUE,
+          <f.front, b.back> OF EACH f, b IN Infront: f.back = b.front }
+        """
+        q = d.query(
+            d.branch(d.each("r", "Infront")),
+            d.branch(
+                d.each("f", "Infront"),
+                d.each("b", "Infront"),
+                pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+                targets=[d.a("f", "front"), d.a("b", "back")],
+            ),
+        )
+        assert evaluate(cad_db, q) == {
+            ("table", "chair"), ("chair", "door"), ("rug", "table"),
+            ("table", "door"), ("rug", "chair"),
+        }
+
+    def test_union_deduplicates(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E")), d.branch(d.each("s", "E")))
+        assert evaluate(edge_db, q) == edge_db["E"].rows()
+
+    def test_self_join_triangle(self):
+        db = make_edge_db([("a", "b"), ("b", "a"), ("a", "a")])
+        q = d.query(
+            d.branch(
+                d.each("x", "E"), d.each("y", "E"),
+                pred=d.and_(
+                    d.eq(d.a("x", "dst"), d.a("y", "src")),
+                    d.eq(d.a("y", "dst"), d.a("x", "src")),
+                ),
+                targets=[d.a("x", "src"), d.a("x", "dst")],
+            )
+        )
+        assert evaluate(db, q) == {("a", "b"), ("b", "a"), ("a", "a")}
+
+
+class TestQuantifiers:
+    def test_some_finds_witness(self, cad_db):
+        # Objects that are in front of something which is itself in front
+        # of something: only 'table' (chair) and 'rug' (table).
+        q = d.query(
+            d.branch(
+                d.each("r", "Infront"),
+                pred=d.some("s", "Infront", d.eq(d.a("r", "back"), d.a("s", "front"))),
+                targets=[d.a("r", "front")],
+            )
+        )
+        assert evaluate(cad_db, q) == {("table",), ("rug",)}
+
+    def test_all_vacuous_truth(self, edge_db):
+        empty_range = d.inline(
+            d.query(d.branch(d.each("x", "E"), pred=d.eq(d.a("x", "src"), "zz")))
+        )
+        q = d.query(
+            d.branch(d.each("r", "E"), pred=d.all_("y", empty_range, d.eq(d.a("y", "src"), "never")))
+        )
+        assert evaluate(edge_db, q) == edge_db["E"].rows()
+
+    def test_all_with_counterexample(self, edge_db):
+        # ALL y IN E (y.src = "a") is false since E has other sources.
+        q = d.query(
+            d.branch(d.each("r", "E"), pred=d.all_("y", "E", d.eq(d.a("y", "src"), "a")))
+        )
+        assert evaluate(edge_db, q) == set()
+
+    def test_multi_variable_some(self, cad_db):
+        """SOME r1, r2 IN Objects (...) — the referential-integrity shape."""
+        q = d.query(
+            d.branch(
+                d.each("x", "Infront"),
+                pred=d.some(
+                    ("r1", "r2"), "Objects",
+                    d.and_(
+                        d.eq(d.a("x", "front"), d.a("r1", "part")),
+                        d.eq(d.a("x", "back"), d.a("r2", "part")),
+                    ),
+                ),
+            )
+        )
+        assert evaluate(cad_db, q) == cad_db["Infront"].rows()
+
+    def test_nested_quantifiers_shadowing(self, edge_db):
+        inner = d.some("y", "E", d.eq(d.a("y", "src"), d.a("y", "dst")))
+        q = d.query(d.branch(d.each("r", "E"), pred=d.not_(inner)))
+        # no self-loop in edge_db, so NOT SOME ... is true everywhere
+        assert evaluate(edge_db, q) == edge_db["E"].rows()
+
+
+class TestMembershipAndArith:
+    def test_membership_whole_var(self, edge_db):
+        sub = d.inline(d.query(d.branch(d.each("x", "E"), pred=d.eq(d.a("x", "src"), "b"))))
+        q = d.query(d.branch(d.each("r", "E"), pred=d.in_(d.v("r"), sub)))
+        assert evaluate(edge_db, q) == {("b", "c"), ("b", "d")}
+
+    def test_membership_tuple_cons(self, edge_db):
+        q = d.query(
+            d.branch(
+                d.each("r", "E"),
+                pred=d.in_(d.tup(d.a("r", "dst"), d.a("r", "src")), "E"),
+            )
+        )
+        assert evaluate(edge_db, q) == set()  # no symmetric edge
+
+    def test_arithmetic_comparison(self):
+        from repro.types import CARDINAL, record, relation_type
+
+        rec = record("cardrec", number=CARDINAL)
+        rel = relation_type("cardrel", rec)
+        from repro.relational import Database
+
+        db = Database()
+        db.declare("Base", rel, [(i,) for i in range(7)])
+        # pairs where r.number = s.number + 1
+        q = d.query(
+            d.branch(
+                d.each("r", "Base"), d.each("s", "Base"),
+                pred=d.eq(d.a("r", "number"), d.plus(d.a("s", "number"), 1)),
+                targets=[d.a("r", "number"), d.a("s", "number")],
+            )
+        )
+        assert evaluate(db, q) == {(i + 1, i) for i in range(6)}
+
+    def test_mod_and_times(self):
+        ev = Evaluator(make_edge_db([]))
+        assert ev.eval_term(d.mod(7, 4), {}) == 3
+        assert ev.eval_term(d.times(6, 7), {}) == 42
+        assert ev.eval_term(ast.Arith("DIV", ast.Const(7), ast.Const(2)), {}) == 3
+        assert ev.eval_term(d.minus(7, 2), {}) == 5
+
+
+class TestParameters:
+    def test_scalar_parameter(self, cad_db):
+        q = d.query(
+            d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "front"), d.param("Obj")))
+        )
+        ev = Evaluator(cad_db, params={"Obj": "table"})
+        assert ev.eval_query(q) == {("table", "chair")}
+
+    def test_relation_parameter(self, cad_db):
+        q = d.query(d.branch(d.each("r", "Param")))
+        ev = Evaluator(cad_db, params={"Param": cad_db["Ontop"]})
+        assert ev.eval_query(q) == cad_db["Ontop"].rows()
+
+    def test_unbound_parameter_raises(self, cad_db):
+        q = d.query(
+            d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "front"), d.param("Obj")))
+        )
+        with pytest.raises(EvaluationError, match="Obj"):
+            Evaluator(cad_db).eval_query(q)
+
+    def test_scalar_param_in_range_position_raises(self, cad_db):
+        q = d.query(d.branch(d.each("r", "Obj")))
+        with pytest.raises(EvaluationError):
+            Evaluator(cad_db, params={"Obj": "table"}).eval_query(q)
+
+
+class TestErrorsAndStats:
+    def test_identity_branch_two_bindings_raises(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E"), d.each("s", "E")))
+        with pytest.raises(EvaluationError, match="target list"):
+            evaluate(edge_db, q)
+
+    def test_unbound_variable_raises(self, edge_db):
+        q = d.query(d.branch(d.each("r", "E"), pred=d.eq(d.a("zz", "src"), "a")))
+        with pytest.raises(EvaluationError, match="zz"):
+            evaluate(edge_db, q)
+
+    def test_stats_count_iterations(self, edge_db):
+        ev = Evaluator(edge_db)
+        q = d.query(d.branch(d.each("r", "E")))
+        ev.eval_query(q)
+        assert ev.stats.bindings_iterated == 4
+        assert ev.stats.tuples_emitted == 4
+
+    def test_apply_var_resolution(self, edge_db):
+        from tests.conftest import EDGEREC
+
+        av = ast.ApplyVar("tok", EDGEREC)
+        q = d.query(d.branch(d.each("r", av)))
+        ev = Evaluator(edge_db, apply_values={"tok": {("x", "y")}})
+        assert ev.eval_query(q) == {("x", "y")}
+
+    def test_unbound_apply_var_raises(self, edge_db):
+        from tests.conftest import EDGEREC
+
+        av = ast.ApplyVar("nope", EDGEREC)
+        q = d.query(d.branch(d.each("r", av)))
+        with pytest.raises(EvaluationError):
+            Evaluator(edge_db).eval_query(q)
+
+
+class TestSchemaInference:
+    def test_identity_inline_schema(self, edge_db):
+        ev = Evaluator(edge_db)
+        inner = d.inline(d.query(d.branch(d.each("x", "E"))))
+        schema = ev.infer_schema(inner, {})
+        assert schema.attribute_names == ("src", "dst")
+
+    def test_target_list_schema_names(self, edge_db):
+        ev = Evaluator(edge_db)
+        inner = d.inline(
+            d.query(
+                d.branch(
+                    d.each("x", "E"), d.each("y", "E"),
+                    pred=d.eq(d.a("x", "dst"), d.a("y", "src")),
+                    targets=[d.a("x", "src"), d.a("y", "dst")],
+                )
+            )
+        )
+        schema = ev.infer_schema(inner, {})
+        assert schema.attribute_names == ("src", "dst")
+
+    def test_duplicate_target_names_uniquified(self, edge_db):
+        ev = Evaluator(edge_db)
+        inner = d.inline(
+            d.query(
+                d.branch(
+                    d.each("x", "E"),
+                    targets=[d.a("x", "src"), d.a("x", "src")],
+                )
+            )
+        )
+        schema = ev.infer_schema(inner, {})
+        assert len(set(schema.attribute_names)) == 2

@@ -1,0 +1,78 @@
+"""Rendering tests: ASTs print in the paper's concrete syntax."""
+
+from repro.calculus import ast, dsl as d, render
+
+
+class TestTermRendering:
+    def test_attr(self):
+        assert render(d.a("r", "front")) == "r.front"
+
+    def test_string_const(self):
+        assert render(d.const("table")) == '"table"'
+
+    def test_bool_const(self):
+        assert render(d.const(True)) == "TRUE"
+
+    def test_int_const(self):
+        assert render(d.const(7)) == "7"
+
+    def test_arith(self):
+        assert render(d.plus(d.a("s", "number"), 1)) == "(s.number+1)"
+
+    def test_tuple_cons(self):
+        assert render(d.tup(d.a("f", "front"), d.a("b", "back"))) == "<f.front, b.back>"
+
+
+class TestRangeRendering:
+    def test_selected_with_args(self):
+        rng = d.selected("Infront", "hidden_by", d.const("table"))
+        assert render(rng) == 'Infront[hidden_by("table")]'
+
+    def test_constructed_with_relation_arg(self):
+        rng = d.constructed("Infront", "ahead", "Ontop")
+        assert render(rng) == "Infront{ahead(Ontop)}"
+
+    def test_chained_selector_constructor(self):
+        """The paper's Infront[hidden_by("table")]{ahead} expression."""
+        rng = d.constructed(d.selected("Infront", "hidden_by", d.const("table")), "ahead")
+        assert render(rng) == 'Infront[hidden_by("table")]{ahead}'
+
+    def test_no_args_no_parens(self):
+        assert render(d.selected("Rel", "refint")) == "Rel[refint]"
+
+
+class TestPredicateRendering:
+    def test_comparison(self):
+        assert render(d.eq(d.a("f", "back"), d.a("b", "front"))) == "f.back = b.front"
+
+    def test_quantifier(self):
+        p = d.some(("r1", "r2"), "Objects", d.eq(d.a("r1", "part"), d.a("r2", "part")))
+        assert render(p) == "SOME r1, r2 IN Objects (r1.part = r2.part)"
+
+    def test_not_membership(self):
+        p = d.not_(d.in_(d.v("r"), d.constructed("Rel", "nonsense")))
+        assert render(p) == "NOT (r IN Rel{nonsense})"
+
+    def test_and_or_precedence_parens(self):
+        p = d.and_(d.or_(d.eq(d.a("r", "a"), 1), d.eq(d.a("r", "a"), 2)), d.eq(d.a("r", "b"), 3))
+        assert render(p) == "(r.a = 1 OR r.a = 2) AND r.b = 3"
+
+
+class TestQueryRendering:
+    def test_ahead_2_rendering(self):
+        q = d.query(
+            d.branch(d.each("r", "Infront")),
+            d.branch(
+                d.each("f", "Infront"), d.each("b", "Infront"),
+                pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+                targets=[d.a("f", "front"), d.a("b", "back")],
+            ),
+        )
+        assert render(q) == (
+            "{EACH r IN Infront: TRUE,\n"
+            " <f.front, b.back> OF EACH f IN Infront, EACH b IN Infront: "
+            "f.back = b.front}"
+        )
+
+    def test_binding_rendering(self):
+        assert render(d.each("r", "Infront")) == "EACH r IN Infront"

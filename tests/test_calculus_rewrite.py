@@ -1,0 +1,287 @@
+"""Tests for NNF, universal elimination, simplification, range nesting.
+
+The property tests generate random predicates over a one-edge-relation
+database and check that each rewrite preserves semantics tuple-for-tuple
+— the operational content of the paper's monotonicity-lemma proof sketch
+and of the [JaKo 83] N1-N3 equivalences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calculus import (
+    Evaluator,
+    ast,
+    dsl as d,
+    eliminate_universals,
+    is_positive_in,
+    negation_normal_form,
+    nest_binding,
+    nest_quantifier,
+    occurrences_of,
+    simplify,
+    unnest_query,
+)
+from repro.calculus.rewrite import conjoin, conjuncts
+
+from .conftest import make_edge_db
+
+# ---------------------------------------------------------------------------
+# Random predicate generation
+# ---------------------------------------------------------------------------
+
+_CONSTS = ["a", "b", "c", "d"]
+_ATTRS = ["src", "dst"]
+
+
+@st.composite
+def predicates(draw, bound: tuple[str, ...] = ("r",), depth: int = 2):
+    """Random predicate with all tuple variables drawn from ``bound``."""
+    leaf_kinds = ["true", "cmp", "inrel"]
+    kinds = leaf_kinds + (["not", "and", "or", "some", "all"] if depth > 0 else [])
+    kind = draw(st.sampled_from(kinds))
+    if kind == "true":
+        return ast.TRUE
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<>", "<", "<="]))
+        left = ast.AttrRef(draw(st.sampled_from(bound)), draw(st.sampled_from(_ATTRS)))
+        if draw(st.booleans()):
+            right = ast.Const(draw(st.sampled_from(_CONSTS)))
+        else:
+            right = ast.AttrRef(draw(st.sampled_from(bound)), draw(st.sampled_from(_ATTRS)))
+        return ast.Cmp(op, left, right)
+    if kind == "inrel":
+        var = draw(st.sampled_from(bound))
+        return ast.InRel(ast.VarRef(var), ast.RelRef("E"))
+    if kind == "not":
+        return ast.Not(draw(predicates(bound=bound, depth=depth - 1)))
+    if kind in ("and", "or"):
+        n = draw(st.integers(2, 3))
+        parts = tuple(draw(predicates(bound=bound, depth=depth - 1)) for _ in range(n))
+        return ast.And(parts) if kind == "and" else ast.Or(parts)
+    # quantifiers
+    var = f"q{len(bound)}"
+    inner = draw(predicates(bound=bound + (var,), depth=depth - 1))
+    if kind == "some":
+        return ast.Some((var,), ast.RelRef("E"), inner)
+    return ast.All((var,), ast.RelRef("E"), inner)
+
+
+edge_sets = st.sets(
+    st.tuples(st.sampled_from(_CONSTS), st.sampled_from(_CONSTS)), max_size=6
+)
+
+
+def _eval_pred_everywhere(db, pred):
+    """Evaluate pred for each binding of r over E; return satisfying rows."""
+    ev = Evaluator(db)
+    q = ast.Query((ast.Branch((ast.Binding("r", ast.RelRef("E")),), pred),))
+    return ev.eval_query(q)
+
+
+# ---------------------------------------------------------------------------
+# NNF and universal elimination
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_sets, predicates())
+def test_nnf_preserves_semantics(edges, pred):
+    db = make_edge_db(edges)
+    assert _eval_pred_everywhere(db, pred) == _eval_pred_everywhere(
+        db, negation_normal_form(pred)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_sets, predicates())
+def test_eliminate_universals_preserves_semantics(edges, pred):
+    db = make_edge_db(edges)
+    assert _eval_pred_everywhere(db, pred) == _eval_pred_everywhere(
+        db, eliminate_universals(pred)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates())
+def test_nnf_preserves_positivity_parity(pred):
+    """The range-coupled duality keeps every occurrence's NOT+ALL parity."""
+    before = sorted(
+        (occ.name, occ.total % 2) for occ in occurrences_of(pred, {"E"})
+    )
+    after = sorted(
+        (occ.name, occ.total % 2)
+        for occ in occurrences_of(negation_normal_form(pred), {"E"})
+    )
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates())
+def test_eliminate_universals_preserves_parity(pred):
+    before = is_positive_in(pred, {"E"})
+    after = is_positive_in(eliminate_universals(pred), {"E"})
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates())
+def test_nnf_no_negated_connectives(pred):
+    """After NNF, NOT applies only to atoms (TruePred or InRel)."""
+    nnf = negation_normal_form(pred)
+    for node in ast.walk(nnf):
+        if isinstance(node, ast.Not):
+            assert isinstance(node.pred, (ast.TruePred, ast.InRel))
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_sets, predicates())
+def test_simplify_preserves_semantics(edges, pred):
+    db = make_edge_db(edges)
+    assert _eval_pred_everywhere(db, pred) == _eval_pred_everywhere(db, simplify(pred))
+
+
+# ---------------------------------------------------------------------------
+# Simplify unit cases
+# ---------------------------------------------------------------------------
+
+
+class TestSimplify:
+    def test_flatten_nested_and(self):
+        p = d.and_(d.and_(d.eq(d.a("r", "src"), "a"), d.eq(d.a("r", "dst"), "b")),
+                   d.eq(d.a("r", "src"), "c"))
+        out = simplify(p)
+        assert isinstance(out, ast.And) and len(out.parts) == 3
+
+    def test_true_unit_in_and(self):
+        p = d.and_(ast.TRUE, d.eq(d.a("r", "src"), "a"))
+        assert simplify(p) == d.eq(d.a("r", "src"), "a")
+
+    def test_true_absorbs_or(self):
+        p = d.or_(ast.TRUE, d.eq(d.a("r", "src"), "a"))
+        assert simplify(p) == ast.TRUE
+
+    def test_double_negation_removed(self):
+        p = d.not_(d.not_(d.eq(d.a("r", "src"), "a")))
+        assert simplify(p) == d.eq(d.a("r", "src"), "a")
+
+    def test_empty_and_is_true(self):
+        assert simplify(ast.And(())) == ast.TRUE
+
+    def test_conjuncts_and_conjoin_roundtrip(self):
+        p = d.and_(d.eq(d.a("r", "src"), "a"), d.eq(d.a("r", "dst"), "b"))
+        assert conjoin(conjuncts(p)) == p
+        assert conjuncts(ast.TRUE) == ()
+        assert conjoin(()) == ast.TRUE
+
+
+# ---------------------------------------------------------------------------
+# Range nesting N1-N3
+# ---------------------------------------------------------------------------
+
+
+class TestRangeNesting:
+    def test_n1_nest_then_unnest_roundtrip(self, edge_db):
+        branch = d.branch(
+            d.each("f", "E"), d.each("b", "E"),
+            pred=d.and_(
+                d.eq(d.a("f", "src"), "a"),
+                d.eq(d.a("f", "dst"), d.a("b", "src")),
+            ),
+            targets=[d.a("f", "src"), d.a("b", "dst")],
+        )
+        nested = nest_binding(branch, "f")
+        # the f-only conjunct moved into a nested range
+        assert isinstance(nested.bindings[0].range, ast.QueryRange)
+        q_orig = ast.Query((branch,))
+        q_nested = ast.Query((nested,))
+        ev = Evaluator(edge_db)
+        assert ev.eval_query(q_orig) == Evaluator(edge_db).eval_query(q_nested)
+        # unnesting recovers an equivalent flat query
+        flat = unnest_query(q_nested)
+        assert all(
+            not isinstance(b.range, ast.QueryRange)
+            for br in flat.branches for b in br.bindings
+        )
+        assert Evaluator(edge_db).eval_query(flat) == ev.eval_query(q_orig)
+
+    def test_n1_nothing_movable(self):
+        branch = d.branch(
+            d.each("f", "E"), d.each("b", "E"),
+            pred=d.eq(d.a("f", "dst"), d.a("b", "src")),
+            targets=[d.a("f", "src"), d.a("b", "dst")],
+        )
+        assert nest_binding(branch, "f") is branch
+
+    def test_n2_some_nesting(self, edge_db):
+        pred = d.some(
+            "s", "E",
+            d.and_(d.eq(d.a("s", "src"), "b"), d.eq(d.a("r", "dst"), d.a("s", "src"))),
+        )
+        nested = nest_quantifier(pred)
+        assert isinstance(nested.range, ast.QueryRange)
+        q1 = d.query(d.branch(d.each("r", "E"), pred=pred))
+        q2 = d.query(d.branch(d.each("r", "E"), pred=nested))
+        assert Evaluator(edge_db).eval_query(q1) == Evaluator(edge_db).eval_query(q2)
+        # and the <== direction flattens it back, semantics preserved
+        flat = unnest_query(q2)
+        assert Evaluator(edge_db).eval_query(flat) == Evaluator(edge_db).eval_query(q1)
+
+    def test_n3_all_nesting(self, edge_db):
+        # ALL s IN E (NOT(s.src = r.src is wrong shape: restriction must
+        # mention only s) ... use: ALL s IN E (NOT(s.src="b") OR s.dst=r.dst)
+        pred = d.all_(
+            "s", "E",
+            d.or_(d.not_(d.eq(d.a("s", "src"), "b")), d.eq(d.a("s", "dst"), d.a("r", "dst"))),
+        )
+        nested = nest_quantifier(pred)
+        assert isinstance(nested.range, ast.QueryRange)
+        q1 = d.query(d.branch(d.each("r", "E"), pred=pred))
+        q2 = d.query(d.branch(d.each("r", "E"), pred=nested))
+        assert Evaluator(edge_db).eval_query(q1) == Evaluator(edge_db).eval_query(q2)
+        flat = unnest_query(q2)
+        assert Evaluator(edge_db).eval_query(flat) == Evaluator(edge_db).eval_query(q1)
+
+    def test_n3_wrong_shape_untouched(self):
+        pred = d.all_("s", "E", d.eq(d.a("s", "src"), "a"))
+        assert nest_quantifier(pred) is pred
+
+    def test_unnest_deeply_nested(self, edge_db):
+        inner = d.inline(d.query(d.branch(d.each("x", "E"), pred=d.eq(d.a("x", "src"), "a"))))
+        middle = d.inline(d.query(d.branch(d.each("y", inner), pred=d.eq(d.a("y", "dst"), "b"))))
+        q = d.query(d.branch(d.each("r", middle)))
+        flat = unnest_query(q)
+        (branch,) = flat.branches
+        assert isinstance(branch.bindings[0].range, ast.RelRef)
+        assert Evaluator(edge_db).eval_query(q) == Evaluator(edge_db).eval_query(flat)
+
+    def test_unnest_preserves_targets(self, edge_db):
+        inner = d.inline(d.query(d.branch(d.each("x", "E"), pred=d.eq(d.a("x", "src"), "b"))))
+        q = d.query(d.branch(d.each("r", inner), targets=[d.a("r", "dst")]))
+        flat = unnest_query(q)
+        assert Evaluator(edge_db).eval_query(flat) == {("c",), ("d",)}
+
+    def test_nest_unknown_var_raises(self):
+        branch = d.branch(d.each("f", "E"))
+        import pytest
+
+        with pytest.raises(ValueError):
+            nest_binding(branch, "zz")
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets, predicates(bound=("r", "s")))
+def test_nest_binding_preserves_semantics(edges, pred):
+    """Nesting whatever is movable for either variable never changes results."""
+    db = make_edge_db(edges)
+    branch = ast.Branch(
+        (ast.Binding("r", ast.RelRef("E")), ast.Binding("s", ast.RelRef("E"))),
+        pred,
+        (ast.AttrRef("r", "src"), ast.AttrRef("s", "dst")),
+    )
+    q1 = ast.Query((branch,))
+    q2 = ast.Query((nest_binding(branch, "r"),))
+    q3 = ast.Query((nest_binding(branch, "s"),))
+    expected = Evaluator(db).eval_query(q1)
+    assert Evaluator(db).eval_query(q2) == expected
+    assert Evaluator(db).eval_query(q3) == expected

@@ -1,0 +1,177 @@
+"""Tests for graph utilities, quant graphs, and the type-checking level."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.compiler import (
+    Digraph,
+    build_constructor_graph,
+    build_interconnectivity_graph,
+    build_query_graph,
+    connected_components,
+    recursive_nodes,
+    strongly_connected_components,
+    topological_order,
+    type_check_level,
+)
+from repro.calculus import dsl as d
+
+from .conftest import SCENE_INFRONT, SCENE_ONTOP
+
+
+class TestGraphUtils:
+    def test_scc_simple_cycle(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        g.add_edge("b", "c")
+        components = {frozenset(c) for c in strongly_connected_components(g)}
+        assert frozenset({"a", "b"}) in components
+        assert frozenset({"c"}) in components
+
+    def test_recursive_nodes_self_loop(self):
+        g = Digraph()
+        g.add_edge("a", "a")
+        g.add_edge("a", "b")
+        assert recursive_nodes(g) == {"a"}
+
+    def test_connected_components(self):
+        comps = connected_components(
+            ["a", "b", "c", "d"], [("a", "b"), ("c", "d")]
+        )
+        assert {frozenset(c) for c in comps} == {
+            frozenset({"a", "b"}), frozenset({"c", "d"}),
+        }
+
+    def test_topological_order(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        order = topological_order(g)
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_cycle_raises(self):
+        g = Digraph()
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(ValueError):
+            topological_order(g)
+
+    edges = st.sets(
+        st.tuples(st.sampled_from("abcdef"), st.sampled_from("abcdef")),
+        max_size=15,
+    )
+
+    @settings(max_examples=50, deadline=None)
+    @given(edges)
+    def test_scc_matches_networkx(self, edges):
+        g = Digraph()
+        for node in "abcdef":
+            g.add_node(node)
+        for src, dst in edges:
+            g.add_edge(src, dst)
+        ours = {frozenset(c) for c in strongly_connected_components(g)}
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from("abcdef")
+        nxg.add_edges_from(edges)
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+
+class TestQuantGraphs:
+    def test_fig3_ahead_structure(self):
+        """The augmented quant graph of the paper's Fig. 3: head node,
+        three variable nodes, attribute arcs, join arc, and the apply arc
+        from the recursive range back to the head."""
+        db = paper.cad_database(mutual=False)
+        graph = build_constructor_graph(db, db.constructor("ahead"))
+        heads = [n for n in graph.nodes.values() if n.kind == "head"]
+        variables = [n for n in graph.nodes.values() if n.kind == "var"]
+        assert len(heads) == 1
+        assert len(variables) == 3  # r (identity), f, b
+        kinds = {a.kind for a in graph.arcs}
+        assert {"attr", "join", "apply"} <= kinds
+        # the apply arc closes a cycle through the head: recursion
+        assert graph.is_recursive()
+        assert graph.recursive_heads() == {"head:ahead"}
+
+    def test_nonrecursive_graph_acyclic(self):
+        db = paper.cad_database(mutual=False)
+        graph = build_constructor_graph(db, db.constructor("ahead2"))
+        assert not graph.is_recursive()
+
+    def test_mutual_recursion_cycle_spans_heads(self):
+        db = paper.cad_database(mutual=True)
+        graph = build_interconnectivity_graph(
+            db, [db.constructor("ahead"), db.constructor("above")]
+        )
+        assert graph.recursive_heads() == {"head:ahead", "head:above"}
+
+    def test_query_graph_join_arc(self):
+        db = paper.cad_database(infront=SCENE_INFRONT, mutual=False)
+        q = d.query(
+            d.branch(
+                d.each("f", "Infront"), d.each("b", "Infront"),
+                pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+                targets=[d.a("f", "front"), d.a("b", "back")],
+            )
+        )
+        graph = build_query_graph(db, q)
+        assert any(a.kind == "join" for a in graph.arcs)
+        assert len(graph.nodes) == 2
+
+    def test_quantifier_arcs(self):
+        db = paper.cad_database(mutual=False)
+        q = d.query(
+            d.branch(
+                d.each("r", "Infront"),
+                pred=d.some("s", "Infront", d.eq(d.a("r", "back"), d.a("s", "front"))),
+            )
+        )
+        graph = build_query_graph(db, q)
+        assert any(a.kind == "quant" for a in graph.arcs)
+
+    def test_render_ascii_mentions_nodes(self):
+        db = paper.cad_database(mutual=False)
+        graph = build_constructor_graph(db, db.constructor("ahead"))
+        text = graph.render_ascii()
+        assert "CONSTRUCTOR ahead" in text
+        assert "--apply-->" in text
+
+    def test_components_partition_unrelated_constructors(self):
+        db = paper.cad_database(mutual=False)  # ahead2 and ahead, same relations
+        graph = build_interconnectivity_graph(
+            db, [db.constructor("ahead"), db.constructor("ahead2")]
+        )
+        components = graph.components()
+        # ahead and ahead2 do not share nodes: separate components
+        assert len(components) >= 2
+
+
+class TestTypeCheckLevel:
+    def test_report_positivity(self):
+        db = paper.cad_database(mutual=True)
+        paper.define_nonsense(db)  # registered with checking off
+        report = type_check_level(db)
+        assert report.positivity["ahead"] is True
+        assert report.positivity["nonsense"] is False
+
+    def test_recursive_detection(self):
+        db = paper.cad_database(mutual=True)
+        report = type_check_level(db)
+        assert {"ahead", "above"} <= report.recursive_constructors
+        assert "ahead2" not in report.recursive_constructors
+
+    def test_partitions_group_mutual_pair(self):
+        db = paper.cad_database(mutual=True)
+        report = type_check_level(db)
+        together = [p for p in report.partitions if "ahead" in p]
+        assert together and "above" in together[0]
+
+    def test_describe_readable(self):
+        db = paper.cad_database(mutual=True)
+        text = type_check_level(db).describe()
+        assert "positive" in text and "recursive" in text

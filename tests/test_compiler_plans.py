@@ -1,0 +1,244 @@
+"""Tests for compiled plans, the compiled fixpoint, and the three levels."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.calculus import Evaluator, ast, dsl as d
+from repro.compiler import (
+    ExecutionContext,
+    PlanStats,
+    compile_query,
+    compile_statement,
+    construct_compiled,
+    inline_nonrecursive,
+    run_query,
+)
+from repro.constructors import apply_constructor
+
+from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+
+
+@pytest.fixture
+def db():
+    return paper.cad_database(SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=False)
+
+
+class TestCompiledQueries:
+    def test_selection_uses_index(self, db):
+        q = d.query(d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "front"), "table")))
+        stats = PlanStats()
+        rows = run_query(db, q, stats=stats)
+        assert rows == {("table", "chair")}
+        assert stats.index_lookups == 1
+        assert stats.rows_scanned <= 1  # only matching rows touched
+
+    def test_join_via_index(self, db):
+        q = d.query(
+            d.branch(
+                d.each("f", "Infront"), d.each("b", "Infront"),
+                pred=d.eq(d.a("f", "back"), d.a("b", "front")),
+                targets=[d.a("f", "front"), d.a("b", "back")],
+            )
+        )
+        stats = PlanStats()
+        rows = run_query(db, q, stats=stats)
+        assert rows == {("table", "door"), ("rug", "chair")}
+        assert stats.index_lookups >= 3  # one lookup per outer row
+
+    def test_agrees_with_reference_evaluator(self, db):
+        q = d.query(
+            d.branch(
+                d.each("f", "Infront"), d.each("b", "Infront"),
+                pred=d.and_(
+                    d.eq(d.a("f", "back"), d.a("b", "front")),
+                    d.ne(d.a("f", "front"), d.a("b", "back")),
+                ),
+                targets=[d.a("f", "front"), d.a("b", "back")],
+            )
+        )
+        assert run_query(db, q) == Evaluator(db).eval_query(q)
+
+    def test_residual_quantifier_predicate(self, db):
+        q = d.query(
+            d.branch(
+                d.each("r", "Infront"),
+                pred=d.some("s", "Infront", d.eq(d.a("r", "back"), d.a("s", "front"))),
+            )
+        )
+        assert run_query(db, q) == Evaluator(db).eval_query(q)
+
+    def test_union_branches(self, db):
+        q = d.query(
+            d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "front"), "table")),
+            d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "back"), "table")),
+        )
+        assert run_query(db, q) == {("table", "chair"), ("rug", "table")}
+
+    def test_apply_var_source(self, db):
+        av = ast.ApplyVar("tok", paper.AHEADREC)
+        q = d.query(d.branch(d.each("r", av), pred=d.eq(d.a("r", "head"), "x")))
+        rows = run_query(db, q, apply_values={"tok": {("x", "y"), ("z", "w")}})
+        assert rows == {("x", "y")}
+
+    def test_selected_range_computed_source(self, db):
+        q = d.query(
+            d.branch(
+                d.each("r", d.selected("Infront", "hidden_by", d.const("table"))),
+                targets=[d.a("r", "back")],
+            )
+        )
+        assert run_query(db, q) == {("chair",)}
+
+    def test_explain_mentions_access(self, db):
+        q = d.query(d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "front"), "table")))
+        plan = compile_query(db, q)
+        text = plan.explain()
+        assert "index" in text and "EMIT" in text
+
+    def test_arithmetic_filter(self):
+        from repro.relational import Database
+
+        db = Database()
+        db.declare("Base", paper.CARDREL, [(i,) for i in range(10)])
+        q = d.query(
+            d.branch(
+                d.each("r", "Base"), d.each("s", "Base"),
+                pred=d.eq(d.a("r", "number"), d.plus(d.a("s", "number"), 1)),
+                targets=[d.a("r", "number"), d.a("s", "number")],
+            )
+        )
+        assert run_query(db, q) == {(i + 1, i) for i in range(9)}
+
+
+# Property: compiled execution == reference evaluator on random queries.
+nodes = st.sampled_from(["a", "b", "c", "d"])
+edge_sets = st.sets(st.tuples(nodes, nodes), max_size=10)
+consts = st.sampled_from(["a", "b", "c", "d"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets, consts, consts)
+def test_compiled_matches_reference(edges, c1, c2):
+    from tests.conftest import make_edge_db
+
+    db = make_edge_db(edges)
+    q = d.query(
+        d.branch(
+            d.each("x", "E"), d.each("y", "E"),
+            pred=d.and_(
+                d.eq(d.a("x", "dst"), d.a("y", "src")),
+                d.or_(d.eq(d.a("x", "src"), c1), d.eq(d.a("y", "dst"), c2)),
+            ),
+            targets=[d.a("x", "src"), d.a("y", "dst")],
+        )
+    )
+    assert run_query(db, q) == Evaluator(db).eval_query(q)
+
+
+class TestCompiledFixpoint:
+    def test_matches_interpreted_engines(self, db):
+        compiled = construct_compiled(db, d.constructed("Infront", "ahead"))
+        interpreted = apply_constructor(db, "Infront", "ahead")
+        assert compiled.rows == interpreted.rows
+        assert compiled.stats.mode == "compiled-seminaive"
+
+    def test_mutual_system_compiled(self):
+        mdb = paper.cad_database(
+            SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=True
+        )
+        node = d.constructed("Infront", "ahead", d.rel("Ontop"))
+        compiled = construct_compiled(mdb, node)
+        from repro.constructors import construct
+
+        assert compiled.rows == construct(mdb, node).rows
+
+    def test_same_iterations_as_interpreted_seminaive(self, db):
+        compiled = construct_compiled(db, d.constructed("Infront", "ahead"))
+        interpreted = apply_constructor(db, "Infront", "ahead", mode="seminaive")
+        assert compiled.stats.iterations == interpreted.stats.iterations
+
+    def test_positivity_enforced(self):
+        from repro.errors import PositivityError
+        from repro.relational import Database
+
+        cdb = Database()
+        cdb.declare("Base", paper.CARDREL, [(1,)])
+        paper.define_strange(cdb)
+        with pytest.raises(PositivityError):
+            construct_compiled(cdb, d.constructed("Base", "strange"))
+
+
+class TestInlining:
+    def test_nonrecursive_application_inlined(self, db):
+        q = d.query(
+            d.branch(
+                d.each("r", d.constructed("Infront", "ahead2")),
+                pred=d.eq(d.a("r", "head"), "table"),
+            )
+        )
+        inlined = inline_nonrecursive(db, q)
+        assert not any(
+            isinstance(n, ast.Constructed) for n in ast.walk(inlined)
+        )
+        assert Evaluator(db).eval_query(inlined) == Evaluator(db).eval_query(q)
+
+    def test_union_distribution_case3(self, db):
+        # ahead2 has 2 body branches -> inlining yields 2 query branches
+        q = d.query(d.branch(d.each("r", d.constructed("Infront", "ahead2"))))
+        inlined = inline_nonrecursive(db, q)
+        assert len(inlined.branches) == 2
+
+    def test_case2_join_substitution(self, db):
+        """The restriction r.head = "rug" must reach the inner variables."""
+        q = d.query(
+            d.branch(
+                d.each("r", d.constructed("Infront", "ahead2")),
+                pred=d.eq(d.a("r", "head"), "rug"),
+                targets=[d.a("r", "tail")],
+            )
+        )
+        inlined = inline_nonrecursive(db, q)
+        assert Evaluator(db).eval_query(inlined) == {("table",), ("chair",)}
+        # evidence of substitution: no branch references variable "r"
+        from repro.calculus.analysis import free_tuple_vars
+
+        for branch in inlined.branches:
+            assert "r" not in {b.var for b in branch.bindings}
+
+    def test_recursive_application_left_alone(self, db):
+        q = d.query(d.branch(d.each("r", d.constructed("Infront", "ahead"))))
+        inlined = inline_nonrecursive(db, q)
+        assert any(isinstance(n, ast.Constructed) for n in ast.walk(inlined))
+
+
+class TestThreeLevels:
+    def test_compile_and_run_recursive_statement(self, db):
+        q = d.query(
+            d.branch(
+                d.each("r", d.constructed("Infront", "ahead")),
+                pred=d.eq(d.a("r", "head"), "rug"),
+                targets=[d.a("r", "tail")],
+            )
+        )
+        statement = compile_statement(db, q)
+        assert statement.run() == {("table",), ("chair",), ("door",)}
+
+    def test_specialization_detected(self, db):
+        q = d.query(d.branch(d.each("r", d.constructed("Infront", "ahead"))))
+        statement = compile_statement(db, q)
+        assert len(statement.specializations) == 1
+        (shape,) = statement.specializations.values()
+        assert shape.linearity == "left"
+
+    def test_explain_shows_program(self, db):
+        q = d.query(d.branch(d.each("r", d.constructed("Infront", "ahead"))))
+        text = compile_statement(db, q).explain()
+        assert "fixpoint program" in text and "top plan" in text
+
+    def test_nonrecursive_statement_has_no_fixpoints(self, db):
+        q = d.query(d.branch(d.each("r", d.constructed("Infront", "ahead2"))))
+        statement = compile_statement(db, q)
+        assert not statement.fixpoints
+        assert statement.run() == apply_constructor(db, "Infront", "ahead2").rows

@@ -1,0 +1,144 @@
+"""Tests for bound-argument specialization and access paths (section 4)."""
+
+import pytest
+
+from repro import paper
+from repro.calculus import dsl as d
+from repro.compiler import (
+    LogicalAccessPath,
+    PhysicalAccessPath,
+    SpecializedStats,
+    bound_query,
+    detect_linear_tc,
+)
+from repro.constructors import apply_constructor, instantiate
+from repro.errors import EvaluationError
+
+from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+
+CHAIN = [(f"n{i}", f"n{i+1}") for i in range(20)] + [("m0", "m1"), ("m1", "m2")]
+
+
+@pytest.fixture
+def db():
+    return paper.cad_database(SCENE_OBJECTS, CHAIN, SCENE_ONTOP, mutual=False)
+
+
+class TestDetection:
+    def test_left_linear_ahead_detected(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        assert shape is not None
+        assert shape.linearity == "left"
+
+    def test_right_linear_detected(self):
+        from repro.constructors import define_constructor
+
+        db = paper.cad_database(infront=CHAIN, mutual=False)
+        body = d.query(
+            d.branch(d.each("r", "Rel")),
+            d.branch(
+                d.each("a", d.constructed("Rel", "rahead")),
+                d.each("b", "Rel"),
+                pred=d.eq(d.a("a", "tail"), d.a("b", "front")),
+                targets=[d.a("a", "head"), d.a("b", "back")],
+            ),
+        )
+        define_constructor(db, "rahead", "Rel", paper.INFRONTREL, paper.AHEADREL, body)
+        system = instantiate(db, d.constructed("Infront", "rahead"))
+        shape = detect_linear_tc(db, system)
+        assert shape is not None and shape.linearity == "right"
+
+    def test_mutual_system_not_specialized(self):
+        db = paper.cad_database(
+            SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=True
+        )
+        system = instantiate(db, d.constructed("Infront", "ahead", d.rel("Ontop")))
+        assert detect_linear_tc(db, system) is None
+
+    def test_nonrecursive_not_specialized(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead2"))
+        assert detect_linear_tc(db, system) is None
+
+
+class TestBoundQuery:
+    def test_head_bound_matches_filtered_closure(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        full = apply_constructor(db, "Infront", "ahead").rows
+        expected = {r for r in full if r[0] == "n5"}
+        assert bound_query(db, shape, "head", "n5") == expected
+
+    def test_tail_bound_matches_filtered_closure(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        full = apply_constructor(db, "Infront", "ahead").rows
+        expected = {r for r in full if r[1] == "n5"}
+        assert bound_query(db, shape, "tail", "n5") == expected
+
+    def test_unknown_constant_empty(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        assert bound_query(db, shape, "head", "nowhere") == set()
+
+    def test_goal_directed_touches_fewer_edges(self, db):
+        """The traversal must not touch the disconnected m-chain."""
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        stats = SpecializedStats()
+        bound_query(db, shape, "head", "n15", stats)
+        # only the 5 edges n15->...->n20 are reachable
+        assert stats.edges_touched <= 6
+
+    def test_cyclic_base(self):
+        db = paper.cad_database(infront=[("a", "b"), ("b", "a")], mutual=False)
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        assert bound_query(db, shape, "head", "a") == {("a", "b"), ("a", "a")}
+
+    def test_bad_attr_raises(self, db):
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        with pytest.raises(ValueError):
+            bound_query(db, shape, "middle", "n5")
+
+
+class TestAccessPaths:
+    def test_logical_path_specialized(self, db):
+        path = LogicalAccessPath(db, d.constructed("Infront", "ahead"), "head")
+        assert path.shape is not None
+        full = apply_constructor(db, "Infront", "ahead").rows
+        assert path.lookup("n3") == {r for r in full if r[0] == "n3"}
+        assert path.stats.invocations == 1
+
+    def test_logical_path_fallback_full_fixpoint(self):
+        """Mutual recursion does not specialize: logical path recomputes."""
+        db = paper.cad_database(
+            SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=True
+        )
+        node = d.constructed("Infront", "ahead", d.rel("Ontop"))
+        path = LogicalAccessPath(db, node, "head")
+        assert path.shape is None
+        full = apply_constructor(db, "Infront", "ahead", "Ontop").rows
+        assert path.lookup("rug") == {r for r in full if r[0] == "rug"}
+
+    def test_physical_path_materializes_once(self, db):
+        path = PhysicalAccessPath(db, d.constructed("Infront", "ahead"), "head")
+        full = apply_constructor(db, "Infront", "ahead").rows
+        for const in ("n1", "n2", "n3", "m0"):
+            assert path.lookup(const) == {r for r in full if r[0] == const}
+        assert path.stats.recomputations == 1
+        assert path.stats.partition_lookups == 4
+
+    def test_physical_path_staleness_detected(self, db):
+        path = PhysicalAccessPath(db, d.constructed("Infront", "ahead"), "head")
+        path.lookup("n1")
+        db["Infront"].insert([("x", "y")])
+        with pytest.raises(EvaluationError, match="stale"):
+            path.lookup("n1")
+        path.materialize()
+        assert ("x", "y") in path.lookup("x")
+
+    def test_lookup_missing_value_empty(self, db):
+        path = PhysicalAccessPath(db, d.constructed("Infront", "ahead"), "head")
+        assert path.lookup("nothing") == set()

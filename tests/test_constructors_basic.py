@@ -1,0 +1,186 @@
+"""Constructor fundamentals: definition checks, ahead_2, simple recursion.
+
+These tests execute the paper's section 2.3/3.1 examples and assert the
+exact values the text claims.
+"""
+
+import pytest
+
+from repro import paper
+from repro.calculus import Evaluator, dsl as d
+from repro.constructors import (
+    apply_constructor,
+    construct,
+    construct_bounded,
+    define_constructor,
+)
+from repro.errors import PositivityError, SchemaError
+from repro.relational import Database
+
+from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP, transitive_closure
+
+INFRONT_TC = transitive_closure(SCENE_INFRONT)
+
+
+@pytest.fixture
+def db():
+    return paper.cad_database(
+        SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=False
+    )
+
+
+class TestAhead2:
+    def test_value_matches_explicit_expression(self, db):
+        result = apply_constructor(db, "Infront", "ahead2")
+        expected = set(SCENE_INFRONT) | {
+            (f, b2) for (f, b) in SCENE_INFRONT for (f2, b2) in SCENE_INFRONT if b == f2
+        }
+        assert result.rows == expected
+
+    def test_grows_base_relation(self, db):
+        result = apply_constructor(db, "Infront", "ahead2")
+        assert set(SCENE_INFRONT) <= set(result.rows)
+
+    def test_result_type(self, db):
+        result = apply_constructor(db, "Infront", "ahead2")
+        assert result.result_type.name == "aheadrel"
+        assert result.schema.attribute_names == ("head", "tail")
+
+    def test_non_recursive_converges_fast(self, db):
+        result = apply_constructor(db, "Infront", "ahead2", mode="naive")
+        # one productive iteration plus the fixpoint-confirming one
+        assert result.stats.iterations <= 3
+
+    def test_as_relation(self, db):
+        rel = apply_constructor(db, "Infront", "ahead2").as_relation("Ahead2")
+        assert len(rel) == 5
+
+
+class TestSimpleRecursiveAhead:
+    def test_transitive_closure(self, db):
+        result = apply_constructor(db, "Infront", "ahead")
+        assert result.rows == INFRONT_TC
+
+    def test_modes_agree(self, db):
+        naive = apply_constructor(db, "Infront", "ahead", mode="naive")
+        semi = apply_constructor(db, "Infront", "ahead", mode="seminaive")
+        auto = apply_constructor(db, "Infront", "ahead", mode="auto")
+        assert naive.rows == semi.rows == auto.rows == INFRONT_TC
+
+    def test_auto_selects_seminaive(self, db):
+        result = apply_constructor(db, "Infront", "ahead")
+        assert result.stats.mode == "seminaive"
+
+    def test_empty_base(self):
+        db = paper.cad_database(mutual=False)
+        result = apply_constructor(db, "Infront", "ahead")
+        assert result.rows == frozenset()
+
+    def test_cyclic_base_terminates(self):
+        db = paper.cad_database(
+            infront=[("a", "b"), ("b", "c"), ("c", "a")], mutual=False
+        )
+        result = apply_constructor(db, "Infront", "ahead")
+        assert result.rows == {(x, y) for x in "abc" for y in "abc"}
+
+    def test_paper_repeat_loop_program_equivalent(self, db):
+        """The REPEAT/UNTIL program of section 3.1 computes the same value."""
+        infront = db["Infront"].rows()
+        ahead: set = set()
+        while True:
+            oldahead = set(ahead)
+            ahead = set(infront) | {
+                (f, t)
+                for (f, b) in infront
+                for (h, t) in oldahead
+                if b == h
+            }
+            if ahead == oldahead:
+                break
+        result = apply_constructor(db, "Infront", "ahead")
+        assert result.rows == ahead
+
+    def test_constructed_range_inside_query(self, db):
+        """{EACH r IN Infront{ahead}: r.head = "rug"} via the evaluator."""
+        q = d.query(
+            d.branch(
+                d.each("r", d.constructed("Infront", "ahead")),
+                pred=d.eq(d.a("r", "head"), "rug"),
+                targets=[d.a("r", "tail")],
+            )
+        )
+        assert Evaluator(db).eval_query(q) == {("table",), ("chair",), ("door",)}
+
+
+class TestBoundedSequence:
+    """Infront{ahead} = lim Infront{ahead_n} (section 3.1)."""
+
+    def test_step_zero_is_empty(self, db):
+        assert construct_bounded(db, d.constructed("Infront", "ahead"), 0).rows == frozenset()
+
+    def test_step_one_is_base(self, db):
+        result = construct_bounded(db, d.constructed("Infront", "ahead"), 1)
+        assert result.rows == frozenset(SCENE_INFRONT)
+
+    def test_sequence_is_monotone(self, db):
+        node = d.constructed("Infront", "ahead")
+        previous = frozenset()
+        for steps in range(6):
+            current = construct_bounded(db, node, steps).rows
+            assert previous <= current
+            previous = current
+
+    def test_limit_reached(self, db):
+        node = d.constructed("Infront", "ahead")
+        full = apply_constructor(db, "Infront", "ahead").rows
+        assert construct_bounded(db, node, 10).rows == full
+
+    def test_limit_stable_beyond_convergence(self, db):
+        node = d.constructed("Infront", "ahead")
+        assert (
+            construct_bounded(db, node, 10).rows
+            == construct_bounded(db, node, 50).rows
+        )
+
+
+class TestDefinitionValidation:
+    def test_wrong_target_arity_rejected(self):
+        db = Database()
+        db.declare("E", paper.INFRONTREL)
+        body = d.query(
+            d.branch(d.each("r", "Rel"), targets=[d.a("r", "front")])
+        )
+        with pytest.raises(SchemaError, match="arity"):
+            define_constructor(
+                db, "bad", "Rel", paper.INFRONTREL, paper.AHEADREL, body
+            )
+
+    def test_identity_branch_incompatible_base_rejected(self):
+        from repro.types import INTEGER, record, relation_type
+
+        numrec = record("numrec", x=INTEGER, y=INTEGER)
+        numrel = relation_type("numrel", numrec)
+        db = Database()
+        body = d.query(d.branch(d.each("r", "Rel")))
+        with pytest.raises(SchemaError, match="positionally"):
+            define_constructor(db, "bad", "Rel", numrel, paper.AHEADREL, body)
+
+    def test_identity_branch_with_two_bindings_rejected(self):
+        db = Database()
+        body = d.query(d.branch(d.each("r", "Rel"), d.each("s", "Rel")))
+        with pytest.raises(SchemaError, match="exactly one"):
+            define_constructor(
+                db, "bad", "Rel", paper.INFRONTREL, paper.AHEADREL, body
+            )
+
+    def test_positivity_enforced_at_definition(self):
+        db = Database()
+        with pytest.raises(PositivityError):
+            paper.define_nonsense(db, check_positivity=True)
+
+    def test_duplicate_name_rejected(self, db):
+        body = d.query(d.branch(d.each("r", "Rel")))
+        with pytest.raises(SchemaError, match="already"):
+            define_constructor(
+                db, "ahead", "Rel", paper.INFRONTREL, paper.AHEADREL, body
+            )

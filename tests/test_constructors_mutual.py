@@ -1,0 +1,138 @@
+"""Mutual recursion (section 3.1): the ahead/above constructor pair."""
+
+import pytest
+
+from repro import paper
+from repro.constructors import apply_constructor, construct, instantiate
+from repro.calculus import dsl as d
+
+from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+
+#: Expected values computed by hand from the paper's definitions over the
+#: scene Infront = {(table,chair),(chair,door),(rug,table)},
+#: Ontop = {(vase,table),(lamp,desk)}.
+EXPECTED_AHEAD = {
+    ("table", "chair"), ("chair", "door"), ("rug", "table"),
+    ("table", "door"), ("rug", "chair"), ("rug", "door"),
+}
+EXPECTED_ABOVE = {
+    ("vase", "table"), ("lamp", "desk"),
+    # the vase is above everything the table is (transitively) in front of
+    ("vase", "chair"), ("vase", "door"),
+}
+
+
+@pytest.fixture
+def db():
+    return paper.cad_database(SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP, mutual=True)
+
+
+class TestMutualValues:
+    def test_ahead_with_ontop(self, db):
+        result = apply_constructor(db, "Infront", "ahead", "Ontop")
+        assert result.rows == EXPECTED_AHEAD
+
+    def test_above_with_infront(self, db):
+        result = apply_constructor(db, "Ontop", "above", "Infront")
+        assert result.rows == EXPECTED_ABOVE
+
+    def test_vase_is_above_the_chair(self, db):
+        """The paper's motivating sentence: the vase (on the table, which
+        is in front of the chair) is above/ahead-of the chair."""
+        result = apply_constructor(db, "Ontop", "above", "Infront")
+        assert ("vase", "chair") in result.rows
+
+    def test_modes_agree_on_mutual_system(self, db):
+        naive = apply_constructor(db, "Ontop", "above", "Infront", mode="naive")
+        semi = apply_constructor(db, "Ontop", "above", "Infront", mode="seminaive")
+        assert naive.rows == semi.rows == EXPECTED_ABOVE
+
+
+class TestSystemStructure:
+    def test_two_equations_shared(self, db):
+        """ahead(Ontop) and above(Infront) instantiate to ONE system of two
+        equations — the applications unify across the mutual bodies."""
+        node = d.constructed("Infront", "ahead", d.rel("Ontop"))
+        system = instantiate(db, node)
+        assert len(system) == 2
+        names = sorted(key.constructor for key in system.apps)
+        assert names == ["above", "ahead"]
+
+    def test_root_is_the_requested_application(self, db):
+        node = d.constructed("Ontop", "above", d.rel("Infront"))
+        system = instantiate(db, node)
+        assert system.root.constructor == "above"
+
+    def test_values_contain_both_applications(self, db):
+        result = apply_constructor(db, "Infront", "ahead", "Ontop")
+        assert len(result.values) == 2
+        by_name = {k.constructor: v for k, v in result.values.items()}
+        assert by_name["ahead"] == EXPECTED_AHEAD
+        assert by_name["above"] == EXPECTED_ABOVE
+
+    def test_describe_lists_applications(self, db):
+        node = d.constructed("Infront", "ahead", d.rel("Ontop"))
+        system = instantiate(db, node)
+        text = system.describe()
+        assert "ahead" in text and "above" in text
+
+
+class TestPaperDoubleLoop:
+    def test_double_repeat_loop_program_equivalent(self, db):
+        """The section 3.1 program with auxiliary variables Ahead, Above."""
+        infront = db["Infront"].rows()
+        ontop = db["Ontop"].rows()
+
+        def ahead_fct(ahead, above):
+            return (
+                set(infront)
+                | {(f, t) for (f, b) in infront for (h, t) in ahead if b == h}
+                | {(f, lo) for (f, b) in infront for (hi, lo) in above if b == hi}
+            )
+
+        def above_fct(ahead, above):
+            return (
+                set(ontop)
+                | {(t, lo) for (t, b) in ontop for (hi, lo) in above if b == hi}
+                | {(t, tl) for (t, b) in ontop for (h, tl) in ahead if b == h}
+            )
+
+        ahead: set = set()
+        above: set = set()
+        while True:
+            oldahead, oldabove = set(ahead), set(above)
+            ahead = ahead_fct(oldahead, oldabove)
+            above = above_fct(oldahead, oldabove)
+            if ahead == oldahead and above == oldabove:
+                break
+        assert ahead == EXPECTED_AHEAD
+        assert above == EXPECTED_ABOVE
+
+    def test_engine_matches_loop(self, db):
+        result = apply_constructor(db, "Infront", "ahead", "Ontop")
+        assert result.rows == EXPECTED_AHEAD
+
+
+class TestDeepStacking:
+    def test_towers_propagate(self):
+        """A taller scene: a stack of objects on a table in a row of rooms."""
+        infront = [("room1", "room2"), ("room2", "room3")]
+        ontop = [("box", "table"), ("cup", "box"), ("table", "floor1")]
+        objects = [(n, "x") for n in
+                    ("room1", "room2", "room3", "box", "table", "cup", "floor1")]
+        db = paper.cad_database(objects, infront, ontop, mutual=True)
+        above = apply_constructor(db, "Ontop", "above", "Infront").rows
+        # cup is above box, table, floor1 (transitively through ontop)
+        assert ("cup", "box") in above
+        assert ("cup", "table") in above
+        assert ("cup", "floor1") in above
+
+    def test_mixed_chain_through_both_relations(self):
+        # a on b (ontop), b in front of c (infront), c in front of d
+        infront = [("b", "c"), ("c", "d")]
+        ontop = [("a", "b")]
+        db = paper.cad_database([], infront, ontop, mutual=True)
+        above = apply_constructor(db, "Ontop", "above", "Infront").rows
+        # a is above everything b is in front of
+        assert ("a", "c") in above
+        assert ("a", "d") in above

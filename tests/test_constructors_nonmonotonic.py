@@ -1,0 +1,109 @@
+"""Section 3.3: negation, universal quantification, and convergence.
+
+* ``nonsense`` — rejected by the positivity check; with the check
+  overridden the iteration oscillates and is detected.
+* ``strange`` — rejected by the positivity check; with the check
+  overridden it converges, on {0..6}, to {0, 2, 4, 6} (the paper's
+  worked iteration).
+"""
+
+import pytest
+
+from repro import paper
+from repro.constructors import (
+    apply_constructor,
+    construct,
+    is_definition_positive,
+)
+from repro.calculus import dsl as d
+from repro.errors import ConvergenceError, PositivityError
+from repro.relational import Database
+
+
+def card_db(values) -> Database:
+    db = Database("cards")
+    db.declare("Base", paper.CARDREL, [(v,) for v in values])
+    return db
+
+
+class TestCompilerRejection:
+    def test_nonsense_rejected_at_definition(self):
+        with pytest.raises(PositivityError):
+            paper.define_nonsense(Database(), check_positivity=True)
+
+    def test_strange_rejected_at_definition(self):
+        with pytest.raises(PositivityError):
+            paper.define_strange(Database(), check_positivity=True)
+
+    def test_definition_positivity_predicate(self):
+        db = Database()
+        nonsense = paper.define_nonsense(db)
+        strange = paper.define_strange(db)
+        assert not is_definition_positive(nonsense)
+        assert not is_definition_positive(strange)
+
+    def test_application_rejected_without_override(self):
+        db = card_db(range(7))
+        paper.define_strange(db)
+        with pytest.raises(PositivityError):
+            apply_constructor(db, "Base", "strange")
+
+
+class TestNonsenseOscillates:
+    def test_oscillation_detected(self):
+        db = card_db([0, 1, 2])
+        paper.define_nonsense(db)
+        with pytest.raises(ConvergenceError, match="oscillat"):
+            apply_constructor(db, "Base", "nonsense", allow_nonmonotonic=True)
+
+    def test_empty_base_trivially_converges(self):
+        # With an empty base the body is empty: {} is a fixpoint.
+        db = card_db([])
+        paper.define_nonsense(db)
+        result = apply_constructor(db, "Base", "nonsense", allow_nonmonotonic=True)
+        assert result.rows == frozenset()
+
+
+class TestStrangeConverges:
+    def test_paper_limit_on_0_to_6(self):
+        db = card_db(range(7))
+        paper.define_strange(db)
+        result = apply_constructor(db, "Base", "strange", allow_nonmonotonic=True)
+        assert result.rows == {(0,), (2,), (4,), (6,)}
+        assert result.stats.mode == "naive+history"
+
+    def test_iteration_trace_matches_paper(self):
+        """The intermediate states of the paper's worked iteration."""
+        from repro.constructors import construct_bounded
+
+        db = card_db(range(7))
+        paper.define_strange(db)
+        node = d.constructed("Base", "strange")
+        assert construct_bounded(db, node, 1).rows == {(i,) for i in range(7)}
+        assert construct_bounded(db, node, 2).rows == {(0,)}
+        assert construct_bounded(db, node, 3).rows == {(0,), (2,), (3,), (4,), (5,), (6,)}
+        assert construct_bounded(db, node, 4).rows == {(0,), (2,)}
+
+    def test_single_element_base(self):
+        db = card_db([5])
+        paper.define_strange(db)
+        result = apply_constructor(db, "Base", "strange", allow_nonmonotonic=True)
+        # no s with 5 = s+1 in any state: {5} is the limit
+        assert result.rows == {(5,)}
+
+    def test_strange_on_two_adjacent(self):
+        db = card_db([3, 4])
+        paper.define_strange(db)
+        result = apply_constructor(db, "Base", "strange", allow_nonmonotonic=True)
+        # 4 = 3+1 is suppressed once 3 stabilizes: limit {3}
+        assert result.rows == {(3,)}
+
+
+class TestIterationBudget:
+    def test_max_iterations_exceeded_raises(self):
+        db = paper.cad_database(
+            infront=[(f"n{i}", f"n{i+1}") for i in range(10)], mutual=False
+        )
+        with pytest.raises(ConvergenceError, match="converge"):
+            apply_constructor(db, "Infront", "ahead", mode="naive",
+                              max_iterations=2)

@@ -1,0 +1,162 @@
+"""Property tests for fixpoint semantics (section 3.2).
+
+Hypothesis generates random edge relations; we check the paper's formal
+claims:
+
+* the bounded sequence apply^k is monotone increasing (positivity lemma);
+* the naive and semi-naive engines agree with each other, with the
+  reference REPEAT-loop, and with networkx's transitive closure;
+* the result is the *least* fixpoint: it is contained in every other
+  fixpoint of the equations (Tarski);
+* monotonicity of the constructed value in the base relation.
+"""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import paper
+from repro.calculus import dsl as d
+from repro.constructors import apply_constructor, construct_bounded
+
+NODES = ["a", "b", "c", "d", "e", "f"]
+
+edge_sets = st.sets(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)), max_size=14
+)
+
+
+def make_db(edges):
+    return paper.cad_database(infront=edges, mutual=False)
+
+
+def nx_closure(edges) -> set[tuple]:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(NODES)
+    graph.add_edges_from(edges)
+    # non-reflexive transitive closure: (u,v) iff a non-null path u -> v,
+    # which keeps (u,u) exactly when u lies on a cycle
+    return set(nx.transitive_closure(graph, reflexive=False).edges())
+
+
+@settings(max_examples=60, deadline=None)
+@given(edge_sets)
+def test_ahead_equals_networkx_closure(edges):
+    db = make_db(edges)
+    result = apply_constructor(db, "Infront", "ahead")
+    assert result.rows == nx_closure(edges)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_sets)
+def test_engines_agree(edges):
+    db = make_db(edges)
+    naive = apply_constructor(db, "Infront", "ahead", mode="naive")
+    semi = apply_constructor(db, "Infront", "ahead", mode="seminaive")
+    assert naive.rows == semi.rows
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets)
+def test_bounded_sequence_monotone(edges):
+    db = make_db(edges)
+    node = d.constructed("Infront", "ahead")
+    previous = frozenset()
+    for steps in range(5):
+        current = construct_bounded(db, node, steps).rows
+        assert previous <= current
+        previous = current
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets)
+def test_least_fixpoint_property(edges):
+    """The engine's result is contained in every fixpoint of the equation.
+
+    F is a fixpoint of ahead when F = E ∪ {(f,t) : (f,b) ∈ E, (h,t) ∈ F, b=h}.
+    The all-pairs relation over reachable nodes is always a pre-fixpoint
+    superset; we verify the computed LFP is the *smallest* fixpoint by
+    checking f(LFP) = LFP and LFP ⊆ any constructed fixpoint.
+    """
+    db = make_db(edges)
+    result = apply_constructor(db, "Infront", "ahead").rows
+
+    def step(current: frozenset) -> frozenset:
+        return frozenset(edges) | frozenset(
+            (f, t) for (f, b) in edges for (h, t) in current if b == h
+        )
+
+    # 1. it is a fixpoint
+    assert step(result) == result
+    # 2. it is below the fixpoint obtained from any superset seed, i.e.
+    #    iterating step() downward from a large fixpoint stays above LFP.
+    everything = frozenset((x, y) for x in NODES for y in NODES)
+    downward = everything
+    for _ in range(len(NODES) + 2):
+        downward = step(downward)
+    assert result <= (downward | frozenset(edges))
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets, edge_sets)
+def test_monotone_in_base_relation(small, extra):
+    """E ⊆ E' implies ahead(E) ⊆ ahead(E') — the monotonicity lemma."""
+    db_small = make_db(small)
+    db_big = make_db(small | extra)
+    rows_small = apply_constructor(db_small, "Infront", "ahead").rows
+    rows_big = apply_constructor(db_big, "Infront", "ahead").rows
+    assert rows_small <= rows_big
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_sets)
+def test_idempotence_of_construction(edges):
+    """Applying ahead to an already-closed relation adds nothing."""
+    db = make_db(edges)
+    closed = apply_constructor(db, "Infront", "ahead").rows
+    db2 = paper.cad_database(infront=closed, mutual=False)
+    assert apply_constructor(db2, "Infront", "ahead").rows == closed
+
+
+@settings(max_examples=25, deadline=None)
+@given(edge_sets)
+def test_seminaive_iterations_not_more_than_naive(edges):
+    db = make_db(edges)
+    naive = apply_constructor(db, "Infront", "ahead", mode="naive")
+    semi = apply_constructor(db, "Infront", "ahead", mode="seminaive")
+    # semi-naive converges in at most one extra bookkeeping round
+    assert semi.stats.iterations <= naive.stats.iterations + 1
+
+
+ontop_sets = st.sets(
+    st.tuples(st.sampled_from(NODES), st.sampled_from(NODES)), max_size=8
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(edge_sets, ontop_sets)
+def test_mutual_system_oracle(infront, ontop):
+    """Mutual ahead/above against an independent double-loop oracle."""
+    db = paper.cad_database(infront=infront, ontop=ontop, mutual=True)
+
+    ahead: set = set()
+    above: set = set()
+    while True:
+        old = (set(ahead), set(above))
+        ahead = (
+            set(infront)
+            | {(f, t) for (f, b) in infront for (h, t) in old[0] if b == h}
+            | {(f, lo) for (f, b) in infront for (hi, lo) in old[1] if b == hi}
+        )
+        above = (
+            set(ontop)
+            | {(t, lo) for (t, b) in ontop for (hi, lo) in old[1] if b == hi}
+            | {(t, tl) for (t, b) in ontop for (h, tl) in old[0] if b == h}
+        )
+        if (ahead, above) == old:
+            break
+
+    got_ahead = apply_constructor(db, "Infront", "ahead", "Ontop").rows
+    got_above = apply_constructor(db, "Ontop", "above", "Infront").rows
+    assert got_ahead == ahead
+    assert got_above == above

@@ -1,0 +1,193 @@
+"""Tests for the Datalog AST, parser, and bottom-up engine."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    Comparison,
+    Const,
+    DatalogEngine,
+    DatalogStats,
+    Program,
+    Rule,
+    Var,
+    mkatom,
+    parse_atom,
+    parse_program,
+)
+from repro.errors import DBPLSyntaxError, TranslationError
+
+TC_SOURCE = """
+% transitive closure of infront
+ahead(X, Y) :- infront(X, Y).
+ahead(X, Y) :- infront(X, Z), ahead(Z, Y).
+"""
+
+CHAIN = {("a", "b"), ("b", "c"), ("c", "d")}
+CHAIN_TC = {("a", "b"), ("b", "c"), ("c", "d"), ("a", "c"), ("b", "d"), ("a", "d")}
+
+
+class TestParser:
+    def test_parse_rule_structure(self):
+        program = parse_program(TC_SOURCE)
+        assert len(program.rules) == 2
+        head = program.rules[0].head
+        assert head.pred == "ahead"
+        assert head.terms == (Var("X"), Var("Y"))
+
+    def test_parse_fact(self):
+        program = parse_program("infront(table, chair).")
+        (rule,) = program.rules
+        assert rule.is_fact
+        assert rule.head.terms == (Const("table"), Const("chair"))
+
+    def test_parse_numbers_and_strings(self):
+        program = parse_program('size(box, 3).  name(box, "The Box").')
+        assert program.rules[0].head.terms[1] == Const(3)
+        assert program.rules[1].head.terms[1] == Const("The Box")
+
+    def test_parse_comparison(self):
+        program = parse_program("big(X) :- size(X, S), S > 10.")
+        (rule,) = program.rules
+        assert isinstance(rule.body[1], Comparison)
+        assert rule.body[1].op == ">"
+
+    def test_comments_ignored(self):
+        program = parse_program("% nothing here\np(a). % trailing\n")
+        assert len(program.rules) == 1
+
+    def test_parse_atom_helper(self):
+        atom = parse_atom("ahead(table, X)")
+        assert atom == Atom("ahead", (Const("table"), Var("X")))
+
+    def test_missing_dot_raises(self):
+        with pytest.raises(DBPLSyntaxError):
+            parse_program("p(a)")
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(DBPLSyntaxError):
+            parse_program("Pred(a).")
+
+    def test_unexpected_character(self):
+        with pytest.raises(DBPLSyntaxError):
+            parse_program("p(a) & q(b).")
+
+    def test_roundtrip_str(self):
+        program = parse_program(TC_SOURCE)
+        again = parse_program(str(program))
+        assert again == program
+
+
+class TestProgramStructure:
+    def test_idb_edb_partition(self):
+        program = parse_program(TC_SOURCE)
+        assert program.idb_predicates() == {"ahead"}
+        assert program.edb_predicates() == {"infront"}
+
+    def test_range_restriction(self):
+        safe = parse_program("p(X) :- e(X, Y).").rules[0]
+        unsafe = Rule(mkatom("p", "X", "Y"), (mkatom("e", "X", "X"),))
+        assert safe.is_range_restricted()
+        assert not unsafe.is_range_restricted()
+
+    def test_unsafe_program_rejected_by_engine(self):
+        program = Program((Rule(mkatom("p", "X"), (Comparison("<", Var("X"), Const(3)),)),))
+        with pytest.raises(TranslationError):
+            DatalogEngine(program)
+
+
+class TestEngineTC:
+    def test_naive_chain(self):
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        assert engine.solve("naive")["ahead"] == CHAIN_TC
+
+    def test_seminaive_chain(self):
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        assert engine.solve("seminaive")["ahead"] == CHAIN_TC
+
+    def test_cycle_terminates(self):
+        edges = {("a", "b"), ("b", "a")}
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": edges})
+        result = engine.solve()["ahead"]
+        assert result == {("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")}
+
+    def test_inline_facts(self):
+        src = TC_SOURCE + "infront(a, b). infront(b, c)."
+        engine = DatalogEngine(parse_program(src))
+        assert engine.solve()["ahead"] == {("a", "b"), ("b", "c"), ("a", "c")}
+
+    def test_query_with_constants(self):
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        assert engine.query(parse_atom("ahead(a, X)")) == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+        }
+
+    def test_query_repeated_variable(self):
+        edges = {("a", "b"), ("b", "a")}
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": edges})
+        assert engine.query(parse_atom("ahead(X, X)")) == {("a", "a"), ("b", "b")}
+
+    def test_stats_track_work(self):
+        stats = DatalogStats()
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        engine.solve("seminaive", stats)
+        assert stats.iterations >= 3
+        assert stats.tuples_derived == len(CHAIN_TC)
+
+    def test_seminaive_fewer_substitutions_than_naive(self):
+        long_chain = {(f"n{i}", f"n{i+1}") for i in range(30)}
+        s_naive, s_semi = DatalogStats(), DatalogStats()
+        DatalogEngine(parse_program(TC_SOURCE), {"infront": long_chain}).solve("naive", s_naive)
+        DatalogEngine(parse_program(TC_SOURCE), {"infront": long_chain}).solve("seminaive", s_semi)
+        assert s_semi.substitutions < s_naive.substitutions
+
+
+class TestEngineBeyondTC:
+    def test_same_generation(self):
+        src = """
+        sg(X, Y) :- flat(X, Y).
+        sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+        """
+        edb = {
+            "flat": {("a", "b")},
+            "up": {("x", "a"), ("y", "b")},
+            "down": {("a", "x2"), ("b", "y2")},
+        }
+        engine = DatalogEngine(parse_program(src), edb)
+        result = engine.solve()["sg"]
+        assert ("a", "b") in result
+        assert ("x", "y2") in result
+
+    def test_mutual_recursion(self):
+        src = """
+        even(X) :- zero(X).
+        even(X) :- succ(Y, X), odd(Y).
+        odd(X) :- succ(Y, X), even(Y).
+        """
+        edb = {
+            "zero": {(0,)},
+            "succ": {(i, i + 1) for i in range(6)},
+        }
+        engine = DatalogEngine(parse_program(src), edb)
+        solution = engine.solve()
+        assert solution["even"] == {(0,), (2,), (4,), (6,)}
+        assert solution["odd"] == {(1,), (3,), (5,)}
+
+    def test_comparison_literal(self):
+        src = "adult(X) :- age(X, A), A >= 18."
+        edb = {"age": {("kim", 20), ("lee", 12)}}
+        engine = DatalogEngine(parse_program(src), edb)
+        assert engine.solve()["adult"] == {("kim",)}
+
+    def test_unbound_comparison_raises(self):
+        src = "p(X) :- e(X, Y), Z > 3."
+        # Z never bound: safety passes (head bound) but comparison fails.
+        engine = DatalogEngine(parse_program(src), {"e": {("a", "b")}})
+        with pytest.raises(TranslationError, match="unbound"):
+            engine.solve()
+
+    def test_constants_in_rule_body(self):
+        src = "reach(Y) :- edge(start, Y).\nreach(Y) :- reach(X), edge(X, Y)."
+        edb = {"edge": {("start", "m"), ("m", "n"), ("other", "z")}}
+        engine = DatalogEngine(parse_program(src), edb)
+        assert engine.solve()["reach"] == {("m",), ("n",)}

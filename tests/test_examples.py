@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout  # every example prints its findings
+
+
+def test_all_five_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "cad_scene.py",
+        "bill_of_materials.py",
+        "dbpl_tour.py",
+        "prolog_bridge.py",
+    } <= names

@@ -1,0 +1,97 @@
+"""Tests for repro.paper: the executable transcription of the paper."""
+
+import pytest
+
+from repro import paper
+from repro.calculus import dsl as d
+from repro.constructors import apply_constructor
+from repro.errors import PositivityError
+from repro.relational import Database
+from repro.selectors import selected
+
+
+class TestSchemas:
+    def test_cad_schema_declares_three_relations(self):
+        db = Database()
+        paper.cad_schema(db)
+        assert {"Objects", "Infront", "Ontop"} <= set(db.relations)
+
+    def test_objects_key_is_part(self):
+        assert paper.OBJECTREL.key == ("part",)
+
+    def test_derived_relations_are_keyless(self):
+        assert paper.AHEADREL.key == ()
+        assert paper.ABOVEREL.key == ()
+
+    def test_record_attribute_names_match_paper(self):
+        assert paper.INFRONTREC.attribute_names == ("front", "back")
+        assert paper.ONTOPREC.attribute_names == ("top", "base")
+        assert paper.AHEADREC.attribute_names == ("head", "tail")
+        assert paper.ABOVEREC.attribute_names == ("high", "low")
+
+
+class TestReadyMadeDatabase:
+    def test_mutual_database_has_both_constructors(self):
+        db = paper.cad_database(mutual=True)
+        assert {"ahead", "above", "ahead2"} <= set(db.constructors)
+        assert {"refint", "hidden_by"} <= set(db.selectors)
+
+    def test_simple_database_has_parameterless_ahead(self):
+        db = paper.cad_database(mutual=False)
+        assert db.constructor("ahead").params == ()
+
+    def test_definitions_are_positive(self):
+        from repro.constructors import is_definition_positive
+
+        db = paper.cad_database(mutual=True)
+        for name in ("ahead", "above", "ahead2"):
+            assert is_definition_positive(db.constructor(name)), name
+
+
+class TestAheadNFamily:
+    """ahead_n as bounded constructor application (section 3.1)."""
+
+    def test_ahead_n_equals_paths_up_to_n(self):
+        from repro.constructors import construct_bounded
+
+        edges = [(f"x{i}", f"x{i+1}") for i in range(6)]
+        db = paper.cad_database(infront=edges, mutual=False)
+        node = d.constructed("Infront", "ahead")
+        for n in range(1, 7):
+            rows = construct_bounded(db, node, n).rows
+            expected = {
+                (f"x{i}", f"x{j}")
+                for i in range(7)
+                for j in range(i + 1, min(i + n, 6) + 1)
+            }
+            assert rows == expected, f"ahead_{n}"
+
+
+class TestHiddenByComposition:
+    def test_formal_semantics_of_paper_expression(self):
+        """Infront[hidden_by("table")]{ahead}: the constructor closes over
+        the selected base only (see DESIGN.md faithfulness notes)."""
+        db = paper.cad_database(
+            infront=[("table", "chair"), ("chair", "door")], mutual=False
+        )
+        from repro.constructors import construct
+
+        node = d.constructed(
+            d.selected("Infront", "hidden_by", d.const("table")), "ahead"
+        )
+        assert construct(db, node).rows == {("table", "chair")}
+
+    def test_intuitive_reading_via_bound_query(self):
+        """The 'all objects behind the table' reading = head-bound query
+        over the unrestricted closure (the E13 specialization)."""
+        from repro.compiler import bound_query, detect_linear_tc
+        from repro.constructors import instantiate
+
+        db = paper.cad_database(
+            infront=[("table", "chair"), ("chair", "door")], mutual=False
+        )
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        shape = detect_linear_tc(db, system)
+        assert bound_query(db, shape, "head", "table") == {
+            ("table", "chair"), ("table", "door"),
+        }

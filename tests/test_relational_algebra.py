@@ -1,0 +1,131 @@
+"""Unit and property tests for the set-oriented algebra primitives.
+
+The algebraic laws tested here are the foundation the paper's
+"set-construction framework" (section 4) builds on; hypothesis generates
+arbitrary small binary relations over a small domain.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.relational import algebra
+
+# -- concrete cases --------------------------------------------------------
+
+E1 = {("a", "b"), ("b", "c"), ("c", "d")}
+E2 = {("b", "c"), ("x", "y")}
+
+
+class TestSelectProject:
+    def test_select(self):
+        assert algebra.select(E1, lambda r: r[0] == "b") == {("b", "c")}
+
+    def test_select_empty(self):
+        assert algebra.select(E1, lambda r: False) == set()
+
+    def test_project_eliminates_duplicates(self):
+        rows = {("a", "x"), ("a", "y")}
+        assert algebra.project(rows, (0,)) == {("a",)}
+
+    def test_project_reorder(self):
+        assert algebra.project({("a", "b")}, (1, 0)) == {("b", "a")}
+
+
+class TestJoins:
+    def test_equijoin_concatenates(self):
+        out = algebra.equijoin(E1, E1, ((1, 0),))
+        assert ("a", "b", "b", "c") in out
+        assert ("b", "c", "c", "d") in out
+        assert len(out) == 2
+
+    def test_equijoin_no_pairs_is_cartesian(self):
+        out = algebra.equijoin({("a",)}, {("x",), ("y",)}, ())
+        assert out == {("a", "x"), ("a", "y")}
+
+    def test_semijoin(self):
+        assert algebra.semijoin(E1, E2, ((0, 0),)) == {("b", "c")}
+
+    def test_antijoin(self):
+        assert algebra.antijoin(E1, E2, ((0, 0),)) == {("a", "b"), ("c", "d")}
+
+    def test_semijoin_antijoin_partition(self):
+        semi = algebra.semijoin(E1, E2, ((1, 0),))
+        anti = algebra.antijoin(E1, E2, ((1, 0),))
+        assert semi | anti == E1
+        assert semi & anti == set()
+
+
+class TestSetOps:
+    def test_union_many(self):
+        assert algebra.union(E1, E2) == E1 | E2
+
+    def test_difference(self):
+        assert algebra.difference(E1, E2) == E1 - E2
+
+    def test_intersection(self):
+        assert algebra.intersection(E1, E2) == E1 & E2
+
+    def test_inputs_not_mutated(self):
+        left = set(E1)
+        algebra.union(left, E2)
+        algebra.difference(left, E2)
+        algebra.equijoin(left, E2, ((1, 0),))
+        assert left == E1
+
+
+# -- property tests ---------------------------------------------------------
+
+nodes = st.sampled_from(["a", "b", "c", "d", "e"])
+edges = st.frozensets(st.tuples(nodes, nodes), max_size=12)
+
+
+@given(edges, edges)
+def test_union_commutative(r, s):
+    assert algebra.union(r, s) == algebra.union(s, r)
+
+
+@given(edges, edges, edges)
+def test_union_associative(r, s, t):
+    assert algebra.union(algebra.union(r, s), t) == algebra.union(r, algebra.union(s, t))
+
+
+@given(edges)
+def test_union_idempotent(r):
+    assert algebra.union(r, r) == set(r)
+
+
+@given(edges, edges)
+def test_equijoin_matches_nested_loop(r, s):
+    """Hash equi-join agrees with the naive nested-loop definition."""
+    fast = algebra.equijoin(r, s, ((1, 0),))
+    slow = {lr + rr for lr in r for rr in s if lr[1] == rr[0]}
+    assert fast == slow
+
+
+@given(edges, edges)
+def test_semijoin_is_projection_of_join(r, s):
+    semi = algebra.semijoin(r, s, ((1, 0),))
+    via_join = {t[:2] for t in algebra.equijoin(r, s, ((1, 0),))}
+    assert semi == via_join
+
+
+@given(edges, edges)
+def test_antijoin_complements_semijoin(r, s):
+    semi = algebra.semijoin(r, s, ((0, 1),))
+    anti = algebra.antijoin(r, s, ((0, 1),))
+    assert semi | anti == set(r)
+    assert not (semi & anti)
+
+
+@given(edges, edges)
+def test_select_distributes_over_union(r, s):
+    pred = lambda t: t[0] != "a"
+    assert algebra.select(algebra.union(r, s), pred) == algebra.union(
+        algebra.select(r, pred), algebra.select(s, pred)
+    )
+
+
+@given(edges)
+def test_projection_monotone(r):
+    sub = {t for t in r if t[0] < "c"}
+    assert algebra.project(sub, (0,)) <= algebra.project(r, (0,))

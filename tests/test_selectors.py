@@ -1,0 +1,118 @@
+"""Tests for selectors: Fig. 1, referential integrity, hidden_by."""
+
+import pytest
+
+from repro import paper
+from repro.calculus import Evaluator, dsl as d
+from repro.errors import ArityError, IntegrityError
+from repro.selectors import SelectedRelation, selected
+
+from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+
+
+@pytest.fixture
+def db():
+    return paper.cad_database(SCENE_OBJECTS, SCENE_INFRONT, SCENE_ONTOP)
+
+
+class TestSelectedReading:
+    def test_hidden_by_selects_matching_front(self, db):
+        view = selected(db, "Infront", "hidden_by", "table")
+        assert view.value() == {("table", "chair")}
+
+    def test_hidden_by_no_match_is_empty(self, db):
+        view = selected(db, "Infront", "hidden_by", "vase")
+        assert view.value() == set()
+
+    def test_refint_selects_everything_when_consistent(self, db):
+        view = selected(db, "Infront", "refint")
+        assert view.value() == db["Infront"].rows()
+
+    def test_refint_filters_dangling(self, db):
+        db["Infront"].insert([("ghost", "chair")])
+        view = selected(db, "Infront", "refint")
+        assert ("ghost", "chair") not in view.value()
+        assert ("table", "chair") in view.value()
+
+    def test_selected_range_in_query(self, db):
+        """Rel[sel] used as a range inside a calculus query."""
+        q = d.query(
+            d.branch(
+                d.each("r", d.selected("Infront", "hidden_by", d.const("table"))),
+                targets=[d.a("r", "back")],
+            )
+        )
+        assert Evaluator(db).eval_query(q) == {("chair",)}
+
+
+class TestCheckedAssignment:
+    """Fig. 1: Infront[refint] := rex expands to the checked conditional."""
+
+    def test_assignment_accepts_consistent_value(self, db):
+        view = selected(db, "Infront", "refint")
+        view.assign([("chair", "table"), ("vase", "lamp")])
+        assert db["Infront"].rows() == {("chair", "table"), ("vase", "lamp")}
+
+    def test_assignment_rejects_dangling_reference(self, db):
+        view = selected(db, "Infront", "refint")
+        before = db["Infront"].rows()
+        with pytest.raises(IntegrityError, match="ghost"):
+            view.assign([("ghost", "chair")])
+        # the paper's ELSE <exception> arm: the old value is kept
+        assert db["Infront"].rows() == before
+
+    def test_insert_through_selector(self, db):
+        view = selected(db, "Infront", "refint")
+        view.insert([("vase", "lamp")])
+        assert ("vase", "lamp") in db["Infront"].rows()
+
+    def test_insert_rejects_violation(self, db):
+        view = selected(db, "Infront", "refint")
+        with pytest.raises(IntegrityError):
+            view.insert([("nobody", "chair")])
+
+    def test_parameterized_assignment(self, db):
+        view = selected(db, "Infront", "hidden_by", "table")
+        view.assign([("table", "door")])
+        assert db["Infront"].rows() == {("table", "door")}
+        with pytest.raises(IntegrityError):
+            view.assign([("chair", "door")])
+
+
+class TestParameterDiscipline:
+    def test_wrong_arity_raises(self, db):
+        view = selected(db, "Infront", "hidden_by")  # missing Obj
+        with pytest.raises(ArityError):
+            view.value()
+
+    def test_wrong_scalar_type_raises(self, db):
+        from repro.errors import TypeMismatchError
+
+        view = selected(db, "Infront", "hidden_by", 42)
+        with pytest.raises(TypeMismatchError):
+            view.value()
+
+    def test_selector_repr_mentions_name(self, db):
+        assert "hidden_by" in repr(db.selector("hidden_by"))
+
+
+class TestSelectorComposition:
+    def test_selector_then_constructor(self, db):
+        """Infront[hidden_by("table")]{ahead2} — composition of section 3.1.
+
+        Under the formal semantics the constructor closes over the
+        *selected* base only; with the single selected edge
+        (table, chair) the result is just that pair.
+        """
+        from repro.constructors import construct
+
+        node = d.constructed(
+            d.selected("Infront", "hidden_by", d.const("table")), "ahead2"
+        )
+        result = construct(db, node)
+        assert result.rows == {("table", "chair")}
+
+    def test_selector_over_larger_selected_set(self, db):
+        db["Infront"].insert([("table", "lamp")])
+        view = selected(db, "Infront", "hidden_by", "table")
+        assert view.value() == {("table", "chair"), ("table", "lamp")}

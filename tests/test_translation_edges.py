@@ -1,0 +1,151 @@
+"""Edge cases of the section 3.4 translators and instantiation machinery."""
+
+import pytest
+
+from repro import paper
+from repro.calculus import ast, dsl as d
+from repro.constructors import construct, define_constructor, instantiate
+from repro.constructors.instantiate import AppKey
+from repro.datalog import DatalogEngine, system_to_program
+from repro.errors import ArityError, DBPLError, EvaluationError, TranslationError
+from repro.relational import Database
+
+
+def edge_db(edges):
+    return paper.cad_database(infront=edges, mutual=False)
+
+
+class TestInstantiationEdges:
+    def test_unification_of_equal_applications(self):
+        """Two textually separate but equal applications share one key."""
+        db = edge_db([("a", "b")])
+        n1 = d.constructed("Infront", "ahead")
+        n2 = d.constructed(d.rel("Infront"), "ahead")
+        s1 = instantiate(db, n1)
+        s2 = instantiate(db, n2)
+        assert s1.root == s2.root
+
+    def test_selected_base_distinct_key(self):
+        db = edge_db([("a", "b")])  # cad_database already defines hidden_by
+        plain = instantiate(db, d.constructed("Infront", "ahead"))
+        restricted = instantiate(
+            db,
+            d.constructed(d.selected("Infront", "hidden_by", d.const("a")), "ahead"),
+        )
+        assert plain.root != restricted.root
+
+    def test_wrong_arity_raises(self):
+        db = edge_db([("a", "b")])
+        with pytest.raises(ArityError):
+            instantiate(db, d.constructed("Infront", "ahead", d.rel("Infront")))
+
+    def test_scalar_where_relation_expected(self):
+        db = paper.cad_database(mutual=True)
+        with pytest.raises(ArityError):
+            instantiate(db, d.constructed("Infront", "ahead", d.const("oops")))
+
+    def test_runaway_instantiation_guarded(self):
+        """A constructor that grows its own argument expression forever."""
+        db = Database()
+        db.declare("E", paper.INFRONTREL, [("a", "b")])
+        from repro.selectors.selector import Parameter
+
+        body = d.query(
+            d.branch(
+                d.each(
+                    "r",
+                    d.constructed(
+                        "Rel", "grower",
+                        d.constructed("P", "grower", d.rel("Rel")),
+                    ),
+                )
+            )
+        )
+        define_constructor(
+            db, "grower", "Rel", paper.INFRONTREL, paper.INFRONTREL, body,
+            params=(Parameter("P", paper.INFRONTREL),),
+        )
+        with pytest.raises(DBPLError, match="exceeded"):
+            instantiate(db, d.constructed("E", "grower", d.rel("E")),
+                        max_applications=32)
+
+    def test_correlated_inline_query_rejected(self):
+        db = edge_db([("a", "b")])
+        correlated = ast.QueryRange(
+            d.query(
+                d.branch(d.each("x", "Infront"),
+                         pred=d.eq(d.a("x", "front"), d.a("outer", "back")))
+            )
+        )
+        with pytest.raises(EvaluationError, match="correlated"):
+            instantiate(db, ast.Constructed(correlated, "ahead", ()))
+
+    def test_key_describe_readable(self):
+        db = edge_db([("a", "b")])
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        assert "Infront{ahead}" in system.root.describe()
+
+
+class TestTranslatorEdges:
+    def test_selected_range_not_translatable(self):
+        db = edge_db([("a", "b")])  # hidden_by comes with cad_database
+        node = d.constructed(
+            d.selected("Infront", "hidden_by", d.const("a")), "ahead"
+        )
+        system = instantiate(db, node)
+        with pytest.raises(TranslationError):
+            system_to_program(db, system)
+
+    def test_contradictory_equalities_prune_rule(self):
+        """A branch requiring r.front = "a" AND r.front = "b" never fires;
+        the translator drops it instead of emitting a broken rule."""
+        db = Database()
+        db.declare("E", paper.INFRONTREL, [("a", "b"), ("b", "c")])
+        body = d.query(
+            d.branch(d.each("r", "Rel")),
+            d.branch(
+                d.each("r", "Rel"),
+                pred=d.and_(
+                    d.eq(d.a("r", "front"), "a"),
+                    d.eq(d.a("r", "front"), "b"),
+                ),
+                targets=[d.a("r", "front"), d.a("r", "back")],
+            ),
+        )
+        define_constructor(db, "contra", "Rel", paper.INFRONTREL, paper.AHEADREL, body)
+        system = instantiate(db, d.constructed("E", "contra"))
+        program, edb, root = system_to_program(db, system)
+        oracle = DatalogEngine(program, edb).solve()[root]
+        assert oracle == construct(db, d.constructed("E", "contra")).rows
+
+    def test_inequality_literals_survive_roundtrip(self):
+        db = Database()
+        db.declare("E", paper.INFRONTREL, [("a", "b"), ("b", "b")])
+        body = d.query(
+            d.branch(
+                d.each("r", "Rel"),
+                pred=d.ne(d.a("r", "front"), d.a("r", "back")),
+                targets=[d.a("r", "front"), d.a("r", "back")],
+            )
+        )
+        define_constructor(db, "strict", "Rel", paper.INFRONTREL, paper.AHEADREL, body)
+        system = instantiate(db, d.constructed("E", "strict"))
+        program, edb, root = system_to_program(db, system)
+        assert DatalogEngine(program, edb).solve()[root] == {("a", "b")}
+
+    def test_some_quantifier_becomes_body_atom(self):
+        db = Database()
+        db.declare("E", paper.INFRONTREL, [("a", "b"), ("b", "c")])
+        body = d.query(
+            d.branch(
+                d.each("r", "Rel"),
+                pred=d.some("s", "Rel", d.eq(d.a("r", "back"), d.a("s", "front"))),
+                targets=[d.a("r", "front"), d.a("r", "back")],
+            )
+        )
+        define_constructor(db, "haspath", "Rel", paper.INFRONTREL, paper.AHEADREL, body)
+        system = instantiate(db, d.constructed("E", "haspath"))
+        program, edb, root = system_to_program(db, system)
+        oracle = DatalogEngine(program, edb).solve()[root]
+        assert oracle == {("a", "b")}
+        assert oracle == construct(db, d.constructed("E", "haspath")).rows

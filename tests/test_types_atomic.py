@@ -1,0 +1,86 @@
+"""Unit tests for atomic types (section 2.1 of the paper)."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.types import BOOLEAN, CARDINAL, INTEGER, REAL, STRING
+from repro.types.atomic import ATOMIC_TYPES
+
+
+class TestIntegerDomain:
+    def test_contains_int(self):
+        assert INTEGER.contains(42)
+
+    def test_contains_negative(self):
+        assert INTEGER.contains(-7)
+
+    def test_rejects_bool(self):
+        # bool is a Python subclass of int but is not of DBPL type INTEGER.
+        assert not INTEGER.contains(True)
+
+    def test_rejects_float(self):
+        assert not INTEGER.contains(3.5)
+
+    def test_rejects_string(self):
+        assert not INTEGER.contains("3")
+
+
+class TestCardinalDomain:
+    def test_contains_zero(self):
+        assert CARDINAL.contains(0)
+
+    def test_rejects_negative(self):
+        assert not CARDINAL.contains(-1)
+
+    def test_rejects_bool(self):
+        assert not CARDINAL.contains(False)
+
+
+class TestStringBooleanReal:
+    def test_string_accepts_str(self):
+        assert STRING.contains("table")
+
+    def test_string_rejects_int(self):
+        assert not STRING.contains(7)
+
+    def test_boolean_accepts_bool(self):
+        assert BOOLEAN.contains(True)
+        assert BOOLEAN.contains(False)
+
+    def test_boolean_rejects_int(self):
+        assert not BOOLEAN.contains(1)
+
+    def test_real_accepts_float_and_int(self):
+        assert REAL.contains(2.5)
+        assert REAL.contains(2)
+
+    def test_real_rejects_bool(self):
+        assert not REAL.contains(True)
+
+
+class TestCheck:
+    def test_check_returns_value(self):
+        assert INTEGER.check(5) == 5
+
+    def test_check_raises_with_context(self):
+        with pytest.raises(TypeMismatchError, match="partid"):
+            INTEGER.check("x", context="partid")
+
+
+class TestFamilies:
+    def test_numeric_family_shared(self):
+        assert INTEGER.family() == CARDINAL.family() == REAL.family() == "numeric"
+
+    def test_string_family_distinct(self):
+        assert STRING.family() != INTEGER.family()
+
+    def test_registry_contains_all_builtins(self):
+        assert set(ATOMIC_TYPES) == {
+            "INTEGER", "CARDINAL", "STRING", "BOOLEAN", "REAL", "ANY",
+        }
+
+    def test_any_accepts_scalars_only(self):
+        from repro.types import ANY
+
+        assert ANY.contains("x") and ANY.contains(3) and ANY.contains(True)
+        assert not ANY.contains(("a", "b"))

@@ -1,0 +1,172 @@
+"""Unit tests for range, enum, record, and relation types (section 2)."""
+
+import pytest
+
+from repro.errors import KeyConstraintError, SchemaError
+from repro.types import (
+    CARDINAL,
+    INTEGER,
+    STRING,
+    EnumType,
+    Field,
+    RangeType,
+    RecordType,
+    record,
+    relation_type,
+)
+
+
+class TestRangeType:
+    """partidtype IS RANGE 1..100 (paper section 2.1)."""
+
+    def setup_method(self):
+        self.partid = RangeType("partidtype", 1, 100)
+
+    def test_contains_bounds(self):
+        assert self.partid.contains(1)
+        assert self.partid.contains(100)
+
+    def test_rejects_outside(self):
+        assert not self.partid.contains(0)
+        assert not self.partid.contains(101)
+
+    def test_rejects_non_integer(self):
+        assert not self.partid.contains("5")
+        assert not self.partid.contains(True)
+
+    def test_domain_predicate_matches_paper(self):
+        assert self.partid.domain_predicate("p") == (
+            "EACH p IN integer: 1 <= p AND p <= 100"
+        )
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SchemaError):
+            RangeType("bad", 10, 1)
+
+    def test_cardinal_base(self):
+        small = RangeType("small", 0, 3, base=CARDINAL)
+        assert small.contains(0)
+        assert not small.contains(-1)
+
+    def test_string_base_rejected(self):
+        with pytest.raises(SchemaError):
+            RangeType("bad", 1, 2, base=STRING)
+
+    def test_numeric_family(self):
+        assert self.partid.family() == "numeric"
+
+
+class TestEnumType:
+    def setup_method(self):
+        self.kind = EnumType("objectkind", ("chair", "table", "vase"))
+
+    def test_contains_label(self):
+        assert self.kind.contains("table")
+
+    def test_rejects_unknown_label(self):
+        assert not self.kind.contains("sofa")
+
+    def test_ordinal(self):
+        assert self.kind.ordinal("chair") == 0
+        assert self.kind.ordinal("vase") == 2
+
+    def test_ordinal_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.kind.ordinal("sofa")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumType("bad", ("a", "a"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            EnumType("bad", ())
+
+    def test_distinct_enums_not_comparable(self):
+        other = EnumType("colour", ("red", "blue"))
+        assert self.kind.family() != other.family()
+
+
+class TestRecordType:
+    def setup_method(self):
+        self.infront = record("infrontrec", front=STRING, back=STRING)
+
+    def test_attribute_names_ordered(self):
+        assert self.infront.attribute_names == ("front", "back")
+
+    def test_index_of(self):
+        assert self.infront.index_of("front") == 0
+        assert self.infront.index_of("back") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError, match="no attribute"):
+            self.infront.index_of("top")
+
+    def test_field_type(self):
+        assert self.infront.field_type("front") is STRING
+
+    def test_contains_tuple(self):
+        assert self.infront.contains(("vase", "table"))
+
+    def test_rejects_wrong_arity(self):
+        assert not self.infront.contains(("vase",))
+
+    def test_rejects_wrong_field_type(self):
+        assert not self.infront.contains(("vase", 7))
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordType("bad", (Field("x", STRING), Field("x", STRING)))
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(SchemaError):
+            RecordType("bad", ())
+
+    def test_positional_compatibility_across_names(self):
+        # infrontrec(front, back) tuples may flow into aheadrec(head, tail):
+        # the paper's identity branch EACH r IN Rel: TRUE relies on this.
+        ahead = record("aheadrec", head=STRING, tail=STRING)
+        assert self.infront.positionally_compatible(ahead)
+        assert not self.infront.structurally_equal(ahead)
+
+    def test_positional_incompatibility_on_types(self):
+        other = record("other", a=STRING, b=INTEGER)
+        assert not self.infront.positionally_compatible(other)
+
+
+class TestRelationType:
+    def setup_method(self):
+        self.objectrec = record("objectrec", part=STRING, weight=INTEGER)
+        self.objectrel = relation_type("objectrel", self.objectrec, key=("part",))
+
+    def test_key_projection(self):
+        assert self.objectrel.key_of(("table", 30)) == ("table",)
+
+    def test_check_key_accepts_unique(self):
+        self.objectrel.check_key([("table", 30), ("vase", 2)])
+
+    def test_check_key_rejects_duplicate_key(self):
+        with pytest.raises(KeyConstraintError):
+            self.objectrel.check_key([("table", 30), ("table", 31)])
+
+    def test_check_key_allows_identical_tuples(self):
+        # r1.key = r2.key ==> r1 = r2 holds when the tuples are equal.
+        self.objectrel.check_key([("table", 30), ("table", 30)])
+
+    def test_unknown_key_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            relation_type("bad", self.objectrec, key=("nope",))
+
+    def test_keyless_variant(self):
+        derived = self.objectrel.keyless()
+        assert derived.key == ()
+        derived.check_key([("t", 1), ("t", 2)])  # no constraint
+
+    def test_contains_checks_elements_and_key(self):
+        assert self.objectrel.contains({("a", 1), ("b", 2)})
+        assert not self.objectrel.contains({("a", 1), ("a", 2)})
+        assert not self.objectrel.contains({("a", "x")})
+
+    def test_empty_key_means_pure_set(self):
+        rel = relation_type("setrel", self.objectrec)
+        rel.check_key([("a", 1), ("a", 2)])  # fine: no key declared

@@ -1,0 +1,142 @@
+"""Tests for the workload generators and the bench harness."""
+
+import pytest
+
+from repro.bench.harness import Table, measure, ratio
+from repro.constructors import apply_constructor
+from repro.workloads import (
+    binary_tree,
+    bom_database,
+    chain,
+    cycle,
+    generate_bom,
+    generate_family,
+    generate_scene,
+    grid,
+    layered_dag,
+    random_dag,
+    random_digraph,
+    sg_database,
+)
+
+from .conftest import transitive_closure
+
+
+class TestGraphGenerators:
+    def test_chain_shape(self):
+        edges = chain(5)
+        assert len(edges) == 5
+        assert edges[0] == ("n0", "n1") and edges[-1] == ("n4", "n5")
+
+    def test_cycle_closes(self):
+        edges = cycle(4)
+        assert ("n3", "n0") in edges
+        assert len(edges) == 4
+
+    def test_binary_tree_counts(self):
+        edges = binary_tree(4)
+        assert len(edges) == 2 ** 4 - 2  # every non-root has one parent
+
+    def test_grid_edge_count(self):
+        edges = grid(3, 3)
+        assert len(edges) == 2 * 3 * 2  # 6 right + 6 down
+
+    def test_random_dag_is_acyclic(self):
+        edges = random_dag(20, 40, seed=1)
+        order = {f"n{i}": i for i in range(20)}
+        assert all(order[a] < order[b] for a, b in edges)
+
+    def test_random_digraph_no_self_loops(self):
+        edges = random_digraph(15, 40, seed=2)
+        assert all(a != b for a, b in edges)
+
+    def test_determinism(self):
+        assert random_digraph(10, 20, seed=3) == random_digraph(10, 20, seed=3)
+        assert layered_dag(3, 4, seed=3) == layered_dag(3, 4, seed=3)
+
+    def test_layered_dag_layers(self):
+        edges = layered_dag(3, 4, seed=1)
+        assert all(src.startswith("l0") or src.startswith("l1") for src, _ in edges)
+
+
+class TestSceneGenerator:
+    def test_scene_relations_consistent(self):
+        scene = generate_scene(rooms=3, row_length=4)
+        names = {name for name, _ in scene.objects}
+        for a, b in scene.infront + scene.ontop:
+            assert a in names and b in names
+
+    def test_scene_database_runs(self):
+        db = generate_scene(rooms=2, row_length=3).database(mutual=True)
+        result = apply_constructor(db, "Infront", "ahead", "Ontop")
+        assert len(result.rows) >= len(db["Infront"])
+
+    def test_infront_forms_single_gallery(self):
+        scene = generate_scene(rooms=3, row_length=3, stacks_per_room=0)
+        closure = transitive_closure(scene.infront)
+        first = scene.infront[0][0]
+        reachable = {b for a, b in closure if a == first}
+        # first furniture piece sees everything else in the gallery
+        assert len(reachable) == 3 * 3 - 1
+
+
+class TestBomAndGenealogy:
+    def test_bom_explosion_superset_of_direct(self):
+        edges = generate_bom(assemblies=2, depth=3)
+        db = bom_database(edges)
+        result = apply_constructor(db, "Contains", "explode")
+        assert set(edges) <= set(result.rows)
+        assert result.rows == transitive_closure(edges)
+
+    def test_family_edges_point_to_parents(self):
+        edges = generate_family(roots=1, depth=3)
+        children = {c for c, _ in edges}
+        assert all(c.startswith("c") for c in children)
+
+    def test_same_generation_includes_siblings(self):
+        edges = [("a", "p"), ("b", "p"), ("x", "a"), ("y", "b")]
+        db = sg_database(edges)
+        result = apply_constructor(db, "Sibling", "samegen", "Parent")
+        assert ("a", "b") in result.rows
+        assert ("x", "y") in result.rows  # cousins via sg(a, b)
+
+    def test_same_generation_nonlinear_modes_agree(self):
+        edges = generate_family(roots=2, depth=3, children=2)
+        db = sg_database(edges)
+        semi = apply_constructor(db, "Sibling", "samegen", "Parent", mode="seminaive")
+        naive = apply_constructor(db, "Sibling", "samegen", "Parent", mode="naive")
+        assert semi.rows == naive.rows
+
+
+class TestHarness:
+    def test_measure_returns_result_and_time(self):
+        value, seconds = measure(lambda: 41 + 1, repeat=2)
+        assert value == 42 and seconds >= 0
+
+    def test_table_render_alignment(self):
+        table = Table("T", ["col", "n"])
+        table.add("a", 1)
+        table.add("bb", 22)
+        text = table.render()
+        assert "T" in text and "col" in text
+        lines = text.splitlines()
+        assert len({len(l) for l in lines[2:5]}) == 1  # header+rows aligned
+
+    def test_table_wrong_arity(self):
+        table = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            table.add(1, 2)
+
+    def test_table_float_formatting(self):
+        table = Table("T", ["x"])
+        table.add(0.12345)
+        assert "0.1234" in table.render() or "0.1235" in table.render()
+
+    def test_ratio_zero_denominator(self):
+        assert ratio(1.0, 0.0) == float("inf")
+
+    def test_notes_rendered(self):
+        table = Table("T", ["x"])
+        table.add(1)
+        table.note("hello")
+        assert "note: hello" in table.render()
