@@ -8,7 +8,7 @@ from repro.calculus import dsl as d
 from repro.constructors import apply_constructor, construct_bounded
 from repro.workloads import chain, grid
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

@@ -6,7 +6,7 @@ from repro.bench import experiments
 from repro.constructors import apply_constructor
 from repro.workloads import generate_scene
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,7 @@ from repro.calculus import dsl as d
 from repro.constructors import construct_bounded, instantiate, iterate_steps
 from repro.workloads import grid
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

@@ -8,7 +8,7 @@ from repro.constructors import apply_constructor
 from repro.errors import ConvergenceError
 from repro.relational import Database
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 def make_card_db(n: int) -> Database:

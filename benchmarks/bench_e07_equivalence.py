@@ -9,7 +9,7 @@ from repro.constructors import instantiate, solve_system
 from repro.datalog import DatalogEngine, datalog_to_database, parse_program, system_to_program
 from repro.workloads import binary_tree
 
-from .conftest import write_table
+from benchtable import write_table
 
 TC = parse_program(
     "ahead(X, Y) :- infront(X, Y).\n"

@@ -16,7 +16,7 @@ from repro.datalog import parse_atom, parse_program
 from repro.prolog import KnowledgeBase, SLDEngine, TabledEngine
 from repro.workloads import chain, cycle
 
-from .conftest import write_table
+from benchtable import write_table
 
 TC = parse_program(
     "ahead(X, Y) :- infront(X, Y).\n"

@@ -8,7 +8,7 @@ from repro.compiler import inline_nonrecursive, run_query
 from repro.constructors import apply_constructor
 from repro.workloads import generate_scene
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

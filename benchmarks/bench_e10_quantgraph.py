@@ -6,7 +6,7 @@ from repro import paper
 from repro.bench import experiments
 from repro.compiler import build_constructor_graph, type_check_level
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

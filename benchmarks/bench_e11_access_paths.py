@@ -8,7 +8,7 @@ from repro.calculus import dsl as d
 from repro.compiler import LogicalAccessPath, PhysicalAccessPath
 from repro.workloads import chain
 
-from .conftest import write_table
+from benchtable import write_table
 
 
 @pytest.fixture(scope="module")

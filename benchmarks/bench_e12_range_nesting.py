@@ -8,7 +8,7 @@ from repro.calculus import Evaluator, dsl as d, nest_binding, unnest_query
 from repro.compiler import run_query
 from repro.workloads import random_digraph
 
-from .conftest import write_table
+from benchtable import write_table
 
 EDGES = random_digraph(48, 480, seed=13)
 

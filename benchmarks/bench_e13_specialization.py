@@ -9,7 +9,7 @@ from repro.compiler import bound_query, construct_compiled, detect_linear_tc
 from repro.constructors import instantiate
 from repro.workloads import chain
 
-from .conftest import write_table
+from benchtable import write_table
 
 EDGES = chain(256)
 

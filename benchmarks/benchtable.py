@@ -1,0 +1,16 @@
+"""Table output for the benchmark suite (importable without packaging).
+
+Every experiment file benchmarks representative operations with
+pytest-benchmark *and* regenerates its EXPERIMENTS.md table (written to
+``benchmarks/out/``).  Lives outside ``conftest.py`` so bench modules can
+use a plain ``from benchtable import write_table``.
+"""
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def write_table(name: str, table) -> None:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(table.render() + "\n")

@@ -1,16 +1,7 @@
 """Shared helpers for the benchmark suite.
 
-Every experiment file benchmarks representative operations with
-pytest-benchmark *and* regenerates its EXPERIMENTS.md table (written to
-``benchmarks/out/``).  Table tests use the benchmark fixture so they run
-under ``--benchmark-only`` as well.
+The actual table writer lives in :mod:`benchtable`; bench modules import
+it directly (``from benchtable import write_table``).
 """
 
-import pathlib
-
-OUT_DIR = pathlib.Path(__file__).parent / "out"
-
-
-def write_table(name: str, table) -> None:
-    OUT_DIR.mkdir(parents=True, exist_ok=True)
-    (OUT_DIR / f"{name}.txt").write_text(table.render() + "\n")
+from benchtable import OUT_DIR, write_table  # noqa: F401  (re-export)

@@ -1,7 +1,17 @@
 """The three-level compiler/optimizer of section 4."""
 
-from .accesspath import AccessPathStats, LogicalAccessPath, PhysicalAccessPath
-from .fixpoint import CompiledFixpoint, compile_fixpoint, construct_compiled
+from .accesspath import (
+    AccessPathStats,
+    LogicalAccessPath,
+    PhysicalAccessPath,
+    choose_access_path,
+)
+from .fixpoint import (
+    CompiledFixpoint,
+    compile_fixpoint,
+    construct_compiled,
+    fixpoint_apply_estimates,
+)
 from .graphutils import (
     Digraph,
     connected_components,
@@ -12,14 +22,17 @@ from .graphutils import (
 from .levels import CompiledStatement, TypeCheckReport, compile_statement, type_check_level
 from .plans import (
     BranchPlan,
+    CostModel,
     ExecutionContext,
     PlanStats,
     QueryPlan,
     compile_branch,
     compile_query,
+    estimate_branch,
+    estimate_query,
     run_query,
 )
-from .pushdown import inline_nonrecursive
+from .pushdown import PushdownDecision, cost_gated_inline, inline_nonrecursive
 from .quantgraph import (
     QGArc,
     QGNode,
@@ -35,12 +48,14 @@ __all__ = [
     "BranchPlan",
     "CompiledFixpoint",
     "CompiledStatement",
+    "CostModel",
     "Digraph",
     "ExecutionContext",
     "LinearTC",
     "LogicalAccessPath",
     "PhysicalAccessPath",
     "PlanStats",
+    "PushdownDecision",
     "QGArc",
     "QGNode",
     "QuantGraph",
@@ -51,13 +66,18 @@ __all__ = [
     "build_constructor_graph",
     "build_interconnectivity_graph",
     "build_query_graph",
+    "choose_access_path",
     "compile_branch",
     "compile_fixpoint",
     "compile_query",
     "compile_statement",
     "connected_components",
     "construct_compiled",
+    "cost_gated_inline",
     "detect_linear_tc",
+    "estimate_branch",
+    "estimate_query",
+    "fixpoint_apply_estimates",
     "inline_nonrecursive",
     "recursive_nodes",
     "run_query",

@@ -27,7 +27,8 @@ from ..calculus import ast
 from ..constructors.instantiate import instantiate
 from ..errors import EvaluationError
 from ..relational import Database
-from .fixpoint import compile_fixpoint
+from .fixpoint import compile_fixpoint, fixpoint_apply_estimates
+from .plans import CostModel
 from .specialize import SpecializedStats, bound_query, detect_linear_tc
 
 
@@ -113,3 +114,53 @@ class PhysicalAccessPath:
             )
         self.stats.partition_lookups += 1
         return set(self._partitions.get(value, set()))
+
+
+def choose_access_path(
+    db: Database,
+    application: ast.Constructed,
+    attr: str,
+    expected_invocations: int = 1,
+    allow_specialization: bool = True,
+) -> "LogicalAccessPath | PhysicalAccessPath":
+    """Cost-gated choice between a logical and a physical access path.
+
+    "Obviously, a physical access path would be generated only in case of
+    heavy query usage" — this function decides what counts as heavy from
+    table statistics: the estimated size of the constructed relation
+    (catalog observations of previous runs when available), whether a
+    goal-directed specialization exists (which makes logical invocations
+    cheap), and the caller's expected invocation count.
+    """
+    system = instantiate(db, application)
+    model = CostModel(db, fixpoint_apply_estimates(db, system))
+    est_full = model.apply_cardinality(system.root)
+
+    shape = detect_linear_tc(db, system) if allow_specialization else None
+    if shape is not None:
+        # A seeded traversal touches roughly the reachable fragment.
+        logical_per_call = max(1.0, est_full ** 0.5)
+    else:
+        # A full fixpoint recomputation per call: value size times the
+        # (estimated) iteration count.
+        logical_per_call = est_full * 2.0
+
+    # Per-lookup partition size: measured distincts when observed, the
+    # sqrt heuristic otherwise.
+    observation = (
+        db.stats.fixpoint_observation(system.root)
+        if getattr(db, "stats", None) is not None
+        else None
+    )
+    result_schema = system.apps[system.root].result_type.element
+    pos = result_schema.index_of(attr)
+    if observation is not None and len(observation.distinct) > pos:
+        partition_rows = est_full / max(1, observation.distinct[pos])
+    else:
+        partition_rows = max(1.0, est_full ** 0.5)
+
+    physical_total = est_full * 2.0 + expected_invocations * partition_rows
+    logical_total = expected_invocations * logical_per_call
+    if physical_total < logical_total:
+        return PhysicalAccessPath(db, application, attr)
+    return LogicalAccessPath(db, application, attr, allow_specialization)

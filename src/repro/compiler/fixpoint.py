@@ -26,8 +26,15 @@ from ..constructors.engines import (
 )
 from ..constructors.instantiate import AppKey, InstantiatedSystem, instantiate
 from ..errors import ConvergenceError, PositivityError
-from ..relational import Database
-from .plans import ExecutionContext, PlanStats, QueryPlan, compile_query
+from ..relational import Database, DeltaStats
+from .plans import (
+    DEFAULT_OPTIMIZER,
+    CostModel,
+    ExecutionContext,
+    PlanStats,
+    QueryPlan,
+    compile_query,
+)
 
 
 @dataclass
@@ -39,11 +46,17 @@ class CompiledFixpoint:
     base_plans: dict[AppKey, QueryPlan]
     diff_plans: dict[AppKey, QueryPlan]
     plan_stats: PlanStats = field(default_factory=PlanStats)
+    #: Incremental statistics over the accumulated value of each fixpoint
+    #: variable, absorbed delta by delta during run().
+    delta_stats: dict[AppKey, DeltaStats] = field(default_factory=dict)
 
     def explain(self) -> str:
         lines = []
         for key in self.system.apps:
             lines.append(f"== {key.describe()} ==")
+            tracked = self.delta_stats.get(key)
+            if tracked is not None:
+                lines.append(f"value stats: {tracked.describe()}")
             lines.append("base:")
             lines.append(self.base_plans[key].explain())
             lines.append("differential:")
@@ -57,11 +70,17 @@ class CompiledFixpoint:
         stats.mode = "compiled-seminaive"
         system = self.system
 
+        self.delta_stats = {
+            key: DeltaStats(len(app.element_type.attribute_names))
+            for key, app in system.apps.items()
+        }
         ctx = ExecutionContext(self.db, stats=self.plan_stats)
         values: dict[AppKey, set] = {
             key: self.base_plans[key].execute(ctx) for key in system.apps
         }
         deltas: dict[AppKey, set] = {key: set(values[key]) for key in system.apps}
+        for key, delta in deltas.items():
+            self.delta_stats[key].absorb(delta)
         stats.iterations = 1
         stats.tuples_derived = sum(len(d) for d in deltas.values())
         stats.peak_delta = stats.tuples_derived
@@ -100,6 +119,7 @@ class CompiledFixpoint:
                 new_deltas[key] = produced - values[key]
             for key in system.apps:
                 values[key] |= new_deltas[key]
+                self.delta_stats[key].absorb(new_deltas[key])
             deltas = new_deltas
             stats.iterations += 1
             grown = sum(len(d) for d in deltas.values())
@@ -109,16 +129,63 @@ class CompiledFixpoint:
         frozen = {key: frozenset(rows) for key, rows in values.items()}
         stats.final_sizes = {k.describe(): len(v) for k, v in frozen.items()}
         self.plan_stats.iterations = stats.iterations
+        # Stats hook: remember the converged sizes (with exact per-column
+        # distinct counts from the absorbed deltas) so later compilations
+        # of the same application start from measured cardinalities.
+        catalog = getattr(self.db, "stats", None)
+        if catalog is not None:
+            for key, rows in frozen.items():
+                tracked = self.delta_stats[key].table
+                distinct = tuple(c.distinct for c in tracked.columns)
+                catalog.record_fixpoint(key, len(rows), distinct)
         return frozen
 
 
-def compile_fixpoint(db: Database, system: InstantiatedSystem) -> CompiledFixpoint:
-    """Compile base and differential plans for every equation."""
+def fixpoint_apply_estimates(
+    db: Database, system: InstantiatedSystem
+) -> dict[object, float]:
+    """Cardinality estimates for every fixpoint-variable token.
+
+    Full values ("new"/"old" variants and the plain key, as referenced by
+    top plans) are priced from catalog observations of previous runs when
+    available, and from total base size times an assumed growth factor
+    otherwise.  Deltas are priced separately — and much smaller — which
+    is what makes the cost model drive differential loop nests off the
+    delta side.
+    """
+    catalog = getattr(db, "stats", None)
+    base_total = sum(len(r) for r in db.relations.values()) or 8
+    estimates: dict[object, float] = {}
+    for key in system.apps:
+        observed = catalog.constructed_estimate(key) if catalog is not None else None
+        full = observed if observed is not None else base_total * CostModel.RECURSIVE_GROWTH
+        delta = max(1.0, full ** 0.5)
+        estimates[key] = full
+        estimates[_variant_token(key, "new")] = full
+        estimates[_variant_token(key, "old")] = full
+        estimates[_variant_token(key, "delta")] = delta
+    return estimates
+
+
+def compile_fixpoint(
+    db: Database,
+    system: InstantiatedSystem,
+    optimizer: str = DEFAULT_OPTIMIZER,
+) -> CompiledFixpoint:
+    """Compile base and differential plans for every equation.
+
+    Base and differential variants are priced through separate cost
+    models: base branches see only stored relations, while differential
+    branches join against fixpoint variables whose (small) delta
+    estimates come from :func:`fixpoint_apply_estimates`.
+    """
     if not seminaive_eligible(system):
         raise PositivityError(
             "compiled fixpoint execution requires fixpoint variables to occur "
             "only as direct binding ranges"
         )
+    base_model = CostModel(db)
+    diff_model = CostModel(db, fixpoint_apply_estimates(db, system))
     base_plans: dict[AppKey, QueryPlan] = {}
     diff_plans: dict[AppKey, QueryPlan] = {}
     for key, app in system.apps.items():
@@ -131,8 +198,14 @@ def compile_fixpoint(db: Database, system: InstantiatedSystem) -> CompiledFixpoi
                 diff_branches.extend(_differential_branches(branch, positions))
             else:
                 base_branches.append(branch)
-        base_plans[key] = compile_query(db, ast.Query(tuple(base_branches)))
-        diff_plans[key] = compile_query(db, ast.Query(tuple(diff_branches)))
+        base_plans[key] = compile_query(
+            db, ast.Query(tuple(base_branches)), optimizer=optimizer,
+            cost_model=base_model,
+        )
+        diff_plans[key] = compile_query(
+            db, ast.Query(tuple(diff_branches)), optimizer=optimizer,
+            cost_model=diff_model,
+        )
     return CompiledFixpoint(db, system, base_plans, diff_plans)
 
 
@@ -140,6 +213,7 @@ def construct_compiled(
     db: Database,
     application: ast.Constructed,
     max_iterations: int = 100_000,
+    optimizer: str = DEFAULT_OPTIMIZER,
 ):
     """Compiled counterpart of :func:`repro.constructors.construct`."""
     from ..constructors.api import ConstructionResult
@@ -150,7 +224,7 @@ def construct_compiled(
         raise PositivityError(
             f"instantiated system for {system.root.describe()} is not positive"
         )
-    program = compile_fixpoint(db, system)
+    program = compile_fixpoint(db, system, optimizer=optimizer)
     stats = FixpointStats()
     values = program.run(max_iterations, stats)
     root_app = system.apps[system.root]

@@ -30,10 +30,17 @@ from ..constructors.instantiate import AppKey, InstantiatedSystem, instantiate
 from ..constructors.positivity import definition_violations
 from ..errors import PositivityError
 from ..relational import Database
-from .fixpoint import CompiledFixpoint, compile_fixpoint
+from .fixpoint import CompiledFixpoint, compile_fixpoint, fixpoint_apply_estimates
 from .graphutils import Digraph, connected_components, recursive_nodes
-from .plans import ExecutionContext, PlanStats, QueryPlan, compile_query
-from .pushdown import inline_nonrecursive
+from .plans import (
+    DEFAULT_OPTIMIZER,
+    CostModel,
+    ExecutionContext,
+    PlanStats,
+    QueryPlan,
+    compile_query,
+)
+from .pushdown import PushdownDecision, cost_gated_inline
 from .quantgraph import QuantGraph, build_interconnectivity_graph
 from .specialize import LinearTC, detect_linear_tc
 
@@ -104,9 +111,12 @@ class CompiledStatement:
     specializations: dict[AppKey, LinearTC]
     top_plan: QueryPlan
     plan_stats: PlanStats = field(default_factory=PlanStats)
+    pushdown_decisions: list[PushdownDecision] = field(default_factory=list)
 
     def explain(self) -> str:
         lines = ["query compilation level:"]
+        for decision in self.pushdown_decisions:
+            lines.append(f"  pushdown: {decision.describe()}")
         for key, shape in self.specializations.items():
             lines.append(f"  specializable: {key.describe()} as {shape.describe()}")
         for key, program in self.fixpoints.items():
@@ -131,9 +141,11 @@ class CompiledStatement:
         return self.top_plan.execute(ctx)
 
 
-def compile_statement(db: Database, query: ast.Query) -> CompiledStatement:
+def compile_statement(
+    db: Database, query: ast.Query, optimizer: str = DEFAULT_OPTIMIZER
+) -> CompiledStatement:
     """Level 2: produce an executable program for one query form."""
-    inlined = inline_nonrecursive(db, query)
+    inlined, pushdown_decisions = cost_gated_inline(db, query)
 
     # Instantiate every remaining (recursive) application and replace it
     # with its fixpoint variable in the query.
@@ -153,13 +165,20 @@ def compile_statement(db: Database, query: ast.Query) -> CompiledStatement:
 
     rewritten: ast.Query = transform(inlined, intern)  # type: ignore[assignment]
 
+    top_estimates: dict[object, float] = {}
     for key, system in systems.items():
         shape = detect_linear_tc(db, system)
         if shape is not None:
             specializations[key] = shape
-        fixpoints[key] = compile_fixpoint(db, system)
+        fixpoints[key] = compile_fixpoint(db, system, optimizer=optimizer)
+        top_estimates.update(fixpoint_apply_estimates(db, system))
 
-    top_plan = compile_query(db, rewritten)
+    # The top plan joins against materialized fixpoint values: price those
+    # ApplyVars with the same full-value estimates the fixpoints used.
+    top_plan = compile_query(
+        db, rewritten, optimizer=optimizer,
+        cost_model=CostModel(db, top_estimates),
+    )
     return CompiledStatement(
         db=db,
         original=query,
@@ -167,4 +186,5 @@ def compile_statement(db: Database, query: ast.Query) -> CompiledStatement:
         fixpoints=fixpoints,
         specializations=specializations,
         top_plan=top_plan,
+        pushdown_decisions=pushdown_decisions,
     )

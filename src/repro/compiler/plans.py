@@ -8,7 +8,15 @@ branch bodies inside generated fixpoint programs:
 * each branch becomes a :class:`BranchPlan` — an ordered loop nest whose
   steps use **hash-index lookups** whenever an equality conjunct links
   the step's variable to already-bound variables or constants, and scan
-  otherwise (greedy ordering picks indexed steps first);
+  otherwise;
+* the loop-nest order and the index-vs-scan choice are made by a
+  :class:`CostModel` over table statistics (cardinalities, distinct
+  counts, index selectivities — see :mod:`repro.relational.stats`):
+  exact dynamic programming over join orders for narrow branches,
+  greedy cheapest-next for wide ones.  The legacy orderings remain
+  available (``optimizer="greedy"`` scores by key count,
+  ``optimizer="syntactic"`` keeps the written binding order) so the
+  benchmarks can measure what the statistics buy;
 * equality conjuncts on constants and on bound variables are consumed by
   the access path; any remaining predicate parts (quantifiers,
   inequalities, memberships) run as residual filters;
@@ -18,12 +26,15 @@ Executing a plan needs an :class:`ExecutionContext` carrying the
 database, parameters, and the current fixpoint-variable values; the
 context also owns per-execution hash indexes over those values and the
 operation counters the benchmarks report (rows scanned, index lookups,
-tuples emitted).
+tuples emitted).  Every plan's :meth:`~BranchPlan.explain` reports the
+optimizer's *estimated* row counts next to the *actual* counts observed
+during execution, so estimation quality is testable.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import combinations
 
 from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
@@ -32,6 +43,14 @@ from ..calculus.rewrite import conjoin, conjuncts
 from ..errors import EvaluationError
 from ..relational import Database, HashIndex, Relation
 from ..types import RecordType
+
+#: Join orders are enumerated exactly (Selinger-style subset DP) up to
+#: this many bindings per branch; wider branches fall back to greedy
+#: cheapest-next-step ordering.
+DP_LIMIT = 6
+
+#: The default optimizer for every compilation entry point.
+DEFAULT_OPTIMIZER = "cost"
 
 
 @dataclass
@@ -111,7 +130,17 @@ class Source:
         if self.kind == "relation":
             return self.name
         if self.kind == "apply":
-            return f"@{getattr(self.token, 'constructor', self.token)}"
+            token = self.token
+            if (
+                isinstance(token, tuple)
+                and len(token) == 3
+                and token[0] == "__seminaive__"
+            ):
+                kind, key = token[1], token[2]
+                label = getattr(key, "constructor", key)
+                prefix = {"delta": "Δ", "new": "new:", "old": "old:"}.get(kind, "")
+                return f"@{prefix}{label}"
+            return f"@{getattr(token, 'constructor', token)}"
         from ..calculus.pretty import render_range
 
         return render_range(self.rexpr)
@@ -129,6 +158,156 @@ def _source_for(db: Database, rexpr: ast.RangeExpr, params: dict) -> Source:
     if isinstance(rexpr, ast.ApplyVar):
         return Source("apply", token=rexpr.token, schema=rexpr.schema)
     return Source("computed", rexpr=rexpr)
+
+
+def _is_delta_token(token: object) -> bool:
+    return (
+        isinstance(token, tuple)
+        and len(token) == 3
+        and token[0] == "__seminaive__"
+        and token[1] == "delta"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The cost model
+# ---------------------------------------------------------------------------
+
+
+class CostModel:
+    """Prices loop-nest steps from table statistics.
+
+    Cardinalities come straight from the live :class:`TableStats` of the
+    relations involved (exact row counts, exact distinct-value counts);
+    equality selectivity of an indexed key is read off an already-built
+    hash index when one exists, and otherwise computed as the
+    independence product of per-column ``1/distinct`` estimates.  Sources
+    the statistics cannot see (fixpoint variables, computed ranges) are
+    priced through ``apply_estimates`` — the fixpoint compiler passes
+    separate estimates for full values and for deltas, which is what
+    keeps deltas driving the differential loop nests — with catalog
+    observations of previously converged fixpoints as the fallback.
+    """
+
+    #: Rows assumed for a computed range nobody has statistics for.
+    DEFAULT_COMPUTED_ROWS = 32.0
+    #: Assumed output growth of a recursive application over its base.
+    RECURSIVE_GROWTH = 4.0
+    #: Cost charged once for building a hash index over a source.
+    INDEX_BUILD_WEIGHT = 0.25
+
+    def __init__(
+        self,
+        db: Database,
+        apply_estimates: dict[object, float] | None = None,
+    ) -> None:
+        self.db = db
+        self.catalog = getattr(db, "stats", None)
+        self.apply_estimates = dict(apply_estimates or {})
+
+    # -- cardinalities -------------------------------------------------------
+
+    def source_cardinality(self, source: Source) -> float:
+        if source.kind == "relation":
+            return float(len(self.db[source.name]))
+        if source.kind == "apply":
+            return self.apply_cardinality(source.token)
+        return self.range_cardinality(source.rexpr)
+
+    def apply_cardinality(self, token: object) -> float:
+        if token in self.apply_estimates:
+            return self.apply_estimates[token]
+        key = token
+        kind = None
+        if isinstance(token, tuple) and len(token) == 3 and token[0] == "__seminaive__":
+            kind = token[1]
+            key = token[2]
+        observed = (
+            self.catalog.constructed_estimate(key) if self.catalog is not None else None
+        )
+        if observed is None:
+            base_total = sum(len(r) for r in self.db.relations.values()) or 8
+            observed = base_total * self.RECURSIVE_GROWTH
+        if kind == "delta":
+            # Deltas shrink toward convergence; sqrt of the full value is
+            # a deliberately small estimate so deltas drive loop nests.
+            return max(1.0, observed ** 0.5)
+        return float(observed)
+
+    def range_cardinality(self, rexpr: ast.RangeExpr | None, depth: int = 0) -> float:
+        if isinstance(rexpr, ast.RelRef) and rexpr.name in self.db:
+            return float(len(self.db[rexpr.name]))
+        if isinstance(rexpr, ast.ApplyVar):
+            return self.apply_cardinality(rexpr.token)
+        if isinstance(rexpr, ast.Selected) and depth < 4:
+            # A selector keeps a restricted subset of its base.
+            return max(1.0, 0.5 * self.range_cardinality(rexpr.base, depth + 1))
+        if isinstance(rexpr, ast.Constructed) and depth < 4:
+            base = self.range_cardinality(rexpr.base, depth + 1)
+            try:
+                recursive = self.db.constructor(rexpr.constructor).is_recursive()
+            except Exception:
+                recursive = True
+            return max(1.0, base * (self.RECURSIVE_GROWTH if recursive else 2.0))
+        return self.DEFAULT_COMPUTED_ROWS
+
+    # -- selectivities -------------------------------------------------------
+
+    def key_selectivity(self, source: Source, positions: tuple[int, ...]) -> float:
+        if not positions:
+            return 1.0
+        if source.kind == "relation":
+            relation = self.db[source.name]
+            index = relation.peek_index(positions)
+            if index is not None:
+                return index.selectivity()
+            return relation.stats().key_selectivity(positions)
+        # Unknown distribution: assume sqrt(N) distinct values per column.
+        card = self.source_cardinality(source)
+        if card <= 1:
+            return 1.0
+        sel = 1.0
+        for _ in positions:
+            sel *= 1.0 / max(1.0, card ** 0.5)
+        return max(sel, 1.0 / card)
+
+    # -- step pricing --------------------------------------------------------
+
+    def price_step(
+        self, source: Source, key_positions: tuple[int, ...]
+    ) -> "StepEstimate":
+        """Price one loop step given the key positions usable as an index."""
+        card = self.source_cardinality(source)
+        if key_positions:
+            matched = card * self.key_selectivity(source, key_positions)
+            # Cost-gated access path: an index pays off when a lookup is
+            # expected to return strictly fewer rows than a full scan.
+            if matched < card:
+                return StepEstimate(
+                    source_rows=card,
+                    out_rows=matched,
+                    per_invocation=1.0 + matched,
+                    build_cost=card * self.INDEX_BUILD_WEIGHT,
+                    use_index=True,
+                )
+        return StepEstimate(
+            source_rows=card,
+            out_rows=card,
+            per_invocation=max(card, 1.0),
+            build_cost=0.0,
+            use_index=False,
+        )
+
+
+@dataclass(frozen=True)
+class StepEstimate:
+    """The cost model's verdict on one candidate loop step."""
+
+    source_rows: float
+    out_rows: float
+    per_invocation: float
+    build_cost: float
+    use_index: bool
 
 
 # ---------------------------------------------------------------------------
@@ -198,6 +377,10 @@ class LoopStep:
     # Cheap compiled filters evaluated on (env incl. this var).
     filters: tuple = ()
     filter_descs: tuple[str, ...] = ()
+    # Cost-model estimates, recorded for explain().
+    est_source_rows: float | None = None
+    est_out_rows: float | None = None
+    est_cumulative: float | None = None
 
     def describe(self) -> str:
         access = "scan"
@@ -214,6 +397,15 @@ class BranchPlan:
     target_fn: object
     target_desc: str
     schemas: dict[str, RecordType]
+    optimizer: str = DEFAULT_OPTIMIZER
+    est_cost: float | None = None
+    est_out: float | None = None
+    # Actual per-step binding counts, accumulated over every execution of
+    # this plan; explain() divides by `executions` so the reported actuals
+    # stay commensurable with the per-execution estimates.
+    actual_rows: list[int] = field(default_factory=list)
+    actual_emitted: int = 0
+    executions: int = 0
 
     def execute(self, ctx: ExecutionContext, out: set) -> None:
         stats = ctx.stats
@@ -221,6 +413,10 @@ class BranchPlan:
         has_residual = not isinstance(residual, ast.TruePred)
         schemas = self.schemas
         evaluator = ctx.evaluator
+        if len(self.actual_rows) != len(self.steps):
+            self.actual_rows = [0] * len(self.steps)
+        self.executions += 1
+        actual = self.actual_rows
 
         def run(depth: int, env: dict) -> None:
             if depth == len(self.steps):
@@ -233,6 +429,7 @@ class BranchPlan:
                         return
                 out.add(self.target_fn(env))
                 stats.tuples_emitted += 1
+                self.actual_emitted += 1
                 return
             step = self.steps[depth]
             rows, index_provider = step.source.rows_and_indexable(ctx)
@@ -253,18 +450,36 @@ class BranchPlan:
                         ok = False
                         break
                 if ok:
+                    actual[depth] += 1
                     run(depth + 1, env)
             env.pop(var, None)
 
         run(0, {})
 
     def explain(self, indent: str = "") -> str:
-        lines = [f"{indent}{step.describe()}" for step in self.steps]
+        # Estimates model ONE execution; actuals are accumulated across
+        # all executions (e.g. fixpoint iterations), so report the
+        # per-execution average next to the estimate.
+        lines = []
+        have_actuals = self.executions > 0 and len(self.actual_rows) == len(self.steps)
+
+        def per_run(total: int) -> str:
+            return f"{total / self.executions:.1f}" if have_actuals else "-"
+
+        for i, step in enumerate(self.steps):
+            suffix = ""
+            if step.est_cumulative is not None:
+                act = per_run(self.actual_rows[i]) if have_actuals else "-"
+                suffix = f"  [est={step.est_cumulative:.1f} act={act}]"
+            lines.append(f"{indent}{step.describe()}{suffix}")
         if not isinstance(self.residual, ast.TruePred):
             from ..calculus.pretty import render_pred
 
             lines.append(f"{indent}RESIDUAL {render_pred(self.residual)}")
-        lines.append(f"{indent}EMIT {self.target_desc}")
+        emit = f"{indent}EMIT {self.target_desc}"
+        if self.est_out is not None:
+            emit += f"  [est={self.est_out:.1f} act={per_run(self.actual_emitted)}]"
+        lines.append(emit)
         return "\n".join(lines)
 
 
@@ -273,6 +488,7 @@ class QueryPlan:
     """Union of branch plans with duplicate elimination (set semantics)."""
 
     branches: list[BranchPlan]
+    optimizer: str = DEFAULT_OPTIMIZER
 
     def execute(self, ctx: ExecutionContext) -> set[tuple]:
         out: set[tuple] = set()
@@ -280,8 +496,12 @@ class QueryPlan:
             branch.execute(ctx, out)
         return out
 
+    @property
+    def est_cost(self) -> float:
+        return sum(b.est_cost or 0.0 for b in self.branches)
+
     def explain(self) -> str:
-        parts = []
+        parts = [f"PLAN [optimizer={self.optimizer}]"]
         for i, branch in enumerate(self.branches):
             parts.append(f"BRANCH {i}:")
             parts.append(branch.explain(indent="  "))
@@ -293,10 +513,147 @@ def _static_schema_of(db: Database, rexpr: ast.RangeExpr, params: dict) -> Recor
     return evaluator.infer_schema(rexpr, {})
 
 
+# ---------------------------------------------------------------------------
+# Join ordering
+# ---------------------------------------------------------------------------
+
+
+def _available_keys(
+    var: str,
+    bound: frozenset,
+    equalities: list[tuple[int, str, int, ast.Term]],
+) -> list[tuple[int, int, ast.Term]]:
+    """Equality entries (group, pos, other) usable as index keys for
+    ``var`` once ``bound`` variables are in scope — one per group."""
+    keys: list[tuple[int, int, ast.Term]] = []
+    seen_groups: set[int] = set()
+    for group, v, pos, other in equalities:
+        if v != var or group in seen_groups:
+            continue
+        if _term_vars(other) <= bound:
+            seen_groups.add(group)
+            keys.append((group, pos, other))
+    return keys
+
+
+def _delta_rank(source: Source) -> int:
+    """Tiebreak preference: deltas first, then other fixpoint variables."""
+    if source.kind != "apply":
+        return 2
+    return 0 if _is_delta_token(source.token) else 1
+
+
+def _order_cost_based(
+    binding_vars: list[str],
+    sources: dict[str, Source],
+    equalities: list[tuple[int, str, int, ast.Term]],
+    cost_model: CostModel,
+) -> list[str]:
+    """Pick the loop-nest order minimizing estimated cost.
+
+    Exact subset DP (Selinger) up to :data:`DP_LIMIT` bindings; greedy
+    cheapest-next-step beyond that.  Ties prefer delta-driven orders and
+    then the syntactic order, keeping plans deterministic.
+    """
+    position = {v: i for i, v in enumerate(binding_vars)}
+
+    def transition(var: str, bound: frozenset) -> StepEstimate:
+        keys = _available_keys(var, bound, equalities)
+        return cost_model.price_step(
+            sources[var], tuple(pos for (_g, pos, _o) in keys)
+        )
+
+    def tiebreak(order: tuple[str, ...]) -> tuple:
+        return tuple((_delta_rank(sources[v]), position[v]) for v in order)
+
+    n = len(binding_vars)
+    if n <= 1:
+        return list(binding_vars)
+
+    if n <= DP_LIMIT:
+        # best[subset] = (cost, out_card, order)
+        best: dict[frozenset, tuple[float, float, tuple[str, ...]]] = {
+            frozenset(): (0.0, 1.0, ())
+        }
+        for size in range(1, n + 1):
+            for combo in combinations(binding_vars, size):
+                subset = frozenset(combo)
+                champion = None
+                for var in combo:
+                    prev = subset - {var}
+                    prev_cost, prev_card, prev_order = best[prev]
+                    est = transition(var, prev)
+                    cost = prev_cost + est.build_cost + prev_card * est.per_invocation
+                    card = prev_card * est.out_rows
+                    order = prev_order + (var,)
+                    candidate = (cost, card, order)
+                    if champion is None or (
+                        cost,
+                        card,
+                        tiebreak(order),
+                    ) < (champion[0], champion[1], tiebreak(champion[2])):
+                        champion = candidate
+                best[subset] = champion
+        return list(best[frozenset(binding_vars)][2])
+
+    # Greedy: repeatedly take the cheapest next step.
+    ordered: list[str] = []
+    remaining = list(binding_vars)
+    card = 1.0
+    while remaining:
+        bound = frozenset(ordered)
+        best_var = None
+        best_key = None
+        for var in remaining:
+            est = transition(var, bound)
+            key = (
+                est.build_cost + card * est.per_invocation,
+                card * est.out_rows,
+                _delta_rank(sources[var]),
+                position[var],
+            )
+            if best_key is None or key < best_key:
+                best_var, best_key = var, key
+        est = transition(best_var, bound)
+        card *= est.out_rows
+        ordered.append(best_var)
+        remaining.remove(best_var)
+    return ordered
+
+
+def _order_greedy_keycount(
+    binding_vars: list[str],
+    sources: dict[str, Source],
+    equalities: list[tuple[int, str, int, ast.Term]],
+) -> list[str]:
+    """The legacy ordering: most available equality keys first; ties
+    prefer fixpoint-variable (delta) sources."""
+    ordered: list[str] = []
+    remaining = list(binding_vars)
+    while remaining:
+        best = None
+        best_score = (-1, False)
+        for var in remaining:
+            keys = _available_keys(var, frozenset(ordered), equalities)
+            is_apply = sources[var].kind == "apply"
+            score = (len(keys), is_apply)
+            if best is None or score > best_score:
+                best, best_score = var, score
+        ordered.append(best)
+        remaining.remove(best)
+    return ordered
+
+
 def compile_branch(
-    db: Database, branch: ast.Branch, params: dict | None = None
+    db: Database,
+    branch: ast.Branch,
+    params: dict | None = None,
+    optimizer: str = DEFAULT_OPTIMIZER,
+    cost_model: CostModel | None = None,
 ) -> BranchPlan:
     params = params or {}
+    if cost_model is None:
+        cost_model = CostModel(db)
     schemas: dict[str, RecordType] = {}
     sources: dict[str, Source] = {}
     for binding in branch.bindings:
@@ -338,40 +695,39 @@ def compile_branch(
                 continue
         residual.append(conj)
 
-    # Greedy ordering: repeatedly pick the binding with the most equality
-    # keys computable from what is already bound (constants count).  Ties
-    # prefer fixpoint-variable (delta) sources: inside semi-naive loops the
-    # delta is the small side and should drive the loop nest.
-    ordered: list[str] = []
-    remaining = list(binding_vars)
-    while remaining:
-        best = None
-        best_score = (-1, False)
-        for var in remaining:
-            keys = [
-                (pos, other)
-                for (_g, v, pos, other) in equalities
-                if v == var and _term_vars(other) <= set(ordered)
-            ]
-            is_apply = sources[var].kind == "apply"
-            score = (len(keys), is_apply)
-            if best is None or score > best_score:
-                best, best_score = var, score
-        ordered.append(best)
-        remaining.remove(best)
+    # Pick the loop-nest order.
+    if optimizer == "syntactic":
+        ordered = list(binding_vars)
+    elif optimizer == "greedy":
+        ordered = _order_greedy_keycount(binding_vars, sources, equalities)
+    elif optimizer == "cost":
+        ordered = _order_cost_based(binding_vars, sources, equalities, cost_model)
+    else:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; expected 'cost', 'greedy', "
+            f"or 'syntactic'"
+        )
 
     steps: list[LoopStep] = []
     consumed: set[int] = set()  # consumed group ids
+    est_cost = 0.0
+    est_card = 1.0
     for var in ordered:
-        bound_before = set(ordered[: ordered.index(var)])
+        bound_before = frozenset(ordered[: ordered.index(var)])
+        available = _available_keys(var, bound_before, equalities)
+        # The cost model gates the access path: keys are consumed as an
+        # index only when the estimated lookup beats a scan (in the
+        # legacy modes keys are always consumed, as before).
+        estimate = cost_model.price_step(
+            sources[var], tuple(pos for (_g, pos, _o) in available)
+        )
+        use_keys = estimate.use_index or optimizer in ("greedy", "syntactic")
         key_positions: list[int] = []
         key_values: list = []
         step_filters: list = []
         step_descs: list[str] = []
-        for group, v, pos, other in equalities:
-            if group in consumed or v != var:
-                continue
-            if _term_vars(other) <= bound_before:
+        if use_keys:
+            for group, pos, other in available:
                 value_fn = _compile_value(other, schemas, params)
                 if value_fn is not None:
                     key_positions.append(pos)
@@ -382,6 +738,12 @@ def compile_branch(
             if var in needed and needed <= bound_before | {var}:
                 step_filters.append(fn)
                 step_descs.append(desc)
+        if key_positions:
+            final = cost_model.price_step(sources[var], tuple(key_positions))
+        else:
+            final = cost_model.price_step(sources[var], ())
+        est_cost += final.build_cost + est_card * final.per_invocation
+        est_card *= final.out_rows
         steps.append(
             LoopStep(
                 var=var,
@@ -391,6 +753,9 @@ def compile_branch(
                 key_values=tuple(key_values),
                 filters=tuple(step_filters),
                 filter_descs=tuple(step_descs),
+                est_source_rows=final.source_rows,
+                est_out_rows=final.out_rows,
+                est_cumulative=est_card,
             )
         )
 
@@ -439,6 +804,9 @@ def compile_branch(
         target_fn=target_fn,
         target_desc=target_desc,
         schemas=schemas,
+        optimizer=optimizer,
+        est_cost=est_cost,
+        est_out=est_card,
     )
 
 
@@ -463,11 +831,58 @@ def _compile_cmp(conj: ast.Cmp, schemas, params):
     return None
 
 
+def estimate_branch(
+    db: Database,
+    branch: ast.Branch,
+    params: dict | None = None,
+    cost_model: CostModel | None = None,
+) -> tuple[float, float]:
+    """(estimated cost, estimated output rows) of one branch.
+
+    Used by the pushdown gate to compare rewrites without executing
+    anything; estimation failures degrade to pessimistic defaults rather
+    than raising.
+    """
+    try:
+        plan = compile_branch(db, branch, params, cost_model=cost_model)
+    except Exception:
+        return (float("inf"), CostModel.DEFAULT_COMPUTED_ROWS)
+    return (plan.est_cost or 0.0, plan.est_out or 0.0)
+
+
+def estimate_query(
+    db: Database,
+    query: ast.Query,
+    params: dict | None = None,
+    cost_model: CostModel | None = None,
+) -> tuple[float, float]:
+    """(estimated cost, estimated output rows) of a whole query."""
+    total_cost = 0.0
+    total_rows = 0.0
+    for branch in query.branches:
+        cost, rows = estimate_branch(db, branch, params, cost_model)
+        total_cost += cost
+        total_rows += rows
+    return (total_cost, total_rows)
+
+
 def compile_query(
-    db: Database, query: ast.Query, params: dict | None = None
+    db: Database,
+    query: ast.Query,
+    params: dict | None = None,
+    optimizer: str = DEFAULT_OPTIMIZER,
+    cost_model: CostModel | None = None,
 ) -> QueryPlan:
     """Compile every branch of a query into an executable plan."""
-    return QueryPlan([compile_branch(db, branch, params) for branch in query.branches])
+    if cost_model is None:
+        cost_model = CostModel(db)
+    return QueryPlan(
+        [
+            compile_branch(db, branch, params, optimizer, cost_model)
+            for branch in query.branches
+        ],
+        optimizer=optimizer,
+    )
 
 
 def run_query(
@@ -476,8 +891,10 @@ def run_query(
     params: dict | None = None,
     apply_values: dict | None = None,
     stats: PlanStats | None = None,
+    optimizer: str = DEFAULT_OPTIMIZER,
+    cost_model: CostModel | None = None,
 ) -> set[tuple]:
     """Compile and execute a query in one call."""
-    plan = compile_query(db, query, params)
+    plan = compile_query(db, query, params, optimizer, cost_model)
     ctx = ExecutionContext(db, params, apply_values, stats)
     return plan.execute(ctx)

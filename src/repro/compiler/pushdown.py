@@ -25,6 +25,7 @@ fixpoint generators and of :mod:`repro.compiler.specialize`.
 from __future__ import annotations
 
 import dataclasses
+from dataclasses import dataclass
 
 from ..calculus import ast
 from ..calculus.rewrite import conjoin, simplify
@@ -142,13 +143,54 @@ def _substitute_attrs_term(term: ast.Term, mapping) -> ast.Term:
     return transform(term, rule)  # type: ignore[return-value]
 
 
-def inline_nonrecursive(db: Database, query: ast.Query) -> ast.Query:
-    """Exhaustively inline non-recursive constructor applications.
+@dataclass
+class PushdownDecision:
+    """One cost-gated inlining decision, kept for explain()."""
 
-    The resulting query ranges only over base relations, selected
-    relations, and *recursive* applications — exactly the normal form the
-    paper's query compilation level hands to plan generation.
+    application: str
+    est_inline_cost: float
+    est_materialize_cost: float
+    inlined: bool
+
+    def describe(self) -> str:
+        verdict = "inline" if self.inlined else "materialize"
+        return (
+            f"{self.application}: {verdict} "
+            f"(inline~{self.est_inline_cost:.1f} vs "
+            f"materialize~{self.est_materialize_cost:.1f})"
+        )
+
+
+#: Inlining is accepted up to this cost ratio over materialization; the
+#: slack stops estimate noise from blocking the (usually better) rewrite.
+INLINE_MARGIN = 1.1
+
+
+def cost_gated_inline(
+    db: Database,
+    query: ast.Query,
+    cost_model=None,
+    always_inline: bool = False,
+) -> tuple[ast.Query, list[PushdownDecision]]:
+    """Inline non-recursive applications when the cost model approves.
+
+    For every candidate application the estimated cost of the inlined
+    (constraint-propagated) branches is compared against materializing
+    the constructor's full value and filtering afterwards; the cheaper
+    side wins.  Returns the rewritten query plus the decision log.
+    With ``always_inline=True`` the gate is bypassed (and no estimation
+    is performed): every inlinable application is inlined.
     """
+    from .plans import CostModel, estimate_branch, estimate_query
+
+    if cost_model is None and not always_inline:
+        cost_model = CostModel(db)
+    decisions: list[PushdownDecision] = []
+    rejected: set[ast.Constructed] = set()
+    # The constructor-body estimate only depends on the application node,
+    # not the referencing branch: memoize it across branches and passes.
+    body_costs: dict[ast.Constructed, float] = {}
+
     changed = True
     branches = list(query.branches)
     guard = 0
@@ -161,14 +203,61 @@ def inline_nonrecursive(db: Database, query: ast.Query) -> ast.Query:
         for branch in branches:
             replaced = None
             for i, binding in enumerate(branch.bindings):
-                if isinstance(binding.range, ast.Constructed):
-                    replaced = inline_branch(db, branch, i)
-                    if replaced is not None:
-                        break
+                if (
+                    not isinstance(binding.range, ast.Constructed)
+                    or binding.range in rejected
+                ):
+                    continue
+                candidate = inline_branch(db, branch, i)
+                if candidate is None:
+                    continue
+                if always_inline:
+                    replaced = candidate
+                    break
+                if binding.range not in body_costs:
+                    body = _resolve_constructor_body(db, binding.range)
+                    body_costs[binding.range] = estimate_query(
+                        db, body, cost_model=cost_model
+                    )[0]
+                materialize_cost = (
+                    body_costs[binding.range]
+                    + estimate_branch(db, branch, cost_model=cost_model)[0]
+                )
+                inline_cost = sum(
+                    estimate_branch(db, b, cost_model=cost_model)[0]
+                    for b in candidate
+                )
+                from ..calculus.pretty import render_range
+
+                decision = PushdownDecision(
+                    application=render_range(binding.range),
+                    est_inline_cost=inline_cost,
+                    est_materialize_cost=materialize_cost,
+                    inlined=inline_cost <= materialize_cost * INLINE_MARGIN,
+                )
+                decisions.append(decision)
+                if decision.inlined:
+                    replaced = candidate
+                    break
+                rejected.add(binding.range)
             if replaced is None:
                 next_branches.append(branch)
             else:
                 next_branches.extend(replaced)
                 changed = True
         branches = next_branches
-    return ast.Query(tuple(branches))
+    return ast.Query(tuple(branches)), decisions
+
+
+def inline_nonrecursive(db: Database, query: ast.Query) -> ast.Query:
+    """Exhaustively inline non-recursive constructor applications.
+
+    The resulting query ranges only over base relations, selected
+    relations, and *recursive* applications — exactly the normal form the
+    paper's query compilation level hands to plan generation.  This
+    entry point is unconditional; the cost-gated variant used by
+    :func:`~repro.compiler.levels.compile_statement` is
+    :func:`cost_gated_inline`.
+    """
+    rewritten, _decisions = cost_gated_inline(db, query, always_inline=True)
+    return rewritten

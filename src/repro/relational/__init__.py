@@ -15,13 +15,18 @@ from .database import Database
 from .indexes import HashIndex, IndexCache
 from .relation import Relation
 from .rows import Row
+from .stats import ColumnStats, DeltaStats, StatsCatalog, TableStats
 
 __all__ = [
+    "ColumnStats",
     "Database",
+    "DeltaStats",
     "HashIndex",
     "IndexCache",
     "Relation",
     "Row",
+    "StatsCatalog",
+    "TableStats",
     "antijoin",
     "cartesian",
     "difference",

@@ -15,6 +15,7 @@ from collections.abc import Iterable
 from ..errors import NameResolutionError, SchemaError
 from ..types import RelationType
 from .relation import Relation
+from .stats import StatsCatalog
 
 
 class Database:
@@ -26,6 +27,9 @@ class Database:
         # Populated by repro.selectors / repro.constructors definitions.
         self.selectors: dict[str, object] = {}
         self.constructors: dict[str, object] = {}
+        #: Planner statistics: base-table stats resolved by name plus the
+        #: observed sizes of converged fixpoints (see repro.relational.stats).
+        self.stats = StatsCatalog(self)
 
     # -- relation variables ------------------------------------------------
 

@@ -36,6 +36,17 @@ class HashIndex:
     def __len__(self) -> int:
         return len(self.buckets)
 
+    # -- planner statistics -------------------------------------------------
+
+    def selectivity(self) -> float:
+        """Average fraction of the rows one key lookup returns.
+
+        This is the *measured* equality selectivity of the indexed key —
+        exactly ``1 / distinct_keys`` — which the cost model prefers over
+        the independence-assumption product when an index already exists.
+        """
+        return 1.0 / len(self.buckets) if self.buckets else 1.0
+
 
 _EMPTY: list[tuple] = []
 
@@ -64,3 +75,13 @@ class IndexCache:
             index = HashIndex(positions, rows)
             self._indexes[positions] = index
         return index
+
+    def peek(self, version: int, positions: tuple[int, ...]) -> HashIndex | None:
+        """An already-built, still-valid index — never builds one.
+
+        Lets the cost model consult measured index selectivities for free
+        without forcing index construction during planning.
+        """
+        if version != self._version:
+            return None
+        return self._indexes.get(positions)

@@ -17,12 +17,13 @@ from ..errors import KeyConstraintError, TypeMismatchError
 from ..types import RelationType, check_relation_assignment
 from .indexes import HashIndex, IndexCache
 from .rows import Row
+from .stats import TableStats
 
 
 class Relation:
     """A mutable relation variable holding a set of raw value tuples."""
 
-    __slots__ = ("name", "rtype", "_rows", "_version", "_index_cache")
+    __slots__ = ("name", "rtype", "_rows", "_version", "_index_cache", "_stats")
 
     def __init__(
         self,
@@ -35,6 +36,7 @@ class Relation:
         self._rows: set[tuple] = set()
         self._version = 0
         self._index_cache = IndexCache()
+        self._stats: TableStats | None = None
         rows = tuple(rows)
         if rows:
             self.assign(rows)
@@ -86,6 +88,7 @@ class Relation:
         checked = check_relation_assignment(self.rtype, raw)
         self._rows = set(checked)
         self._version += 1
+        self._stats = None  # wholesale replacement: rebuild lazily
 
     def insert(self, rows: Iterable[object]) -> None:
         """``rel :+ rex`` — add tuples, keeping typing and key integrity."""
@@ -102,18 +105,23 @@ class Relation:
             self.rtype.check_key(combined)
         except KeyConstraintError:
             raise
+        if self._stats is not None:
+            self._stats.add_rows(set(raw) - self._rows)
         self._rows.update(raw)
         self._version += 1
 
     def delete(self, rows: Iterable[object]) -> None:
         """``rel :- rex`` — remove tuples (absent tuples are ignored)."""
         raw = {self._coerce(r) for r in rows}
+        if self._stats is not None:
+            self._stats.remove_rows(raw & self._rows)
         self._rows.difference_update(raw)
         self._version += 1
 
     def clear(self) -> None:
         self._rows.clear()
         self._version += 1
+        self._stats = None
 
     @staticmethod
     def _coerce(item: object) -> tuple:
@@ -133,6 +141,25 @@ class Relation:
         """A (cached) hash index on the named attributes."""
         positions = tuple(self.rtype.element.index_of(a) for a in attrs)
         return self._index_cache.get(self._version, positions, self._rows)
+
+    def peek_index(self, positions: tuple[int, ...]) -> HashIndex | None:
+        """An already-built index on ``positions``, or None (never builds)."""
+        return self._index_cache.peek(self._version, positions)
+
+    # -- statistics ---------------------------------------------------------
+
+    def stats(self) -> TableStats:
+        """Table statistics: built lazily, then maintained incrementally.
+
+        Inserts and deletes update the live object in place (see
+        :meth:`insert`/:meth:`delete`); a wholesale :meth:`assign` drops
+        it for a lazy rebuild.
+        """
+        if self._stats is None:
+            self._stats = TableStats.from_rows(
+                self._rows, len(self.rtype.element.attribute_names)
+            )
+        return self._stats
 
     # -- misc ------------------------------------------------------------
 

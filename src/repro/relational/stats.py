@@ -1,0 +1,267 @@
+"""Table statistics for cost-based query planning.
+
+The paper's runtime level decides between generated access paths; those
+decisions need numbers.  This module maintains the three quantities the
+planner (:class:`repro.compiler.plans.CostModel`) prices plans with:
+
+* **cardinalities** — ``|R|`` per relation (and per fixpoint delta);
+* **distinct-value counts** — per column, kept *exactly* via value
+  multisets so estimates stay correct under insert *and* delete;
+* **selectivities** — the classic System-R estimates derived from the
+  above: an equality on column ``c`` keeps ``1/distinct(c)`` of the
+  rows, a join on ``R.a = S.b`` produces ``|R||S| / max(d_a, d_b)``.
+
+Statistics are maintained **incrementally**: a :class:`TableStats` is
+built once from a relation's rows and then updated in place by
+:meth:`TableStats.add_rows` / :meth:`TableStats.remove_rows` on every
+insert/delete (see :class:`~repro.relational.relation.Relation`), and a
+:class:`DeltaStats` absorbs each semi-naive delta as the fixpoint engine
+applies it.  The per-database :class:`StatsCatalog` additionally records
+*observed* sizes of converged fixpoints, so later compilations of the
+same constructor application start from a measured cardinality instead
+of a guess.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+
+class ColumnStats:
+    """Exact distinct-value accounting for one column position."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Counter = Counter()
+
+    @property
+    def distinct(self) -> int:
+        return len(self.counts)
+
+    def most_common_fraction(self, total_rows: int) -> float:
+        """Fraction of rows carrying the most frequent value (skew signal)."""
+        if not self.counts or total_rows <= 0:
+            return 0.0
+        return self.counts.most_common(1)[0][1] / total_rows
+
+    def add(self, value: object) -> None:
+        self.counts[value] += 1
+
+    def remove(self, value: object) -> None:
+        remaining = self.counts.get(value, 0) - 1
+        if remaining > 0:
+            self.counts[value] = remaining
+        else:
+            self.counts.pop(value, None)
+
+
+class TableStats:
+    """Cardinality plus per-column distinct counts for one row set."""
+
+    __slots__ = ("arity", "row_count", "columns")
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.row_count = 0
+        self.columns = tuple(ColumnStats() for _ in range(arity))
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[tuple], arity: int) -> "TableStats":
+        stats = cls(arity)
+        stats.add_rows(rows)
+        return stats
+
+    # -- incremental maintenance -------------------------------------------
+
+    def add_rows(self, rows: Iterable[tuple]) -> None:
+        columns = self.columns
+        for row in rows:
+            self.row_count += 1
+            for pos, value in enumerate(row[: self.arity]):
+                columns[pos].add(value)
+
+    def remove_rows(self, rows: Iterable[tuple]) -> None:
+        columns = self.columns
+        for row in rows:
+            self.row_count -= 1
+            for pos, value in enumerate(row[: self.arity]):
+                columns[pos].remove(value)
+
+    # -- estimates ----------------------------------------------------------
+
+    def distinct(self, pos: int) -> int:
+        if 0 <= pos < self.arity:
+            return self.columns[pos].distinct
+        return max(1, self.row_count)
+
+    def eq_selectivity(self, pos: int) -> float:
+        """Estimated fraction of rows matching ``col = constant``.
+
+        The uniform estimate ``1/distinct`` is blended with the measured
+        most-common-value fraction: on uniform data the two coincide and
+        the blend is exactly ``1/distinct``, on skewed data probes land
+        on heavy values more often than uniformity predicts and the
+        estimate moves toward the heavy bucket.
+        """
+        d = self.distinct(pos)
+        if not d:
+            return 1.0
+        return (1.0 / d + self.skew(pos)) / 2.0
+
+    def key_selectivity(self, positions: Iterable[int]) -> float:
+        """Combined selectivity of a conjunctive equality key.
+
+        Independence is assumed; the product is floored at ``1/row_count``
+        (a key can never select less than one row's worth on average
+        without the estimate degenerating to zero).
+        """
+        sel = 1.0
+        for pos in positions:
+            sel *= self.eq_selectivity(pos)
+        if self.row_count > 0:
+            sel = max(sel, 1.0 / self.row_count)
+        return min(sel, 1.0)
+
+    def matching_rows(self, positions: Iterable[int]) -> float:
+        """Estimated rows produced by one indexed lookup on ``positions``."""
+        return self.row_count * self.key_selectivity(positions)
+
+    def skew(self, pos: int) -> float:
+        return self.columns[pos].most_common_fraction(self.row_count) if (
+            0 <= pos < self.arity
+        ) else 0.0
+
+    def describe(self) -> str:
+        distincts = "/".join(str(c.distinct) for c in self.columns)
+        return f"rows={self.row_count} distinct={distincts}"
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<TableStats {self.describe()}>"
+
+
+class DeltaStats:
+    """Running statistics over the deltas of one fixpoint variable.
+
+    The semi-naive engine absorbs every per-iteration delta; the result
+    is exact statistics over the accumulated fixpoint value, available to
+    differential plan pricing without rescanning the value.
+    """
+
+    __slots__ = ("table", "deltas_applied", "peak_delta", "last_delta")
+
+    def __init__(self, arity: int) -> None:
+        self.table = TableStats(arity)
+        self.deltas_applied = 0
+        self.peak_delta = 0
+        self.last_delta = 0
+
+    def absorb(self, delta: Iterable[tuple]) -> None:
+        delta = delta if isinstance(delta, (list, tuple, set, frozenset)) else list(delta)
+        self.table.add_rows(delta)
+        self.deltas_applied += 1
+        self.last_delta = len(delta)
+        self.peak_delta = max(self.peak_delta, self.last_delta)
+
+    @property
+    def row_count(self) -> int:
+        return self.table.row_count
+
+    def describe(self) -> str:
+        return (
+            f"{self.table.describe()} deltas={self.deltas_applied} "
+            f"peak_delta={self.peak_delta}"
+        )
+
+
+@dataclass
+class FixpointObservation:
+    """A converged fixpoint's measured size (and distincts when known).
+
+    ``versions`` snapshots the base-relation version stamps at
+    observation time; the catalog treats the observation as stale — and
+    drops it — once any base relation has mutated since.
+    """
+
+    rows: int
+    distinct: tuple[int, ...] = ()
+    runs: int = 1
+    versions: dict[str, int] = field(default_factory=dict)
+
+    def merge(
+        self, rows: int, distinct: tuple[int, ...], versions: dict[str, int]
+    ) -> None:
+        self.rows = rows
+        if distinct:
+            self.distinct = distinct
+        self.versions = versions
+        self.runs += 1
+
+
+class StatsCatalog:
+    """Per-database statistics: base-table stats plus fixpoint observations.
+
+    Base-table statistics live on the relations themselves (lazily built,
+    incrementally maintained); the catalog resolves them by name and owns
+    the cross-compilation memory of observed constructed-relation sizes.
+    """
+
+    def __init__(self, db) -> None:
+        self._db = db
+        self._observations: dict[object, FixpointObservation] = {}
+
+    # -- base tables ---------------------------------------------------------
+
+    def table(self, name: str) -> TableStats:
+        return self._db.relation(name).stats()
+
+    def analyze(self) -> dict[str, TableStats]:
+        """Force statistics for every declared relation (ANALYZE)."""
+        return {name: rel.stats() for name, rel in self._db.relations.items()}
+
+    # -- fixpoint observations ----------------------------------------------
+
+    def _versions(self) -> dict[str, int]:
+        return {name: rel.version for name, rel in self._db.relations.items()}
+
+    def record_fixpoint(
+        self, key: object, rows: int, distinct: tuple[int, ...] = ()
+    ) -> None:
+        """Remember the converged size of one instantiated application."""
+        versions = self._versions()
+        observation = self._observations.get(key)
+        if observation is None:
+            self._observations[key] = FixpointObservation(
+                rows, distinct, versions=versions
+            )
+        else:
+            observation.merge(rows, distinct, versions)
+
+    def fixpoint_observation(self, key: object) -> FixpointObservation | None:
+        """The recorded observation, dropped if base relations mutated."""
+        observation = self._observations.get(key)
+        if observation is None:
+            return None
+        if observation.versions != self._versions():
+            del self._observations[key]
+            return None
+        return observation
+
+    def constructed_estimate(self, key: object) -> float | None:
+        """Observed cardinality of an instantiated application, if any
+        (stale observations — base relations mutated since — return None)."""
+        observation = self.fixpoint_observation(key)
+        return float(observation.rows) if observation is not None else None
+
+    def summary(self) -> str:
+        lines = [f"statistics catalog for database {self._db.name!r}:"]
+        for name, rel in sorted(self._db.relations.items()):
+            lines.append(f"  {name}: {rel.stats().describe()}")
+        for key, obs in self._observations.items():
+            desc = key.describe() if hasattr(key, "describe") else repr(key)
+            lines.append(
+                f"  observed {desc}: rows={obs.rows} (over {obs.runs} runs)"
+            )
+        return "\n".join(lines)

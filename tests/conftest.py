@@ -1,59 +1,14 @@
-"""Shared fixtures: the paper's CAD schema and scene, plus a generic graph."""
+"""Shared fixtures: the paper's CAD schema and scene, plus a generic graph.
+
+The actual schema constants and builders live in :mod:`helpers` so test
+modules can import them directly (``from helpers import ...``) without
+relying on the test tree being a package.
+"""
 
 import pytest
 
+from helpers import make_cad_db, make_edge_db
 from repro.relational import Database
-from repro.types import STRING, record, relation_type
-
-# -- the paper's CAD schema (sections 2.3 and 3.1) ---------------------------
-
-PARTTYPE = STRING
-
-OBJECTREC = record("objectrec", part=STRING, kind=STRING)
-OBJECTREL = relation_type("objectrel", OBJECTREC, key=("part",))
-
-INFRONTREC = record("infrontrec", front=STRING, back=STRING)
-INFRONTREL = relation_type("infrontrel", INFRONTREC)
-
-ONTOPREC = record("ontoprec", top=STRING, base=STRING)
-ONTOPREL = relation_type("ontoprel", ONTOPREC)
-
-AHEADREC = record("aheadrec", head=STRING, tail=STRING)
-AHEADREL = relation_type("aheadrel", AHEADREC)
-
-ABOVEREC = record("aboverec", high=STRING, low=STRING)
-ABOVEREL = relation_type("aboverel", ABOVEREC)
-
-#: The scene used throughout the tests.  The vase stands on the table,
-#: the table is in front of the chair — the paper's motivating example
-#: for mutual recursion ("a vase is ahead of a chair if the vase is on
-#: top of a table which is in front of the chair").
-SCENE_OBJECTS = [
-    ("table", "furniture"),
-    ("chair", "furniture"),
-    ("door", "fixture"),
-    ("rug", "textile"),
-    ("vase", "decor"),
-    ("lamp", "decor"),
-    ("desk", "furniture"),
-]
-SCENE_INFRONT = [
-    ("table", "chair"),
-    ("chair", "door"),
-    ("rug", "table"),
-]
-SCENE_ONTOP = [
-    ("vase", "table"),
-    ("lamp", "desk"),
-]
-
-
-def make_cad_db() -> Database:
-    db = Database("cad")
-    db.declare("Objects", OBJECTREL, SCENE_OBJECTS)
-    db.declare("Infront", INFRONTREL, SCENE_INFRONT)
-    db.declare("Ontop", ONTOPREL, SCENE_ONTOP)
-    return db
 
 
 @pytest.fixture
@@ -61,28 +16,6 @@ def cad_db() -> Database:
     return make_cad_db()
 
 
-# -- a generic directed graph -------------------------------------------------
-
-EDGEREC = record("edgerec", src=STRING, dst=STRING)
-EDGEREL = relation_type("edgerel", EDGEREC)
-
-
-def make_edge_db(edges) -> Database:
-    db = Database("graph")
-    db.declare("E", EDGEREL, edges)
-    return db
-
-
 @pytest.fixture
 def edge_db() -> Database:
     return make_edge_db([("a", "b"), ("b", "c"), ("c", "d"), ("b", "d")])
-
-
-def transitive_closure(edges) -> set[tuple]:
-    """Independent oracle used across the test suite."""
-    closure = set(edges)
-    while True:
-        new = {(x, w) for (x, y) in closure for (z, w) in closure if y == z}
-        if new <= closure:
-            return closure
-        closure |= new

@@ -5,7 +5,7 @@ import pytest
 from repro.calculus import Evaluator, ast, dsl as d, evaluate
 from repro.errors import EvaluationError
 
-from .conftest import make_edge_db
+from helpers import make_edge_db
 
 
 class TestSimpleSelection:
@@ -212,7 +212,7 @@ class TestErrorsAndStats:
         assert ev.stats.tuples_emitted == 4
 
     def test_apply_var_resolution(self, edge_db):
-        from tests.conftest import EDGEREC
+        from helpers import EDGEREC
 
         av = ast.ApplyVar("tok", EDGEREC)
         q = d.query(d.branch(d.each("r", av)))
@@ -220,7 +220,7 @@ class TestErrorsAndStats:
         assert ev.eval_query(q) == {("x", "y")}
 
     def test_unbound_apply_var_raises(self, edge_db):
-        from tests.conftest import EDGEREC
+        from helpers import EDGEREC
 
         av = ast.ApplyVar("nope", EDGEREC)
         q = d.query(d.branch(d.each("r", av)))

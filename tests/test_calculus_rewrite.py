@@ -24,7 +24,7 @@ from repro.calculus import (
 )
 from repro.calculus.rewrite import conjoin, conjuncts
 
-from .conftest import make_edge_db
+from helpers import make_edge_db
 
 # ---------------------------------------------------------------------------
 # Random predicate generation

@@ -17,7 +17,7 @@ from repro.compiler import (
 )
 from repro.constructors import apply_constructor
 
-from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
 
 
 @pytest.fixture
@@ -121,7 +121,7 @@ consts = st.sampled_from(["a", "b", "c", "d"])
 @settings(max_examples=40, deadline=None)
 @given(edge_sets, consts, consts)
 def test_compiled_matches_reference(edges, c1, c2):
-    from tests.conftest import make_edge_db
+    from helpers import make_edge_db
 
     db = make_edge_db(edges)
     q = d.query(

@@ -14,7 +14,7 @@ from repro.compiler import (
 from repro.constructors import apply_constructor, instantiate
 from repro.errors import EvaluationError
 
-from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
 
 CHAIN = [(f"n{i}", f"n{i+1}") for i in range(20)] + [("m0", "m1"), ("m1", "m2")]
 

@@ -17,7 +17,7 @@ from repro.constructors import (
 from repro.errors import PositivityError, SchemaError
 from repro.relational import Database
 
-from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP, transitive_closure
+from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP, transitive_closure
 
 INFRONT_TC = transitive_closure(SCENE_INFRONT)
 

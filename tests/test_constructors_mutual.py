@@ -6,7 +6,7 @@ from repro import paper
 from repro.constructors import apply_constructor, construct, instantiate
 from repro.calculus import dsl as d
 
-from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
 
 #: Expected values computed by hand from the paper's definitions over the
 #: scene Infront = {(table,chair),(chair,door),(rug,table)},

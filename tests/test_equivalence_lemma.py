@@ -22,7 +22,7 @@ from repro.datalog import (
 from repro.errors import TranslationError
 from repro.prolog import KnowledgeBase, SLDEngine, TabledEngine
 
-from .conftest import SCENE_INFRONT, SCENE_ONTOP
+from helpers import SCENE_INFRONT, SCENE_ONTOP
 
 TC_SOURCE = """
 ahead(X, Y) :- infront(X, Y).

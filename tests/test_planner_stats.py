@@ -1,0 +1,299 @@
+"""The cost-based planner: statistics, estimates, orders, explain().
+
+Covers the stats layer (incremental cardinality/distinct maintenance,
+selectivity estimates), the CostModel (join-order choice on skewed data,
+cost-gated access paths, estimation quality), the pushdown gate, and an
+explain() regression pinning the chosen plan for one BOM query.
+"""
+
+import random
+
+import pytest
+
+from helpers import INFRONTREL, make_cad_db
+from repro.calculus import dsl as d
+from repro.compiler import (
+    CostModel,
+    ExecutionContext,
+    PlanStats,
+    choose_access_path,
+    compile_fixpoint,
+    compile_query,
+    cost_gated_inline,
+    construct_compiled,
+    estimate_branch,
+    run_query,
+)
+from repro.compiler.accesspath import LogicalAccessPath, PhysicalAccessPath
+from repro.constructors import instantiate
+from repro.relational import Database, DeltaStats, TableStats
+from repro.types import STRING, record, relation_type
+from repro.workloads import bom_database, chain, generate_bom
+
+
+# ---------------------------------------------------------------------------
+# Statistics layer
+# ---------------------------------------------------------------------------
+
+
+class TestTableStats:
+    def test_from_rows_counts(self):
+        stats = TableStats.from_rows([("a", "x"), ("b", "x"), ("c", "y")], 2)
+        assert stats.row_count == 3
+        assert stats.distinct(0) == 3
+        assert stats.distinct(1) == 2
+        # uniform column: blend equals 1/distinct exactly
+        assert stats.eq_selectivity(0) == pytest.approx(1 / 3)
+        # skewed column: blend of 1/distinct (0.5) and mcf (2/3)
+        assert stats.eq_selectivity(1) == pytest.approx((0.5 + 2 / 3) / 2)
+
+    def test_eq_selectivity_uniform_unchanged_by_blend(self):
+        stats = TableStats.from_rows([(i,) for i in range(8)], 1)
+        assert stats.eq_selectivity(0) == pytest.approx(1 / 8)
+
+    def test_incremental_add_and_remove(self):
+        stats = TableStats.from_rows([("a", "x"), ("b", "x")], 2)
+        stats.add_rows([("c", "y")])
+        assert stats.row_count == 3 and stats.distinct(1) == 2
+        stats.remove_rows([("a", "x")])
+        assert stats.row_count == 2
+        assert stats.distinct(0) == 2  # "a" disappeared entirely
+        assert stats.distinct(1) == 2  # one "x" remains
+
+    def test_key_selectivity_floor(self):
+        # 4 rows, both columns distinct: product would be 1/16, floored 1/4
+        rows = [(i, i) for i in range(4)]
+        stats = TableStats.from_rows(rows, 2)
+        assert stats.key_selectivity((0, 1)) == pytest.approx(0.25)
+
+    def test_skew_signal(self):
+        rows = [("hub", f"x{i}") for i in range(9)] + [("solo", "y")]
+        stats = TableStats.from_rows(rows, 2)
+        assert stats.skew(0) == pytest.approx(0.9)
+
+    def test_relation_maintains_stats_on_insert_delete(self):
+        db = Database()
+        rel = db.declare("Infront", INFRONTREL, [("a", "b"), ("b", "c")])
+        stats = rel.stats()
+        assert stats.row_count == 2
+        rel.insert([("c", "d")])
+        assert rel.stats().row_count == 3 and rel.stats().distinct(0) == 3
+        rel.delete([("a", "b")])
+        assert rel.stats().row_count == 2 and rel.stats().distinct(0) == 2
+        # it is the same live object, updated in place
+        assert rel.stats() is stats
+
+    def test_delta_stats_absorb(self):
+        tracked = DeltaStats(2)
+        tracked.absorb({("a", "b"), ("a", "c")})
+        tracked.absorb({("b", "c")})
+        assert tracked.row_count == 3
+        assert tracked.deltas_applied == 2
+        assert tracked.peak_delta == 2
+        assert tracked.table.distinct(0) == 2
+
+    def test_catalog_records_fixpoint_observations(self):
+        db = bom_database(generate_bom(assemblies=1, depth=3, seed=1))
+        node = d.constructed("Contains", "explode")
+        result = construct_compiled(db, node)
+        system = instantiate(db, node)
+        observed = db.stats.constructed_estimate(system.root)
+        assert observed == len(result.rows)
+
+    def test_catalog_observation_invalidated_by_base_mutation(self):
+        db = bom_database(generate_bom(assemblies=1, depth=3, seed=1))
+        node = d.constructed("Contains", "explode")
+        construct_compiled(db, node)
+        system = instantiate(db, node)
+        assert db.stats.constructed_estimate(system.root) is not None
+        db["Contains"].insert([("brand_new_part", "brand_new_sub")])
+        assert db.stats.constructed_estimate(system.root) is None
+
+
+# ---------------------------------------------------------------------------
+# Cost model estimates
+# ---------------------------------------------------------------------------
+
+
+def _skewed_db(seed: int = 3) -> Database:
+    """Big low-selectivity relation + small high-selectivity relation."""
+    rng = random.Random(seed)
+    bigrec = record("bigrec", a=STRING, b=STRING)
+    smallrec = record("smallrec", b=STRING, c=STRING)
+    db = Database("skew")
+    db.declare(
+        "Big",
+        relation_type("bigrel", bigrec),
+        {(f"a{rng.randrange(500)}", f"b{rng.randrange(10)}") for _ in range(1200)},
+    )
+    db.declare(
+        "Small",
+        relation_type("smallrel", smallrec),
+        [(f"b{i}", f"c{i % 4}") for i in range(10)],
+    )
+    return db
+
+
+def _skew_query():
+    return d.query(
+        d.branch(
+            d.each("x", "Big"), d.each("y", "Small"),
+            pred=d.and_(
+                d.eq(d.a("x", "b"), d.a("y", "b")), d.eq(d.a("y", "c"), "c0")
+            ),
+            targets=[d.a("x", "a"), d.a("y", "c")],
+        )
+    )
+
+
+class TestCostModel:
+    def test_relation_cardinality_is_exact(self):
+        db = make_cad_db()
+        model = CostModel(db)
+        from repro.compiler.plans import Source
+
+        assert model.source_cardinality(Source("relation", name="Infront")) == 3.0
+
+    def test_key_selectivity_from_stats(self):
+        db = make_cad_db()
+        model = CostModel(db)
+        from repro.compiler.plans import Source
+
+        sel = model.key_selectivity(Source("relation", name="Infront"), (0,))
+        assert sel == pytest.approx(1 / 3)
+
+    def test_join_order_on_skewed_data(self):
+        """Cost-based ordering starts from the small selective relation
+        even though the big one is written first."""
+        db = _skewed_db()
+        plan_cost = compile_query(db, _skew_query(), optimizer="cost")
+        plan_syn = compile_query(db, _skew_query(), optimizer="syntactic")
+        assert [s.var for s in plan_cost.branches[0].steps] == ["y", "x"]
+        assert [s.var for s in plan_syn.branches[0].steps] == ["x", "y"]
+        # and it pays off: far fewer rows touched for identical answers
+        stats_cost, stats_syn = PlanStats(), PlanStats()
+        rows_cost = plan_cost.execute(ExecutionContext(db, stats=stats_cost))
+        rows_syn = plan_syn.execute(ExecutionContext(db, stats=stats_syn))
+        assert rows_cost == rows_syn
+        assert stats_cost.rows_scanned < stats_syn.rows_scanned / 2
+
+    def test_estimates_close_to_actuals(self):
+        """Estimated output cardinality within 2x of actual on skew."""
+        db = _skewed_db()
+        plan = compile_query(db, _skew_query(), optimizer="cost")
+        actual = len(plan.execute(ExecutionContext(db)))
+        est = plan.branches[0].est_out
+        assert est is not None and actual > 0
+        assert actual / 2 <= est <= actual * 2
+
+    def test_delta_estimated_smaller_than_full(self):
+        db = bom_database(generate_bom(assemblies=2, depth=3, seed=5))
+        from repro.compiler import fixpoint_apply_estimates
+
+        system = instantiate(db, d.constructed("Contains", "explode"))
+        estimates = fixpoint_apply_estimates(db, system)
+        root = system.root
+        delta = estimates[("__seminaive__", "delta", root)]
+        full = estimates[("__seminaive__", "new", root)]
+        assert delta < full
+
+    def test_differential_plan_driven_by_delta(self):
+        db = bom_database(generate_bom(assemblies=2, depth=3, seed=5))
+        system = instantiate(db, d.constructed("Contains", "explode"))
+        program = compile_fixpoint(db, system)
+        (diff_plan,) = program.diff_plans.values()
+        first_step = diff_plan.branches[0].steps[0]
+        assert first_step.source.kind == "apply"
+        assert first_step.source.token[1] == "delta"
+
+    def test_single_row_relation_scans(self):
+        """Cost gate: a 1-row source with distinct=1 gains nothing from an
+        index, so the equality runs as a filter instead."""
+        db = Database()
+        db.declare("One", INFRONTREL, [("a", "a")])
+        q = d.query(
+            d.branch(d.each("r", "One"), pred=d.eq(d.a("r", "front"), "a"))
+        )
+        plan = compile_query(db, q, optimizer="cost")
+        assert plan.branches[0].steps[0].key_positions == ()
+        assert run_query(db, q) == {("a", "a")}
+
+
+# ---------------------------------------------------------------------------
+# Cost-gated pushdown and access paths
+# ---------------------------------------------------------------------------
+
+
+class TestCostGates:
+    def test_pushdown_decisions_logged(self):
+        db = make_cad_db()
+        from repro import paper
+
+        full = paper.cad_database(mutual=False)
+        q = d.query(
+            d.branch(
+                d.each("r", d.constructed("Infront", "ahead2")),
+                pred=d.eq(d.a("r", "head"), "table"),
+            )
+        )
+        rewritten, decisions = cost_gated_inline(full, q)
+        assert decisions and all(dec.inlined for dec in decisions)
+        assert "inline" in decisions[0].describe()
+
+    def test_choose_access_path_prefers_physical_for_heavy_use(self):
+        db = _tc_db(chain(32))
+        node = d.constructed("Infront", "ahead")
+        light = choose_access_path(db, node, "head", expected_invocations=1)
+        heavy = choose_access_path(
+            db, node, "head", expected_invocations=500, allow_specialization=False
+        )
+        assert isinstance(light, LogicalAccessPath)
+        assert isinstance(heavy, PhysicalAccessPath)
+        assert heavy.lookup("n0") == light.lookup("n0")
+
+
+def _tc_db(edges):
+    from repro import paper
+
+    return paper.cad_database(infront=edges, mutual=False)
+
+
+# ---------------------------------------------------------------------------
+# explain() regression: the BOM bound query
+# ---------------------------------------------------------------------------
+
+
+class TestExplainRegression:
+    def test_bom_differential_plan_pinned(self):
+        """Pin the chosen differential plan for the BOM explode query."""
+        db = bom_database(generate_bom(assemblies=2, depth=3, fanout=3, seed=7))
+        system = instantiate(db, d.constructed("Contains", "explode"))
+        program = compile_fixpoint(db, system)
+        values = program.run()
+        text = program.explain()
+        # the differential loop nest: delta outer, indexed Contains inner
+        assert "EACH e IN @Δexplode via scan" in text
+        assert "EACH c IN Contains via index[1]" in text
+        # estimated and actual row counts are reported side by side
+        assert "est=" in text and "act=" in text
+        # and the actuals for the base plan are exact: the base branch
+        # emits each Contains row exactly once
+        base_plan = next(iter(program.base_plans.values()))
+        assert base_plan.branches[0].actual_emitted == len(db["Contains"])
+
+    def test_estimation_quality_reported(self):
+        db = bom_database(generate_bom(assemblies=2, depth=3, fanout=3, seed=7))
+        node = d.constructed("Contains", "explode")
+        first = construct_compiled(db, node)
+        # second compilation sees the recorded observation: the top-level
+        # full-value estimate now equals the measured size exactly
+        system = instantiate(db, node)
+        model = CostModel(db)
+        assert model.apply_cardinality(system.root) == len(first.rows)
+
+    def test_estimate_branch_orders_of_magnitude(self):
+        db = _skewed_db()
+        q = _skew_query()
+        cost, rows = estimate_branch(db, q.branches[0])
+        assert 0 < cost < float("inf")
+        assert rows > 0

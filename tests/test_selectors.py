@@ -7,7 +7,7 @@ from repro.calculus import Evaluator, dsl as d
 from repro.errors import ArityError, IntegrityError
 from repro.selectors import SelectedRelation, selected
 
-from .conftest import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
+from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
 
 
 @pytest.fixture

@@ -19,7 +19,7 @@ from repro.workloads import (
     sg_database,
 )
 
-from .conftest import transitive_closure
+from helpers import transitive_closure
 
 
 class TestGraphGenerators:
