@@ -698,6 +698,120 @@ def e14_planner() -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E15 — histogram range pricing and mid-fixpoint re-optimization
+# ---------------------------------------------------------------------------
+
+
+def e15_range_case(rows=2000, partner_rows=10_000, keys=500, hot_keys=50, seed=11):
+    """A skewed range workload: ``Readings`` carries an exponentially
+    distributed measurement column, ``Samples`` is a large join partner
+    over a hot subset of the keys.  The query keeps only the extreme
+    tail of the measurements (far less than the uniform-constant guess),
+    so the histogram-priced plan drives the join from the restricted
+    side while constant pricing starts from the big partner."""
+    import random as _random
+
+    from ..types import INTEGER, STRING, record, relation_type
+
+    rng = _random.Random(seed)
+    reading = record("readingrec", sensor=STRING, value=INTEGER)
+    sample = record("samplerec", sensor=STRING, label=STRING)
+    db = Database("e15")
+    db.declare(
+        "Readings",
+        relation_type("readingrel", reading),
+        {
+            (f"k{i % keys}", min(int(rng.expovariate(0.005)), 1200) + i % 3)
+            for i in range(rows)
+        },
+    )
+    db.declare(
+        "Samples",
+        relation_type("samplerel", sample),
+        {(f"k{rng.randrange(hot_keys)}", f"w{i}") for i in range(partner_rows)},
+    )
+    query = d.query(
+        d.branch(
+            d.each("s", "Samples"),
+            d.each("r", "Readings"),
+            pred=d.and_(
+                d.eq(d.a("r", "sensor"), d.a("s", "sensor")),
+                d.gt(d.a("r", "value"), 990),
+            ),
+            targets=[d.a("r", "sensor"), d.a("s", "label")],
+        )
+    )
+    return db, query
+
+
+def e15_drift_edges(comps=6, sources=50, leaves=50):
+    """Staggered dead-end fans for transitive closure: early deltas are
+    tiny chain advances, then each component's source-by-leaf wave
+    explodes far beyond the compile-time delta estimate — one component
+    per iteration, so the drift keeps paying off."""
+    edges = []
+    for j in range(comps):
+        edges += [(f"s{j}_{i}", f"c{j}_0") for i in range(sources)]
+        edges += [(f"c{j}_{k}", f"c{j}_{k+1}") for k in range(j + 1)]
+        edges += [(f"c{j}_{j+1}", f"b{j}_{n}") for n in range(leaves)]
+    return edges
+
+
+def e15_reopt() -> Table:
+    from ..compiler import CostModel, compile_fixpoint
+
+    table = Table(
+        "E15 Histogram range pricing + mid-fixpoint re-optimization",
+        ["workload", "|result|", "baseline (s)", "informed (s)", "scan base",
+         "scan informed", "scan ratio", "equal"],
+    )
+
+    # (a) range pricing: equi-depth histograms vs the uniform constant.
+    db, query = e15_range_case()
+    plan_const = compile_query(
+        db, query, cost_model=CostModel(db, use_histograms=False)
+    )
+    plan_hist = compile_query(db, query, cost_model=CostModel(db))
+    stats_const, stats_hist = PlanStats(), PlanStats()
+    rows_const, t_const = measure(
+        lambda: plan_const.execute(ExecutionContext(db, stats=stats_const)), repeat=5
+    )
+    rows_hist, t_hist = measure(
+        lambda: plan_hist.execute(ExecutionContext(db, stats=stats_hist)), repeat=5
+    )
+    table.add(
+        "skewed range join", len(rows_hist), t_const, t_hist,
+        stats_const.rows_scanned // 5, stats_hist.rows_scanned // 5,
+        f"{ratio(stats_const.rows_scanned, stats_hist.rows_scanned):.1f}x",
+        rows_const == rows_hist,
+    )
+
+    # (b) re-optimization: frozen differential plans vs drift-triggered
+    # re-planning on TC over staggered exploding deltas.
+    edges = e15_drift_edges()
+    frozen_db = _tc_db(edges)
+    frozen_sys = instantiate(frozen_db, d.constructed("Infront", "ahead"))
+    frozen = compile_fixpoint(frozen_db, frozen_sys, replan_drift=None)
+    frozen_vals, t_frozen = measure(frozen.run)
+    adaptive_db = _tc_db(edges)
+    adaptive_sys = instantiate(adaptive_db, d.constructed("Infront", "ahead"))
+    adaptive = compile_fixpoint(adaptive_db, adaptive_sys)
+    adaptive_vals, t_adaptive = measure(adaptive.run)
+    table.add(
+        "TC drifting deltas", len(adaptive_vals[adaptive_sys.root]),
+        t_frozen, t_adaptive,
+        frozen.plan_stats.rows_scanned, adaptive.plan_stats.rows_scanned,
+        f"{ratio(frozen.plan_stats.rows_scanned, adaptive.plan_stats.rows_scanned):.1f}x",
+        frozen_vals[frozen_sys.root] == adaptive_vals[adaptive_sys.root],
+    )
+    table.note("(a) equi-depth histograms price the range filter's true tail "
+               "fraction; the constant 1/3 drives the join from the wrong side")
+    table.note(f"(b) re-planning fired {adaptive.replans} time(s) when observed "
+               "deltas drifted >4x from the priced estimates")
+    return table
+
+
 #: Registry used by run_all and the benchmark files.
 ALL_EXPERIMENTS = {
     "e01": e01_selectors,
@@ -715,4 +829,5 @@ ALL_EXPERIMENTS = {
     "e12": e12_range_nesting,
     "e13": e13_specialization,
     "e14": e14_planner,
+    "e15": e15_reopt,
 }

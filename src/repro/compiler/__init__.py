@@ -7,6 +7,7 @@ from .accesspath import (
     choose_access_path,
 )
 from .fixpoint import (
+    REPLAN_DRIFT,
     CompiledFixpoint,
     compile_fixpoint,
     construct_compiled,
@@ -60,6 +61,7 @@ __all__ = [
     "QGNode",
     "QuantGraph",
     "QueryPlan",
+    "REPLAN_DRIFT",
     "SpecializedStats",
     "TypeCheckReport",
     "bound_query",

@@ -145,8 +145,10 @@ def choose_access_path(
         # (estimated) iteration count.
         logical_per_call = est_full * 2.0
 
-    # Per-lookup partition size: measured distincts when observed, the
-    # sqrt heuristic otherwise.
+    # Per-lookup partition size: the observed value statistics when a
+    # previous run recorded them (skew-blended equality selectivity over
+    # the partition attribute — heavy partitions are probed more often),
+    # measured distincts next, the sqrt heuristic last.
     observation = (
         db.stats.fixpoint_observation(system.root)
         if getattr(db, "stats", None) is not None
@@ -154,7 +156,13 @@ def choose_access_path(
     )
     result_schema = system.apps[system.root].result_type.element
     pos = result_schema.index_of(attr)
-    if observation is not None and len(observation.distinct) > pos:
+    if (
+        observation is not None
+        and observation.table is not None
+        and observation.table.row_count > 0
+    ):
+        partition_rows = est_full * observation.table.eq_selectivity(pos)
+    elif observation is not None and len(observation.distinct) > pos:
         partition_rows = est_full / max(1, observation.distinct[pos])
     else:
         partition_rows = max(1.0, est_full ** 0.5)

@@ -10,6 +10,15 @@ and a driver iterates deltas to the least fixpoint.
 Functionally identical to ``repro.constructors.engines.seminaive_fixpoint``
 (asserted by tests); the difference is execution speed — hash-index join
 steps instead of interpreted nested loops — which benchmark E12 measures.
+
+Differential plans are additionally **re-optimized mid-fixpoint**: the
+delta cardinalities a plan was priced with are compared against the
+deltas actually observed after every iteration, and once they drift
+beyond :data:`REPLAN_DRIFT` (in either direction) the join orders are
+re-enumerated with the live numbers and the new plans swapped in.  The
+``replans`` counter is surfaced by :meth:`CompiledFixpoint.explain` and
+:class:`~repro.constructors.engines.FixpointStats`; benchmark E15
+measures what a re-plan saves on delta-drifting workloads.
 """
 
 from __future__ import annotations
@@ -24,7 +33,12 @@ from ..constructors.engines import (
     _variant_token,
     seminaive_eligible,
 )
-from ..constructors.instantiate import AppKey, InstantiatedSystem, instantiate
+from ..constructors.instantiate import (
+    AppKey,
+    InstantiatedSystem,
+    base_relation_names,
+    instantiate,
+)
 from ..errors import ConvergenceError, PositivityError
 from ..relational import Database, DeltaStats
 from .plans import (
@@ -36,6 +50,11 @@ from .plans import (
     compile_query,
 )
 
+#: Re-optimize the differential plans once an observed delta (or full
+#: value) cardinality drifts beyond this factor — in either direction —
+#: from the estimate the current plans were priced with.
+REPLAN_DRIFT = 4.0
+
 
 @dataclass
 class CompiledFixpoint:
@@ -45,6 +64,16 @@ class CompiledFixpoint:
     system: InstantiatedSystem
     base_plans: dict[AppKey, QueryPlan]
     diff_plans: dict[AppKey, QueryPlan]
+    #: The differential branch bodies, kept for mid-fixpoint re-planning.
+    diff_branches: dict[AppKey, ast.Query] = field(default_factory=dict)
+    #: The per-token cardinality estimates the current ``diff_plans``
+    #: were priced with; drift is measured against these.
+    diff_estimates: dict[object, float] = field(default_factory=dict)
+    optimizer: str = DEFAULT_OPTIMIZER
+    #: Drift factor that triggers a re-plan; None disables re-planning.
+    replan_drift: float | None = REPLAN_DRIFT
+    #: How many times run() swapped in re-optimized differential plans.
+    replans: int = 0
     plan_stats: PlanStats = field(default_factory=PlanStats)
     #: Incremental statistics over the accumulated value of each fixpoint
     #: variable, absorbed delta by delta during run().
@@ -52,6 +81,13 @@ class CompiledFixpoint:
 
     def explain(self) -> str:
         lines = []
+        if self.replan_drift is not None:
+            lines.append(
+                f"replans: {self.replans} (drift threshold "
+                f"{self.replan_drift:g}x)"
+            )
+        else:
+            lines.append(f"replans: {self.replans} (re-planning disabled)")
         for key in self.system.apps:
             lines.append(f"== {key.describe()} ==")
             tracked = self.delta_stats.get(key)
@@ -63,12 +99,70 @@ class CompiledFixpoint:
             lines.append(self.diff_plans[key].explain())
         return "\n".join(lines)
 
+    # -- mid-fixpoint re-optimization ---------------------------------------
+
+    def _max_drift(self, values: dict, deltas: dict) -> float:
+        """Worst observed/estimated cardinality underestimate ratio.
+
+        Only *under*estimates trigger a re-plan: deltas shrinking toward
+        convergence is the normal life of a fixpoint, not drift, and
+        re-planning on it would recompile every differential plan per
+        iteration near the end for no possible order change.  The priced
+        estimates are a ratchet — once a wave of deltas has exploded
+        past them, the estimates follow it up and stay there.
+        """
+        worst = 1.0
+        for key in self.system.apps:
+            comparisons = (
+                (_variant_token(key, "delta"), len(deltas[key])),
+                (_variant_token(key, "new"), len(values[key])),
+            )
+            for token, observed in comparisons:
+                estimated = self.diff_estimates.get(token)
+                if estimated is None:
+                    continue
+                obs = max(1.0, float(observed))
+                est = max(1.0, float(estimated))
+                worst = max(worst, obs / est)
+        return worst
+
+    def _replan(self, values: dict, deltas: dict) -> None:
+        """Re-enumerate differential join orders with live cardinalities.
+
+        Besides the observed sizes, the live per-column statistics
+        absorbed so far (distinct counts, histograms over the value
+        accumulated by :attr:`delta_stats`) are threaded into the cost
+        model, replacing the sqrt-distinct heuristic for fixpoint
+        variables with measured selectivities.
+        """
+        estimates = dict(self.diff_estimates)
+        for key in self.system.apps:
+            full = max(1.0, float(len(values[key])))
+            delta = max(1.0, float(len(deltas[key])))
+            estimates[key] = full
+            estimates[_variant_token(key, "new")] = full
+            estimates[_variant_token(key, "old")] = full
+            estimates[_variant_token(key, "delta")] = delta
+        live_tables = {
+            key: tracked.table
+            for key, tracked in self.delta_stats.items()
+            if tracked.table.row_count > 0
+        }
+        model = CostModel(self.db, estimates, apply_tables=live_tables)
+        for key, query in self.diff_branches.items():
+            self.diff_plans[key] = compile_query(
+                self.db, query, optimizer=self.optimizer, cost_model=model
+            )
+        self.diff_estimates = estimates
+        self.replans += 1
+
     def run(
         self, max_iterations: int = 100_000, stats: FixpointStats | None = None
     ) -> dict[AppKey, frozenset]:
         stats = stats if stats is not None else FixpointStats()
         stats.mode = "compiled-seminaive"
         system = self.system
+        replans_before = self.replans
 
         self.delta_stats = {
             key: DeltaStats(len(app.element_type.attribute_names))
@@ -125,19 +219,38 @@ class CompiledFixpoint:
             grown = sum(len(d) for d in deltas.values())
             stats.tuples_derived += grown
             stats.peak_delta = max(stats.peak_delta, grown)
+            # Mid-fixpoint re-optimization: when the observed cardinalities
+            # drift too far from what the current differential plans were
+            # priced with, re-enumerate join orders with the live numbers.
+            if (
+                self.replan_drift is not None
+                and any(deltas.values())
+                and self._max_drift(values, deltas) > self.replan_drift
+            ):
+                self._replan(values, deltas)
 
         frozen = {key: frozenset(rows) for key, rows in values.items()}
         stats.final_sizes = {k.describe(): len(v) for k, v in frozen.items()}
+        stats.replans += self.replans - replans_before
         self.plan_stats.iterations = stats.iterations
         # Stats hook: remember the converged sizes (with exact per-column
-        # distinct counts from the absorbed deltas) so later compilations
-        # of the same application start from measured cardinalities.
+        # distinct counts and histograms from the absorbed deltas) so later
+        # compilations of the same application start from measured
+        # cardinalities.  Observations are scoped to the base relations the
+        # system actually reads: only their mutations invalidate them.
         catalog = getattr(self.db, "stats", None)
         if catalog is not None:
+            read_relations = base_relation_names(self.db, system)
             for key, rows in frozen.items():
                 tracked = self.delta_stats[key].table
                 distinct = tuple(c.distinct for c in tracked.columns)
-                catalog.record_fixpoint(key, len(rows), distinct)
+                catalog.record_fixpoint(
+                    key,
+                    len(rows),
+                    distinct,
+                    relations=read_relations,
+                    table=tracked,
+                )
         return frozen
 
 
@@ -171,23 +284,31 @@ def compile_fixpoint(
     db: Database,
     system: InstantiatedSystem,
     optimizer: str = DEFAULT_OPTIMIZER,
+    replan_drift: float | None = REPLAN_DRIFT,
 ) -> CompiledFixpoint:
     """Compile base and differential plans for every equation.
 
     Base and differential variants are priced through separate cost
     models: base branches see only stored relations, while differential
     branches join against fixpoint variables whose (small) delta
-    estimates come from :func:`fixpoint_apply_estimates`.
+    estimates come from :func:`fixpoint_apply_estimates`.  Those
+    estimates are retained on the result so :meth:`CompiledFixpoint.run`
+    can detect drift and re-optimize mid-fixpoint; ``replan_drift``
+    tunes the trigger (None disables it).  Re-planning only makes sense
+    for the cost-based optimizer — the legacy orders ignore estimates —
+    so it is disabled for the others.
     """
     if not seminaive_eligible(system):
         raise PositivityError(
             "compiled fixpoint execution requires fixpoint variables to occur "
             "only as direct binding ranges"
         )
+    estimates = fixpoint_apply_estimates(db, system)
     base_model = CostModel(db)
-    diff_model = CostModel(db, fixpoint_apply_estimates(db, system))
+    diff_model = CostModel(db, estimates)
     base_plans: dict[AppKey, QueryPlan] = {}
     diff_plans: dict[AppKey, QueryPlan] = {}
+    diff_queries: dict[AppKey, ast.Query] = {}
     for key, app in system.apps.items():
         base_branches: list[ast.Branch] = []
         diff_branches: list[ast.Branch] = []
@@ -202,11 +323,23 @@ def compile_fixpoint(
             db, ast.Query(tuple(base_branches)), optimizer=optimizer,
             cost_model=base_model,
         )
+        diff_queries[key] = ast.Query(tuple(diff_branches))
         diff_plans[key] = compile_query(
-            db, ast.Query(tuple(diff_branches)), optimizer=optimizer,
+            db, diff_queries[key], optimizer=optimizer,
             cost_model=diff_model,
         )
-    return CompiledFixpoint(db, system, base_plans, diff_plans)
+    if optimizer != "cost":
+        replan_drift = None
+    return CompiledFixpoint(
+        db,
+        system,
+        base_plans,
+        diff_plans,
+        diff_branches=diff_queries,
+        diff_estimates=estimates,
+        optimizer=optimizer,
+        replan_drift=replan_drift,
+    )
 
 
 def construct_compiled(
@@ -214,6 +347,7 @@ def construct_compiled(
     application: ast.Constructed,
     max_iterations: int = 100_000,
     optimizer: str = DEFAULT_OPTIMIZER,
+    replan_drift: float | None = REPLAN_DRIFT,
 ):
     """Compiled counterpart of :func:`repro.constructors.construct`."""
     from ..constructors.api import ConstructionResult
@@ -224,7 +358,8 @@ def construct_compiled(
         raise PositivityError(
             f"instantiated system for {system.root.describe()} is not positive"
         )
-    program = compile_fixpoint(db, system, optimizer=optimizer)
+    program = compile_fixpoint(db, system, optimizer=optimizer,
+                               replan_drift=replan_drift)
     stats = FixpointStats()
     values = program.run(max_iterations, stats)
     root_app = system.apps[system.root]

@@ -181,12 +181,17 @@ class CostModel:
     relations involved (exact row counts, exact distinct-value counts);
     equality selectivity of an indexed key is read off an already-built
     hash index when one exists, and otherwise computed as the
-    independence product of per-column ``1/distinct`` estimates.  Sources
+    independence product of per-column ``1/distinct`` estimates.  Range
+    comparisons against constants (``<``, ``<=``, ``>``, ``>=``) are
+    priced from per-column **equi-depth histograms** instead of a blind
+    constant; ``use_histograms=False`` restores the constant (for
+    measuring what the histograms buy — see benchmark E15).  Sources
     the statistics cannot see (fixpoint variables, computed ranges) are
     priced through ``apply_estimates`` — the fixpoint compiler passes
     separate estimates for full values and for deltas, which is what
     keeps deltas driving the differential loop nests — with catalog
-    observations of previously converged fixpoints as the fallback.
+    observations of previously converged fixpoints (including their
+    absorbed per-column statistics) as the fallback.
     """
 
     #: Rows assumed for a computed range nobody has statistics for.
@@ -195,15 +200,27 @@ class CostModel:
     RECURSIVE_GROWTH = 4.0
     #: Cost charged once for building a hash index over a source.
     INDEX_BUILD_WEIGHT = 0.25
+    #: Selectivity of a range comparison when no histogram is available
+    #: (the classic System-R constant).
+    DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+    #: Selectivity of ``<>`` when no statistics are available.
+    DEFAULT_NEQ_SELECTIVITY = 0.9
 
     def __init__(
         self,
         db: Database,
         apply_estimates: dict[object, float] | None = None,
+        use_histograms: bool = True,
+        apply_tables: dict[object, object] | None = None,
     ) -> None:
         self.db = db
         self.catalog = getattr(db, "stats", None)
         self.apply_estimates = dict(apply_estimates or {})
+        self.use_histograms = use_histograms
+        #: Live TableStats per fixpoint-variable key — the mid-fixpoint
+        #: re-optimizer passes the statistics absorbed so far, which beat
+        #: both the catalog (previous runs) and the sqrt heuristic.
+        self.apply_tables = dict(apply_tables or {})
 
     # -- cardinalities -------------------------------------------------------
 
@@ -253,6 +270,33 @@ class CostModel:
 
     # -- selectivities -------------------------------------------------------
 
+    def source_table(self, source: Source):
+        """The :class:`TableStats` describing a source, when one exists.
+
+        Relations answer with their live stats; fixpoint variables answer
+        with the statistics absorbed over the value the last time the
+        same application converged (catalog observations), which carry
+        distinct counts *and* histograms for the constructed columns.
+        """
+        if source.kind == "relation":
+            return self.db[source.name].stats()
+        if source.kind == "apply":
+            key = source.token
+            if (
+                isinstance(key, tuple)
+                and len(key) == 3
+                and key[0] == "__seminaive__"
+            ):
+                key = key[2]
+            table = self.apply_tables.get(key)
+            if table is not None:
+                return table
+            if self.catalog is not None:
+                observation = self.catalog.fixpoint_observation(key)
+                if observation is not None:
+                    return observation.table
+        return None
+
     def key_selectivity(self, source: Source, positions: tuple[int, ...]) -> float:
         if not positions:
             return 1.0
@@ -260,8 +304,17 @@ class CostModel:
             relation = self.db[source.name]
             index = relation.peek_index(positions)
             if index is not None:
-                return index.selectivity()
+                # Measured distincts, blended with the measured bucket
+                # skew — the same uniform/heavy-value blend the stats
+                # layer applies, so an already-built index and a cold
+                # column price consistently (probes favour heavy keys).
+                return (index.selectivity() + index.max_bucket_fraction()) / 2.0
             return relation.stats().key_selectivity(positions)
+        table = self.source_table(source)
+        if table is not None and table.row_count > 0:
+            # Per-column selectivity fractions of the observed value
+            # transfer to its deltas (same value domain).
+            return table.key_selectivity(positions)
         # Unknown distribution: assume sqrt(N) distinct values per column.
         card = self.source_cardinality(source)
         if card <= 1:
@@ -271,13 +324,56 @@ class CostModel:
             sel *= 1.0 / max(1.0, card ** 0.5)
         return max(sel, 1.0 / card)
 
+    def restriction_selectivity(
+        self, source: Source, restrictions: tuple
+    ) -> float:
+        """Combined selectivity of single-variable comparison filters.
+
+        ``restrictions`` are ``(pos, op, value)`` triples — range and
+        inequality comparisons of one column against a constant, the
+        conjuncts that previously ran as *unpriced* filters.  Histograms
+        price the range operators; independence is assumed across
+        conjuncts.
+        """
+        if not restrictions:
+            return 1.0
+        table = self.source_table(source)
+        sel = 1.0
+        for pos, op, value in restrictions:
+            sel *= self._one_restriction(table, source, pos, op, value)
+        return min(max(sel, 0.0), 1.0)
+
+    def _one_restriction(self, table, source: Source, pos: int, op: str, value) -> float:
+        if op == "=":
+            if table is not None:
+                return table.eq_selectivity(pos)
+            card = self.source_cardinality(source)
+            return 1.0 / max(1.0, card ** 0.5)
+        fallback = (
+            self.DEFAULT_NEQ_SELECTIVITY
+            if op == "<>"
+            else self.DEFAULT_RANGE_SELECTIVITY
+        )
+        if not self.use_histograms and op != "<>":
+            return fallback
+        if table is not None:
+            estimated = table.range_selectivity(pos, op, value)
+            if estimated is not None:
+                return estimated
+        return fallback
+
     # -- step pricing --------------------------------------------------------
 
     def price_step(
-        self, source: Source, key_positions: tuple[int, ...]
+        self,
+        source: Source,
+        key_positions: tuple[int, ...],
+        restrictions: tuple = (),
     ) -> "StepEstimate":
-        """Price one loop step given the key positions usable as an index."""
+        """Price one loop step given the key positions usable as an index
+        and the single-variable comparison filters that run at the step."""
         card = self.source_cardinality(source)
+        filter_sel = self.restriction_selectivity(source, restrictions)
         if key_positions:
             matched = card * self.key_selectivity(source, key_positions)
             # Cost-gated access path: an index pays off when a lookup is
@@ -285,14 +381,14 @@ class CostModel:
             if matched < card:
                 return StepEstimate(
                     source_rows=card,
-                    out_rows=matched,
+                    out_rows=matched * filter_sel,
                     per_invocation=1.0 + matched,
                     build_cost=card * self.INDEX_BUILD_WEIGHT,
                     use_index=True,
                 )
         return StepEstimate(
             source_rows=card,
-            out_rows=card,
+            out_rows=card * filter_sel,
             per_invocation=max(card, 1.0),
             build_cost=0.0,
             use_index=False,
@@ -356,6 +452,39 @@ def _compile_value(term: ast.Term, schemas: dict[str, RecordType], params: dict)
 
 def _term_vars(term: ast.Term) -> set[str]:
     return free_tuple_vars(term)
+
+
+#: Comparison operators usable as priced single-variable restrictions,
+#: mapped to their mirror image (for when the attribute is on the right).
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "<>": "<>"}
+
+
+def _restriction_of(conj: ast.Cmp, schemas: dict, params: dict):
+    """``(var, pos, op, value)`` when ``conj`` compares one attribute of a
+    single binding variable against a constant/parameter expression, or
+    None.  These are the conjuncts the cost model prices from histograms
+    instead of treating as free filters."""
+    if conj.op not in _FLIPPED_OP:
+        return None
+    for attr_side, other, op in (
+        (conj.left, conj.right, conj.op),
+        (conj.right, conj.left, _FLIPPED_OP[conj.op]),
+    ):
+        if (
+            isinstance(attr_side, ast.AttrRef)
+            and attr_side.var in schemas
+            and not _term_vars(other)
+        ):
+            value_fn = _compile_value(other, schemas, params)
+            if value_fn is None:
+                continue
+            try:
+                value = value_fn({})
+            except Exception:
+                continue  # e.g. a parameter not bound at compile time
+            pos = schemas[attr_side.var].index_of(attr_side.attr)
+            return (attr_side.var, pos, op, value)
+    return None
 
 
 # ---------------------------------------------------------------------------
@@ -548,19 +677,26 @@ def _order_cost_based(
     sources: dict[str, Source],
     equalities: list[tuple[int, str, int, ast.Term]],
     cost_model: CostModel,
+    restrictions: dict[str, tuple] | None = None,
 ) -> list[str]:
     """Pick the loop-nest order minimizing estimated cost.
 
     Exact subset DP (Selinger) up to :data:`DP_LIMIT` bindings; greedy
     cheapest-next-step beyond that.  Ties prefer delta-driven orders and
-    then the syntactic order, keeping plans deterministic.
+    then the syntactic order, keeping plans deterministic.  Per-variable
+    ``restrictions`` (histogram-priced range/inequality filters) shrink
+    a step's output cardinality, which is what lets a range-restricted
+    scan of a big table win the outer position.
     """
     position = {v: i for i, v in enumerate(binding_vars)}
+    restrictions = restrictions or {}
 
     def transition(var: str, bound: frozenset) -> StepEstimate:
         keys = _available_keys(var, bound, equalities)
         return cost_model.price_step(
-            sources[var], tuple(pos for (_g, pos, _o) in keys)
+            sources[var],
+            tuple(pos for (_g, pos, _o) in keys),
+            restrictions.get(var, ()),
         )
 
     def tiebreak(order: tuple[str, ...]) -> tuple:
@@ -671,6 +807,8 @@ def compile_branch(
     equalities: list[tuple[int, str, int, ast.Term]] = []  # (group, var, pos, other)
     cheap: list[tuple[set[str], object, str]] = []
     residual: list[ast.Pred] = []
+    # var -> ((pos, op, value), ...): priced single-variable comparisons.
+    restrictions: dict[str, tuple] = {}
     from ..calculus.pretty import render_pred
 
     for group, conj in enumerate(conjuncts(branch.pred)):
@@ -692,6 +830,10 @@ def compile_branch(
             fn = _compile_cmp(conj, schemas, params)
             if fn is not None:
                 cheap.append((vars_needed, fn, render_pred(conj)))
+                restriction = _restriction_of(conj, schemas, params)
+                if restriction is not None:
+                    var, pos, op, value = restriction
+                    restrictions[var] = restrictions.get(var, ()) + ((pos, op, value),)
                 continue
         residual.append(conj)
 
@@ -701,7 +843,9 @@ def compile_branch(
     elif optimizer == "greedy":
         ordered = _order_greedy_keycount(binding_vars, sources, equalities)
     elif optimizer == "cost":
-        ordered = _order_cost_based(binding_vars, sources, equalities, cost_model)
+        ordered = _order_cost_based(
+            binding_vars, sources, equalities, cost_model, restrictions
+        )
     else:
         raise ValueError(
             f"unknown optimizer {optimizer!r}; expected 'cost', 'greedy', "
@@ -715,11 +859,14 @@ def compile_branch(
     for var in ordered:
         bound_before = frozenset(ordered[: ordered.index(var)])
         available = _available_keys(var, bound_before, equalities)
+        var_restrictions = restrictions.get(var, ())
         # The cost model gates the access path: keys are consumed as an
         # index only when the estimated lookup beats a scan (in the
         # legacy modes keys are always consumed, as before).
         estimate = cost_model.price_step(
-            sources[var], tuple(pos for (_g, pos, _o) in available)
+            sources[var],
+            tuple(pos for (_g, pos, _o) in available),
+            var_restrictions,
         )
         use_keys = estimate.use_index or optimizer in ("greedy", "syntactic")
         key_positions: list[int] = []
@@ -738,10 +885,9 @@ def compile_branch(
             if var in needed and needed <= bound_before | {var}:
                 step_filters.append(fn)
                 step_descs.append(desc)
-        if key_positions:
-            final = cost_model.price_step(sources[var], tuple(key_positions))
-        else:
-            final = cost_model.price_step(sources[var], ())
+        final = cost_model.price_step(
+            sources[var], tuple(key_positions), var_restrictions
+        )
         est_cost += final.build_cost + est_card * final.per_invocation
         est_card *= final.out_rows
         steps.append(

@@ -180,6 +180,12 @@ def cost_gated_inline(
     side wins.  Returns the rewritten query plus the decision log.
     With ``always_inline=True`` the gate is bypassed (and no estimation
     is performed): every inlinable application is inlined.
+
+    Estimates flow through the shared :class:`~.plans.CostModel`, so a
+    pushed-down *range* restriction is priced from the base column's
+    equi-depth histogram exactly as it would be in the final plan — a
+    selective range pushdown now wins the gate on its measured
+    selectivity rather than on a blind constant.
     """
     from .plans import CostModel, estimate_branch, estimate_query
 

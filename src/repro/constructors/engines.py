@@ -48,6 +48,8 @@ class FixpointStats:
     iterations: int = 0
     tuples_derived: int = 0
     peak_delta: int = 0
+    #: Mid-fixpoint re-optimizations performed (compiled engine only).
+    replans: int = 0
     final_sizes: dict[str, int] = field(default_factory=dict)
     eval_stats: EvalStats = field(default_factory=EvalStats)
 
@@ -74,11 +76,18 @@ def _record_observations(
     catalog = getattr(db, "stats", None)
     if catalog is None:
         return
+    from .instantiate import base_relation_names
+
+    read_relations = base_relation_names(db, system)
     for key, rows in values.items():
         distinct: tuple[int, ...] = ()
+        table = None
         if delta_stats is not None and key in delta_stats:
-            distinct = tuple(c.distinct for c in delta_stats[key].table.columns)
-        catalog.record_fixpoint(key, len(rows), distinct)
+            table = delta_stats[key].table
+            distinct = tuple(c.distinct for c in table.columns)
+        catalog.record_fixpoint(
+            key, len(rows), distinct, relations=read_relations, table=table
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -94,6 +94,27 @@ class InstantiatedSystem:
         return "\n".join(lines)
 
 
+def base_relation_names(db: Database, system: InstantiatedSystem) -> frozenset[str]:
+    """The stored relations the instantiated system actually reads.
+
+    The union of every relation name referenced by any equation body or
+    by any application key (base ranges and relation-valued arguments),
+    filtered to names that exist in ``db``.  This is the staleness scope
+    of a fixpoint observation: mutating any *other* relation cannot
+    change the system's value.
+    """
+    from ..calculus.analysis import free_range_names
+
+    names: set[str] = set()
+    for key, app in system.apps.items():
+        names |= free_range_names(app.body)
+        names |= free_range_names(key.base)
+        for arg in key.args:
+            if isinstance(arg, _RANGE_NODES):
+                names |= free_range_names(arg)
+    return frozenset(name for name in names if name in db.relations)
+
+
 # ---------------------------------------------------------------------------
 # Canonicalization of application expressions
 # ---------------------------------------------------------------------------

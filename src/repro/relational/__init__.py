@@ -15,13 +15,14 @@ from .database import Database
 from .indexes import HashIndex, IndexCache
 from .relation import Relation
 from .rows import Row
-from .stats import ColumnStats, DeltaStats, StatsCatalog, TableStats
+from .stats import ColumnStats, DeltaStats, Histogram, StatsCatalog, TableStats
 
 __all__ = [
     "ColumnStats",
     "Database",
     "DeltaStats",
     "HashIndex",
+    "Histogram",
     "IndexCache",
     "Relation",
     "Row",

@@ -16,15 +16,25 @@ from collections.abc import Iterable
 class HashIndex:
     """A hash partition of a row set on a tuple of attribute positions."""
 
-    __slots__ = ("positions", "buckets")
+    __slots__ = ("positions", "buckets", "_total_rows", "_max_bucket_rows")
 
     def __init__(self, positions: tuple[int, ...], rows: Iterable[tuple]) -> None:
         self.positions = positions
         buckets: dict[tuple, list[tuple]] = {}
+        total = 0
+        heaviest = 0
         for row in rows:
             key = tuple(row[i] for i in positions)
-            buckets.setdefault(key, []).append(row)
+            bucket = buckets.setdefault(key, [])
+            bucket.append(row)
+            total += 1
+            if len(bucket) > heaviest:
+                heaviest = len(bucket)
         self.buckets = buckets
+        # Buckets are immutable after build (the cache rebuilds on any
+        # relation version change), so the planner's skew probe is O(1).
+        self._total_rows = total
+        self._max_bucket_rows = heaviest
 
     def lookup(self, key: tuple) -> list[tuple]:
         """All rows whose projection on ``positions`` equals ``key``."""
@@ -46,6 +56,19 @@ class HashIndex:
         the independence-assumption product when an index already exists.
         """
         return 1.0 / len(self.buckets) if self.buckets else 1.0
+
+    def max_bucket_fraction(self) -> float:
+        """Fraction of all rows sitting in the heaviest bucket.
+
+        The skew signal of the indexed key: probes in a join tend to land
+        on heavy values more often than the uniform ``1/distinct``
+        average predicts, so the cost model blends this in exactly as
+        :meth:`~repro.relational.stats.TableStats.eq_selectivity` does
+        for un-indexed columns.
+        """
+        if self._total_rows <= 0:
+            return 0.0
+        return self._max_bucket_rows / self._total_rows
 
 
 _EMPTY: list[tuple] = []

@@ -9,7 +9,13 @@ planner (:class:`repro.compiler.plans.CostModel`) prices plans with:
   multisets so estimates stay correct under insert *and* delete;
 * **selectivities** — the classic System-R estimates derived from the
   above: an equality on column ``c`` keeps ``1/distinct(c)`` of the
-  rows, a join on ``R.a = S.b`` produces ``|R||S| / max(d_a, d_b)``.
+  rows, a join on ``R.a = S.b`` produces ``|R||S| / max(d_a, d_b)``;
+* **equi-depth histograms** — per column, built lazily from the exact
+  value multisets and maintained incrementally (bucket counters are
+  adjusted per insert/delete; once mutations exceed a staleness
+  threshold the histogram is rebuilt from the multiset on the next
+  probe).  They price *range* predicates (``<``, ``<=``, ``>``,
+  ``>=``), replacing the blind constant the planner used before.
 
 Statistics are maintained **incrementally**: a :class:`TableStats` is
 built once from a relation's rows and then updated in place by
@@ -24,38 +30,226 @@ of a guess.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import Counter
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
+#: Target bucket count for equi-depth histograms.
+HISTOGRAM_BUCKETS = 16
+
+#: A histogram is rebuilt (lazily, on the next probe) once the number of
+#: mutations applied since it was built exceeds this fraction of the
+#: rows it was built over (with a small absolute floor so tiny tables
+#: don't thrash).
+HISTOGRAM_STALENESS = 0.25
+HISTOGRAM_STALENESS_FLOOR = 32
+
+
+class Histogram:
+    """An equi-depth histogram over one column's orderable values.
+
+    ``bounds[i]`` is the inclusive upper bound of bucket ``i`` (bucket
+    lower bounds are the previous bucket's upper bound, exclusive;
+    bucket 0 starts at ``lo``).  ``depths[i]`` counts the rows currently
+    attributed to bucket ``i`` — exact at build time, then adjusted
+    incrementally per insert/delete until :meth:`stale` triggers a
+    rebuild.  Values outside ``[lo, bounds[-1]]`` are clamped into the
+    edge buckets, widening them.
+    """
+
+    __slots__ = ("lo", "bounds", "depths", "built_rows", "mutations")
+
+    def __init__(self, lo, bounds: list, depths: list[int]) -> None:
+        self.lo = lo
+        self.bounds = bounds
+        self.depths = depths
+        self.built_rows = sum(depths)
+        self.mutations = 0
+
+    @classmethod
+    def from_counts(cls, counts: Counter, buckets: int = HISTOGRAM_BUCKETS):
+        """Build from an exact value multiset; None when unorderable."""
+        if not counts:
+            return None
+        try:
+            items = sorted(counts.items())
+        except TypeError:
+            return None  # mixed/unorderable value domain
+        total = sum(counts.values())
+        target = max(1, total // max(1, buckets))
+        lo = items[0][0]
+        bounds: list = []
+        depths: list[int] = []
+        acc = 0
+        for value, count in items:
+            acc += count
+            if acc >= target or value == items[-1][0]:
+                bounds.append(value)
+                depths.append(acc)
+                acc = 0
+        if acc:
+            depths[-1] += acc
+        return cls(lo, bounds, depths)
+
+    @property
+    def total(self) -> int:
+        return sum(self.depths)
+
+    def stale(self) -> bool:
+        limit = max(HISTOGRAM_STALENESS_FLOOR, HISTOGRAM_STALENESS * self.built_rows)
+        return self.mutations > limit
+
+    # -- incremental maintenance -------------------------------------------
+
+    def _bucket_of(self, value) -> int:
+        try:
+            i = bisect_left(self.bounds, value)
+        except TypeError:
+            return -1
+        return min(i, len(self.bounds) - 1)
+
+    def add(self, value: object) -> None:
+        i = self._bucket_of(value)
+        if i < 0:
+            self.mutations += 1
+            return
+        self.depths[i] += 1
+        try:
+            if value < self.lo:
+                self.lo = value
+            elif value > self.bounds[-1]:
+                self.bounds[-1] = value
+        except TypeError:
+            pass
+        self.mutations += 1
+
+    def remove(self, value: object) -> None:
+        i = self._bucket_of(value)
+        if i >= 0 and self.depths[i] > 0:
+            self.depths[i] -= 1
+        self.mutations += 1
+
+    # -- estimation ---------------------------------------------------------
+
+    def fraction_below(self, value, inclusive: bool) -> float | None:
+        """Estimated fraction of rows ``<= value`` (or ``< value``)."""
+        total = self.total
+        if total <= 0:
+            return None
+        try:
+            if inclusive:
+                i = bisect_right(self.bounds, value)
+            else:
+                i = bisect_left(self.bounds, value)
+            below_lo = (value <= self.lo) if not inclusive else (value < self.lo)
+        except TypeError:
+            return None
+        if below_lo:
+            return 0.0
+        if i >= len(self.bounds):
+            return 1.0
+        rows = sum(self.depths[:i])
+        # Partial bucket: linear interpolation on numeric bounds, half a
+        # bucket otherwise (strings etc. have no meaningful midpoint).
+        bucket_lo = self.bounds[i - 1] if i > 0 else self.lo
+        bucket_hi = self.bounds[i]
+        frac = 0.5
+        if isinstance(value, (int, float)) and isinstance(bucket_lo, (int, float)) \
+                and isinstance(bucket_hi, (int, float)) and bucket_hi > bucket_lo:
+            frac = (value - bucket_lo) / (bucket_hi - bucket_lo)
+            frac = min(1.0, max(0.0, frac))
+        rows += self.depths[i] * frac
+        return min(1.0, max(0.0, rows / total))
+
+    def describe(self) -> str:
+        return (
+            f"histogram[{len(self.bounds)} buckets, rows={self.total}, "
+            f"lo={self.lo!r}, hi={self.bounds[-1]!r}]"
+        )
+
 
 class ColumnStats:
-    """Exact distinct-value accounting for one column position."""
+    """Exact distinct-value accounting for one column position.
 
-    __slots__ = ("counts",)
+    Beyond the multiset itself this tracks two derived quantities the
+    planner probes on every plan-enumeration step, both maintained
+    without rescanning the multiset:
+
+    * the **heavy-hitter count** (rows carrying the most frequent value)
+      is kept incrementally — an insert can only raise the maximum, a
+      delete invalidates it only when it hits a value at the current
+      maximum, in which case the next probe rescans once and re-caches
+      (``mcv_rescans`` counts those rescans, for tests);
+    * the **equi-depth histogram** is built lazily on the first range
+      probe and updated incrementally until stale (see
+      :class:`Histogram`), then rebuilt from the multiset.
+    """
+
+    __slots__ = ("counts", "_max_count", "_max_dirty", "mcv_rescans",
+                 "_histogram", "_histogram_failed", "histogram_builds")
 
     def __init__(self) -> None:
         self.counts: Counter = Counter()
+        self._max_count = 0
+        self._max_dirty = False
+        self.mcv_rescans = 0
+        self._histogram: Histogram | None = None
+        self._histogram_failed = False
+        self.histogram_builds = 0
 
     @property
     def distinct(self) -> int:
         return len(self.counts)
 
+    @property
+    def max_count(self) -> int:
+        """Rows carrying the most frequent value (cached, see above)."""
+        if self._max_dirty:
+            self._max_count = max(self.counts.values(), default=0)
+            self._max_dirty = False
+            self.mcv_rescans += 1
+        return self._max_count
+
     def most_common_fraction(self, total_rows: int) -> float:
         """Fraction of rows carrying the most frequent value (skew signal)."""
         if not self.counts or total_rows <= 0:
             return 0.0
-        return self.counts.most_common(1)[0][1] / total_rows
+        return self.max_count / total_rows
 
     def add(self, value: object) -> None:
-        self.counts[value] += 1
+        count = self.counts[value] + 1
+        self.counts[value] = count
+        if not self._max_dirty and count > self._max_count:
+            self._max_count = count
+        if self._histogram is not None:
+            self._histogram.add(value)
+        elif self._histogram_failed:
+            self._histogram_failed = False  # domain changed; retry later
 
     def remove(self, value: object) -> None:
-        remaining = self.counts.get(value, 0) - 1
-        if remaining > 0:
-            self.counts[value] = remaining
+        old = self.counts.get(value, 0)
+        if old - 1 > 0:
+            self.counts[value] = old - 1
         else:
             self.counts.pop(value, None)
+        if old and not self._max_dirty and old == self._max_count:
+            # Another value may share the maximum: recompute lazily.
+            self._max_dirty = True
+        if self._histogram is not None:
+            self._histogram.remove(value)
+
+    def histogram(self) -> Histogram | None:
+        """The (lazily built, staleness-checked) equi-depth histogram."""
+        if self._histogram is not None and self._histogram.stale():
+            self._histogram = None
+        if self._histogram is None and not self._histogram_failed:
+            self._histogram = Histogram.from_counts(self.counts)
+            if self._histogram is None:
+                self._histogram_failed = True
+            else:
+                self.histogram_builds += 1
+        return self._histogram
 
 
 class TableStats:
@@ -105,11 +299,46 @@ class TableStats:
         the blend is exactly ``1/distinct``, on skewed data probes land
         on heavy values more often than uniformity predicts and the
         estimate moves toward the heavy bucket.
+
+        A column with no values at all (empty relation) matches
+        *nothing*: the selectivity is 0, so the estimated matching rows
+        are 0 and the planner treats an empty input as the cheapest
+        possible join start, not as "matches everything".
         """
         d = self.distinct(pos)
         if not d:
-            return 1.0
+            return 0.0
         return (1.0 / d + self.skew(pos)) / 2.0
+
+    def range_selectivity(self, pos: int, op: str, value: object) -> float | None:
+        """Estimated fraction of rows satisfying ``col <op> value``.
+
+        Priced from the column's equi-depth histogram; ``None`` when the
+        column has no histogram (unorderable domain) or the operator is
+        not a range comparison — callers fall back to their own default
+        constant in that case.  Empty columns match nothing.
+        """
+        if not (0 <= pos < self.arity):
+            return None
+        column = self.columns[pos]
+        if not column.counts:
+            return 0.0
+        if op == "<>":
+            return max(0.0, 1.0 - self.eq_selectivity(pos))
+        histogram = column.histogram()
+        if histogram is None:
+            return None
+        if op == "<":
+            return histogram.fraction_below(value, inclusive=False)
+        if op == "<=":
+            return histogram.fraction_below(value, inclusive=True)
+        if op == ">":
+            below = histogram.fraction_below(value, inclusive=True)
+            return None if below is None else max(0.0, 1.0 - below)
+        if op == ">=":
+            below = histogram.fraction_below(value, inclusive=False)
+            return None if below is None else max(0.0, 1.0 - below)
+        return None
 
     def key_selectivity(self, positions: Iterable[int]) -> float:
         """Combined selectivity of a conjunctive equality key.
@@ -180,23 +409,40 @@ class DeltaStats:
 class FixpointObservation:
     """A converged fixpoint's measured size (and distincts when known).
 
-    ``versions`` snapshots the base-relation version stamps at
-    observation time; the catalog treats the observation as stale — and
-    drops it — once any base relation has mutated since.
+    ``versions`` snapshots the version stamps of the base relations the
+    instantiated application actually *reads*; the catalog treats the
+    observation as stale — and drops it — once any of *those* relations
+    has mutated since.  Mutations of unrelated tables do not discard it.
+
+    ``table``, when present, is the exact :class:`TableStats` absorbed
+    delta-by-delta while the fixpoint converged: full per-column
+    distinct counts and histograms over the constructed value, which the
+    cost model uses to price joins and range filters against fixpoint
+    variables in later compilations.
     """
 
     rows: int
     distinct: tuple[int, ...] = ()
     runs: int = 1
     versions: dict[str, int] = field(default_factory=dict)
+    table: "TableStats | None" = None
 
     def merge(
-        self, rows: int, distinct: tuple[int, ...], versions: dict[str, int]
+        self,
+        rows: int,
+        distinct: tuple[int, ...],
+        versions: dict[str, int],
+        table: "TableStats | None" = None,
     ) -> None:
         self.rows = rows
         if distinct:
             self.distinct = distinct
         self.versions = versions
+        # The table payload must match the run that produced the latest
+        # version stamp: an engine that tracked no statistics (table is
+        # None) drops any previous table rather than letting a fresh
+        # stamp vouch for a distribution observed on older data.
+        self.table = table
         self.runs += 1
 
 
@@ -223,30 +469,57 @@ class StatsCatalog:
 
     # -- fixpoint observations ----------------------------------------------
 
-    def _versions(self) -> dict[str, int]:
-        return {name: rel.version for name, rel in self._db.relations.items()}
+    def _versions(self, relations: Iterable[str] | None = None) -> dict[str, int]:
+        """Version stamps of ``relations`` (default: every relation).
+
+        Callers that know which base relations an application reads pass
+        them explicitly, so the resulting observation is invalidated only
+        by mutations it can actually see — not by writes to unrelated
+        tables.
+        """
+        if relations is None:
+            return {name: rel.version for name, rel in self._db.relations.items()}
+        all_relations = self._db.relations
+        return {
+            name: all_relations[name].version
+            for name in relations
+            if name in all_relations
+        }
 
     def record_fixpoint(
-        self, key: object, rows: int, distinct: tuple[int, ...] = ()
+        self,
+        key: object,
+        rows: int,
+        distinct: tuple[int, ...] = (),
+        relations: Iterable[str] | None = None,
+        table: "TableStats | None" = None,
     ) -> None:
-        """Remember the converged size of one instantiated application."""
-        versions = self._versions()
+        """Remember the converged size of one instantiated application.
+
+        ``relations`` names the base relations the application reads
+        (the observation's staleness scope); ``table`` optionally carries
+        the exact statistics absorbed over the converged value.
+        """
+        versions = self._versions(relations)
         observation = self._observations.get(key)
         if observation is None:
             self._observations[key] = FixpointObservation(
-                rows, distinct, versions=versions
+                rows, distinct, versions=versions, table=table
             )
         else:
-            observation.merge(rows, distinct, versions)
+            observation.merge(rows, distinct, versions, table)
 
     def fixpoint_observation(self, key: object) -> FixpointObservation | None:
-        """The recorded observation, dropped if base relations mutated."""
+        """The recorded observation, dropped if any *read* relation mutated."""
         observation = self._observations.get(key)
         if observation is None:
             return None
-        if observation.versions != self._versions():
-            del self._observations[key]
-            return None
+        all_relations = self._db.relations
+        for name, version in observation.versions.items():
+            rel = all_relations.get(name)
+            if rel is None or rel.version != version:
+                del self._observations[key]
+                return None
         return observation
 
     def constructed_estimate(self, key: object) -> float | None:

@@ -1,0 +1,199 @@
+"""Mid-fixpoint re-optimization and catalog observation scoping (PR 2).
+
+The compiled semi-naive engine compares the delta cardinalities its
+differential plans were priced with against the deltas actually
+observed, and re-enumerates join orders with the live numbers once they
+drift beyond ``replan_drift``.  These tests pin: the re-plan fires on a
+delta-exploding workload, results stay identical to the interpreted
+semi-naive engine, the ``replans`` counter is surfaced, and re-planning
+reduces scanned rows.  Plus the satellite regression: a fixpoint
+observation survives mutations of relations the application never reads.
+"""
+
+import pytest
+
+from helpers import INFRONTREL, OBJECTREL, SCENE_OBJECTS
+from repro import paper
+from repro.calculus import dsl as d
+from repro.compiler import REPLAN_DRIFT, compile_fixpoint, construct_compiled
+from repro.constructors import construct, instantiate
+from repro.constructors.engines import FixpointStats, seminaive_fixpoint
+from repro.workloads import random_digraph
+
+
+def drifting_edges(comps=6, sources=50, leaves=50):
+    """Staggered dead-end fans: component ``j`` is a source layer feeding
+    a chain of length ``j`` that ends in a hub fanning out to leaves.
+    Early TC deltas are tiny (chains advancing); then each component's
+    source×leaf wave explodes — orders of magnitude beyond the initial
+    delta estimate — and the waves keep coming, one component per
+    iteration."""
+    edges = []
+    for j in range(comps):
+        edges += [(f"s{j}_{i}", f"c{j}_0") for i in range(sources)]
+        edges += [(f"c{j}_{k}", f"c{j}_{k+1}") for k in range(j + 1)]
+        edges += [(f"c{j}_{j+1}", f"b{j}_{n}") for n in range(leaves)]
+    return edges
+
+
+def _tc_db(edges):
+    return paper.cad_database(infront=edges, mutual=False)
+
+
+class TestReplanFires:
+    def test_replan_fires_on_exploding_deltas(self):
+        db = _tc_db(drifting_edges())
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system)
+        stats = FixpointStats()
+        program.run(stats=stats)
+        assert program.replans >= 1
+        assert stats.replans == program.replans
+
+    def test_results_equal_seminaive_engine(self):
+        edges = drifting_edges(comps=4, sources=30, leaves=30)
+        db = _tc_db(edges)
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system)
+        compiled_values = program.run()
+        assert program.replans >= 1
+
+        reference_db = _tc_db(edges)
+        reference_system = instantiate(
+            reference_db, d.constructed("Infront", "ahead")
+        )
+        reference = seminaive_fixpoint(reference_db, reference_system)
+        assert compiled_values[system.root] == reference[reference_system.root]
+
+    def test_replan_disabled_still_correct(self):
+        edges = drifting_edges(comps=4, sources=30, leaves=30)
+        db = _tc_db(edges)
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system, replan_drift=None)
+        values = program.run()
+        assert program.replans == 0
+        result = construct(_tc_db(edges), d.constructed("Infront", "ahead"))
+        assert values[system.root] == result.rows
+
+    def test_replan_reduces_scanned_rows(self):
+        """The headline: adapting the differential join order to the
+        observed deltas touches measurably fewer rows, same answers."""
+        edges = drifting_edges()
+        frozen = _tc_db(edges)
+        frozen_system = instantiate(frozen, d.constructed("Infront", "ahead"))
+        frozen_program = compile_fixpoint(frozen, frozen_system, replan_drift=None)
+        frozen_values = frozen_program.run()
+
+        adaptive = _tc_db(edges)
+        adaptive_system = instantiate(adaptive, d.constructed("Infront", "ahead"))
+        adaptive_program = compile_fixpoint(adaptive, adaptive_system)
+        adaptive_values = adaptive_program.run()
+
+        assert adaptive_values[adaptive_system.root] == frozen_values[frozen_system.root]
+        assert adaptive_program.replans >= 1
+        assert (
+            adaptive_program.plan_stats.rows_scanned
+            < frozen_program.plan_stats.rows_scanned
+        )
+
+    def test_replan_on_dense_digraph(self):
+        """Dense random TC: deltas exceed the edge count mid-run."""
+        edges = random_digraph(120, 480, seed=2)
+        db = _tc_db(edges)
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system)
+        values = program.run()
+        assert program.replans >= 1
+        result = construct(_tc_db(edges), d.constructed("Infront", "ahead"))
+        assert values[system.root] == result.rows
+
+    def test_legacy_optimizers_never_replan(self):
+        db = _tc_db(drifting_edges(comps=3, sources=20, leaves=20))
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system, optimizer="syntactic")
+        assert program.replan_drift is None
+        program.run()
+        assert program.replans == 0
+
+
+class TestReplanSurfacing:
+    def test_explain_reports_replans(self):
+        db = _tc_db(drifting_edges(comps=3, sources=20, leaves=20))
+        node = d.constructed("Infront", "ahead")
+        system = instantiate(db, node)
+        program = compile_fixpoint(db, system)
+        program.run()
+        text = program.explain()
+        assert f"replans: {program.replans}" in text
+        assert f"drift threshold {REPLAN_DRIFT:g}x" in text
+
+    def test_explain_reports_disabled(self):
+        db = _tc_db(drifting_edges(comps=3, sources=20, leaves=20))
+        system = instantiate(db, d.constructed("Infront", "ahead"))
+        program = compile_fixpoint(db, system, replan_drift=None)
+        assert "re-planning disabled" in program.explain()
+
+    def test_construct_compiled_threads_drift_knob(self):
+        db = _tc_db(drifting_edges(comps=3, sources=20, leaves=20))
+        node = d.constructed("Infront", "ahead")
+        result = construct_compiled(db, node, replan_drift=1.0001)
+        assert result.stats.replans >= 1
+        baseline = construct_compiled(_tc_db(drifting_edges(comps=3, sources=20, leaves=20)), node, replan_drift=None)
+        assert result.rows == baseline.rows
+
+
+# ---------------------------------------------------------------------------
+# Observation scoping (satellite regression)
+# ---------------------------------------------------------------------------
+
+
+class TestObservationScoping:
+    def _db(self):
+        db = paper.cad_database(mutual=False)
+        # a relation the `ahead` application never reads
+        db.declare("Bystander", INFRONTREL, [("x", "y")])
+        return db
+
+    def test_observation_survives_unrelated_mutation(self):
+        db = self._db()
+        node = d.constructed("Infront", "ahead")
+        construct_compiled(db, node)
+        system = instantiate(db, node)
+        assert db.stats.constructed_estimate(system.root) is not None
+        db["Bystander"].insert([("p", "q")])
+        db["Objects"].insert([("new_thing", "decor")])
+        assert db.stats.constructed_estimate(system.root) is not None
+
+    def test_observation_dropped_on_read_mutation(self):
+        db = self._db()
+        node = d.constructed("Infront", "ahead")
+        construct_compiled(db, node)
+        system = instantiate(db, node)
+        db["Infront"].insert([("door", "rug")])
+        assert db.stats.constructed_estimate(system.root) is None
+
+    def test_observation_survives_declaring_new_relation(self):
+        db = self._db()
+        node = d.constructed("Infront", "ahead")
+        construct_compiled(db, node)
+        system = instantiate(db, node)
+        db.declare("Latecomer", OBJECTREL, SCENE_OBJECTS)
+        assert db.stats.constructed_estimate(system.root) is not None
+
+    def test_interpreted_engines_scope_observations_too(self):
+        db = self._db()
+        node = d.constructed("Infront", "ahead")
+        construct(db, node)  # records via the interpreted engine hook
+        system = instantiate(db, node)
+        assert db.stats.constructed_estimate(system.root) is not None
+        db["Bystander"].insert([("m", "n")])
+        assert db.stats.constructed_estimate(system.root) is not None
+
+    def test_observation_carries_value_statistics(self):
+        db = self._db()
+        node = d.constructed("Infront", "ahead")
+        result = construct_compiled(db, node)
+        system = instantiate(db, node)
+        observation = db.stats.fixpoint_observation(system.root)
+        assert observation is not None and observation.table is not None
+        assert observation.table.row_count == len(result.rows)
