@@ -812,6 +812,95 @@ def e15_reopt() -> Table:
     return table
 
 
+# ---------------------------------------------------------------------------
+# E16 — batched physical-operator executor vs tuple-at-a-time interpretation
+# ---------------------------------------------------------------------------
+
+
+def e16_bom_paths_case(assemblies=24, depth=7, fanout=4, seed=16):
+    """The E14-style headline workload at ~19k rows: all four-level
+    containment paths through a BOM forest — a selective multi-way
+    self-join where per-tuple interpretation overhead dominates."""
+    edges = generate_bom(assemblies=assemblies, depth=depth, fanout=fanout,
+                         seed=seed)
+    db = bom_database(edges)
+    query = d.query(
+        d.branch(
+            d.each("c1", "Contains"), d.each("c2", "Contains"),
+            d.each("c3", "Contains"), d.each("c4", "Contains"),
+            pred=d.and_(
+                d.eq(d.a("c1", "sub"), d.a("c2", "part")),
+                d.and_(
+                    d.eq(d.a("c2", "sub"), d.a("c3", "part")),
+                    d.eq(d.a("c3", "sub"), d.a("c4", "part")),
+                ),
+            ),
+            targets=[d.a("c1", "part"), d.a("c4", "sub")],
+        )
+    )
+    return db, query
+
+
+def e16_batched() -> Table:
+    """Identical plans, two executors: the lowered operator pipeline
+    (Scan/IndexLookup/HashJoin/Filter/Project over row batches) against
+    the tuple-at-a-time interpreted loop nest it replaced."""
+    table = Table(
+        "E16 Batched operator pipeline vs tuple-at-a-time interpretation",
+        ["workload", "rows in", "|result|", "tuple (s)", "batch (s)",
+         "speedup", "equal"],
+    )
+
+    def compare(name, db, query, repeat=3):
+        plan = compile_query(db, query)
+        rows_in = sum(len(r) for r in db.relations.values())
+        rows_tuple, t_tuple = measure(
+            lambda: plan.execute(ExecutionContext(db), executor="tuple"),
+            repeat=repeat,
+        )
+        rows_batch, t_batch = measure(
+            lambda: plan.execute(ExecutionContext(db), executor="batch"),
+            repeat=repeat,
+        )
+        table.add(name, rows_in, len(rows_batch), t_tuple, t_batch,
+                  f"{ratio(t_tuple, t_batch):.1f}x", rows_tuple == rows_batch)
+        return ratio(t_tuple, t_batch)
+
+    # (a) the headline: E14-style selective multi-way join at ~19k rows.
+    db, query = e16_bom_paths_case()
+    headline = compare("BOM 4-level paths", db, query)
+
+    # (b) the E15 histogram workload (10k-row join partner).
+    db, query = e15_range_case()
+    compare("E15 skewed range join", db, query)
+
+    # (c) the same comparison inside the generated fixpoint program:
+    # semi-naive differentials with deltas as pre-built hash-join sides.
+    edges = e15_drift_edges()
+    tuple_db = _tc_db(edges)
+    tuple_sys = instantiate(tuple_db, d.constructed("Infront", "ahead"))
+    tuple_prog = compile_fixpoint(tuple_db, tuple_sys, executor="tuple")
+    tuple_vals, t_tuple = measure(tuple_prog.run)
+    batch_db = _tc_db(edges)
+    batch_sys = instantiate(batch_db, d.constructed("Infront", "ahead"))
+    batch_prog = compile_fixpoint(batch_db, batch_sys, executor="batch")
+    batch_vals, t_batch = measure(batch_prog.run)
+    table.add(
+        "TC fixpoint (drift edges)", len(edges),
+        len(batch_vals[batch_sys.root]), t_tuple, t_batch,
+        f"{ratio(t_tuple, t_batch):.1f}x",
+        tuple_vals[tuple_sys.root] == batch_vals[batch_sys.root],
+    )
+
+    table.note("same optimizer, same plans — only the executor differs; "
+               "answers byte-identical")
+    table.note(f"headline speedup {headline:.1f}x (acceptance bar: 5x at "
+               ">=10k rows)")
+    table.note("explain() reports per-operator actual row counts "
+               "(SCAN/INDEXLOOKUP/HASHJOIN/FILTER/PROJECT/DEDUP/DELTAAPPLY)")
+    return table
+
+
 #: Registry used by run_all and the benchmark files.
 ALL_EXPERIMENTS = {
     "e01": e01_selectors,
@@ -830,4 +919,5 @@ ALL_EXPERIMENTS = {
     "e13": e13_specialization,
     "e14": e14_planner,
     "e15": e15_reopt,
+    "e16": e16_batched,
 }

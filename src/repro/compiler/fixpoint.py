@@ -8,8 +8,12 @@ constructor system are compiled to indexed :class:`~.plans.QueryPlan`s
 and a driver iterates deltas to the least fixpoint.
 
 Functionally identical to ``repro.constructors.engines.seminaive_fixpoint``
-(asserted by tests); the difference is execution speed — hash-index join
-steps instead of interpreted nested loops — which benchmark E12 measures.
+(asserted by tests); the difference is execution speed — batched
+physical-operator pipelines (deltas as pre-built hash-join sides, see
+:mod:`repro.compiler.operators`) instead of interpreted nested loops —
+which benchmarks E12 and E16 measure.  Each per-iteration result is
+applied through a :class:`~repro.compiler.operators.DeltaApply`
+operator whose counters surface in :meth:`CompiledFixpoint.explain`.
 
 Differential plans are additionally **re-optimized mid-fixpoint**: the
 delta cardinalities a plan was priced with are compared against the
@@ -41,7 +45,9 @@ from ..constructors.instantiate import (
 )
 from ..errors import ConvergenceError, PositivityError
 from ..relational import Database, DeltaStats
+from .operators import DeltaApply
 from .plans import (
+    DEFAULT_EXECUTOR,
     DEFAULT_OPTIMIZER,
     CostModel,
     ExecutionContext,
@@ -70,6 +76,9 @@ class CompiledFixpoint:
     #: were priced with; drift is measured against these.
     diff_estimates: dict[object, float] = field(default_factory=dict)
     optimizer: str = DEFAULT_OPTIMIZER
+    #: "batch" runs the lowered physical-operator pipelines, "tuple" the
+    #: original interpreted loop nests (kept for benchmark E16).
+    executor: str = DEFAULT_EXECUTOR
     #: Drift factor that triggers a re-plan; None disables re-planning.
     replan_drift: float | None = REPLAN_DRIFT
     #: How many times run() swapped in re-optimized differential plans.
@@ -78,6 +87,9 @@ class CompiledFixpoint:
     #: Incremental statistics over the accumulated value of each fixpoint
     #: variable, absorbed delta by delta during run().
     delta_stats: dict[AppKey, DeltaStats] = field(default_factory=dict)
+    #: The semi-naive ``produced - known`` operators, one per fixpoint
+    #: variable; their actual counts are the fresh tuples per variable.
+    delta_ops: dict[AppKey, DeltaApply] = field(default_factory=dict)
 
     def explain(self) -> str:
         lines = []
@@ -97,6 +109,9 @@ class CompiledFixpoint:
             lines.append(self.base_plans[key].explain())
             lines.append("differential:")
             lines.append(self.diff_plans[key].explain())
+            delta_op = self.delta_ops.get(key)
+            if delta_op is not None and delta_op.executions:
+                lines.append(delta_op.explain_line())
         return "\n".join(lines)
 
     # -- mid-fixpoint re-optimization ---------------------------------------
@@ -168,11 +183,19 @@ class CompiledFixpoint:
             key: DeltaStats(len(app.element_type.attribute_names))
             for key, app in system.apps.items()
         }
+        self.delta_ops = {
+            key: DeltaApply(key.describe()) for key in system.apps
+        }
+        executor = self.executor
         ctx = ExecutionContext(self.db, stats=self.plan_stats)
         values: dict[AppKey, set] = {
-            key: self.base_plans[key].execute(ctx) for key in system.apps
+            key: self.base_plans[key].execute(ctx, executor=executor)
+            for key in system.apps
         }
-        deltas: dict[AppKey, set] = {key: set(values[key]) for key in system.apps}
+        deltas: dict[AppKey, set] = {
+            key: self.delta_ops[key].apply(values[key], frozenset())
+            for key in system.apps
+        }
         for key, delta in deltas.items():
             self.delta_stats[key].absorb(delta)
         stats.iterations = 1
@@ -209,8 +232,8 @@ class CompiledFixpoint:
             )
             new_deltas: dict[AppKey, set] = {}
             for key in system.apps:
-                produced = self.diff_plans[key].execute(ctx)
-                new_deltas[key] = produced - values[key]
+                produced = self.diff_plans[key].execute(ctx, executor=executor)
+                new_deltas[key] = self.delta_ops[key].apply(produced, values[key])
             for key in system.apps:
                 values[key] |= new_deltas[key]
                 self.delta_stats[key].absorb(new_deltas[key])
@@ -285,6 +308,7 @@ def compile_fixpoint(
     system: InstantiatedSystem,
     optimizer: str = DEFAULT_OPTIMIZER,
     replan_drift: float | None = REPLAN_DRIFT,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> CompiledFixpoint:
     """Compile base and differential plans for every equation.
 
@@ -338,6 +362,7 @@ def compile_fixpoint(
         diff_branches=diff_queries,
         diff_estimates=estimates,
         optimizer=optimizer,
+        executor=executor,
         replan_drift=replan_drift,
     )
 
@@ -348,6 +373,7 @@ def construct_compiled(
     max_iterations: int = 100_000,
     optimizer: str = DEFAULT_OPTIMIZER,
     replan_drift: float | None = REPLAN_DRIFT,
+    executor: str = DEFAULT_EXECUTOR,
 ):
     """Compiled counterpart of :func:`repro.constructors.construct`."""
     from ..constructors.api import ConstructionResult
@@ -359,7 +385,7 @@ def construct_compiled(
             f"instantiated system for {system.root.describe()} is not positive"
         )
     program = compile_fixpoint(db, system, optimizer=optimizer,
-                               replan_drift=replan_drift)
+                               replan_drift=replan_drift, executor=executor)
     stats = FixpointStats()
     values = program.run(max_iterations, stats)
     root_app = system.apps[system.root]

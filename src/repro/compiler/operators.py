@@ -1,0 +1,651 @@
+"""Batched physical operators: the set-at-a-time execution layer.
+
+The planner (:mod:`repro.compiler.plans`) picks a join order and an
+access path per binding; this module is what those choices *run as*.
+Instead of interpreting the loop nest tuple variable by tuple variable —
+a recursive call, an environment-dict mutation, and several counter
+increments per binding — each :class:`~repro.compiler.plans.BranchPlan`
+is lowered once into a linear pipeline of physical operators that pass
+**batches of rows** between them:
+
+* :class:`Scan` — the whole source as one batch (doubles as the
+  cross-product step when a binding has no usable key);
+* :class:`IndexLookup` — a single hash probe with a constant key,
+  shared by the entire batch;
+* :class:`HashJoin` — the step's source hashed *once* on the key
+  positions (relations reuse their version-cached indexes, fixpoint
+  deltas are built once per iteration), then probed per batch row;
+* :class:`Filter` — compiled comparison conjuncts over the batch;
+* :class:`ResidualFilter` — the leftover predicate (quantifiers,
+  memberships) checked through the reference evaluator, batch-applied;
+* :class:`Project` — positional target extraction;
+* :class:`Dedup` — the per-query union with duplicate elimination;
+* :class:`DeltaApply` — the semi-naive ``produced - known`` subtraction
+  the fixpoint driver applies per iteration.
+
+Two decisions make the batches fast in Python:
+
+1. **Flat carry layouts** (projection pushdown through the pipeline).
+   A batch row is not a tuple of whole bound rows but a flat tuple of
+   exactly the values still *live* — the attributes later joins key on,
+   later filters compare, and the target list projects, plus whole rows
+   only where the residual predicate needs them.  Liveness is computed
+   per pipeline boundary, so an attribute is dropped the step after its
+   last use.
+
+2. **Operator code generation.**  Each operator's inner loop is a
+   single generated list comprehension with attribute access inlined as
+   constant indexing (``e[2]``, ``r[1]``) — no per-value closure calls.
+   Generated sources are tiny (one ``def`` per operator), built once at
+   compile time, and fall back to the tuple-at-a-time interpreter when
+   a term cannot be expressed (then the plan keeps ``pipeline=None``).
+
+Every operator accumulates the **actual row count** it produced, which
+``explain()`` reports next to the optimizer's estimates — the batched
+counterpart of the per-step est-vs-actual report of the tuple
+interpreter (which survives as ``executor="tuple"`` so benchmark E16
+can measure what the batches buy).
+"""
+
+from __future__ import annotations
+
+from ..calculus import ast
+from ..calculus.analysis import free_tuple_vars
+from ..calculus.rewrite import conjoin
+
+#: Shared empty bucket for missed hash probes inside generated loops.
+_EMPTY: tuple = ()
+
+#: Arithmetic / comparison operators as Python source fragments.
+_ARITH_SRC = {"+": "+", "-": "-", "*": "*", "DIV": "//", "MOD": "%"}
+_CMP_SRC = {"=": "==", "<>": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+# ---------------------------------------------------------------------------
+# Operators
+# ---------------------------------------------------------------------------
+
+
+class Operator:
+    """One node of a branch's physical pipeline.
+
+    ``actual_rows`` accumulates the operator's output cardinality over
+    every execution of the owning plan; ``explain()`` divides by the
+    execution count so the reported actuals stay commensurable with the
+    per-execution estimates.
+    """
+
+    __slots__ = ("label", "est_rows", "actual_rows", "executions")
+
+    def __init__(self, label: str, est_rows: float | None = None) -> None:
+        self.label = label
+        self.est_rows = est_rows
+        self.actual_rows = 0
+        self.executions = 0
+
+    def describe(self) -> str:
+        return self.label
+
+    def explain_line(self, per: int | None = None) -> str:
+        """``LABEL [est=.. act=..]``; ``per`` overrides the divisor for
+        the accumulated actuals (defaults to this operator's own runs)."""
+        runs = per if per is not None else self.executions
+        act = f"{self.actual_rows / runs:.1f}" if runs else "-"
+        if self.est_rows is not None:
+            return f"{self.describe()}  [est={self.est_rows:.1f} act={act}]"
+        return f"{self.describe()}  [act={act}]"
+
+
+class Scan(Operator):
+    """Emit every source row once per incoming batch row.
+
+    As the leading operator (batch ``[()]``) this is a plain scan;
+    mid-pipeline it is the cross-product fallback for a binding with no
+    usable equality key.  ``fn(rows, batch)`` is generated code emitting
+    the step's carry layout.
+    """
+
+    __slots__ = ("source", "fn")
+
+    def __init__(self, source, fn) -> None:
+        super().__init__(f"SCAN {source.describe()}")
+        self.source = source
+        self.fn = fn
+
+    def run(self, ctx, batch: list) -> list:
+        if not batch:
+            return batch
+        rows, _ = self.source.rows_and_indexable(ctx)
+        ctx.stats.rows_scanned += len(rows) * len(batch)
+        return self.fn(rows, batch)
+
+
+class IndexLookup(Operator):
+    """One hash probe with an environment-independent (constant) key.
+
+    The bucket is fetched once and shared by the whole batch — the
+    batched form of a constant-restricted scan.
+    """
+
+    __slots__ = ("source", "positions", "key_fn", "fn")
+
+    def __init__(self, source, positions: tuple[int, ...], key_fn, fn) -> None:
+        super().__init__(f"INDEXLOOKUP {source.describe()}{list(positions)}")
+        self.source = source
+        self.positions = positions
+        self.key_fn = key_fn
+        self.fn = fn
+
+    def run(self, ctx, batch: list) -> list:
+        if not batch:
+            return batch
+        _rows, index_provider = self.source.rows_and_indexable(ctx)
+        index = index_provider(self.positions)
+        bucket = index.lookup(self.key_fn())
+        ctx.stats.index_lookups += 1
+        ctx.stats.rows_scanned += len(bucket) * len(batch)
+        return self.fn(bucket, batch)
+
+
+class HashJoin(Operator):
+    """Hash the step's whole source on the key positions, probe per row.
+
+    The build side is the *entire* input: stored relations answer with
+    their version-cached hash indexes, fixpoint variables (deltas, new
+    values) are hashed once per execution context — there is no
+    per-tuple index maintenance anywhere in the loop.  ``fn`` is the
+    generated probe loop; single-column keys probe a scalar-keyed view
+    of the buckets to avoid a key-tuple allocation per batch row.
+    """
+
+    __slots__ = ("source", "positions", "scalar", "fn")
+
+    def __init__(self, source, positions: tuple[int, ...], scalar: bool, fn) -> None:
+        super().__init__(f"HASHJOIN {source.describe()} build{list(positions)}")
+        self.source = source
+        self.positions = positions
+        self.scalar = scalar
+        self.fn = fn
+
+    def run(self, ctx, batch: list) -> list:
+        if not batch:
+            return batch
+        _rows, index_provider = self.source.rows_and_indexable(ctx)
+        index = index_provider(self.positions)
+        buckets = index.scalar_buckets() if self.scalar else index.buckets
+        stats = ctx.stats
+        stats.index_lookups += len(batch)
+        out = self.fn(buckets.get, batch, _EMPTY)
+        stats.rows_scanned += len(out)
+        return out
+
+
+class Filter(Operator):
+    """Generated comparison conjuncts applied over the whole batch."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, descs: tuple[str, ...], fn) -> None:
+        super().__init__(f"FILTER [{', '.join(descs)}]")
+        self.fn = fn
+
+    def run(self, ctx, batch: list) -> list:
+        if not batch:
+            return batch
+        return self.fn(batch)
+
+
+class ResidualFilter(Operator):
+    """The leftover predicate, checked through the reference evaluator.
+
+    Quantifiers, memberships, and anything else the plan compiler could
+    not turn into keys or generated filters run here, batch-applied
+    with one rich environment per surviving row.  The carry layout
+    keeps whole rows for exactly the variables this predicate reads.
+    """
+
+    __slots__ = ("pred", "var_rows")
+
+    def __init__(self, pred: ast.Pred, var_rows) -> None:
+        from ..calculus.pretty import render_pred
+
+        super().__init__(f"RESIDUAL {render_pred(pred)}")
+        #: (var, schema, carry position of the var's whole row) triples.
+        self.var_rows = tuple(var_rows)
+
+        self.pred = pred
+
+    def run(self, ctx, batch: list) -> list:
+        if not batch:
+            return batch
+        ctx.stats.residual_checks += len(batch)
+        evaluator = ctx.evaluator
+        pred = self.pred
+        var_rows = self.var_rows
+        out = []
+        append = out.append
+        for envt in batch:
+            env = {var: (envt[pos], schema) for var, schema, pos in var_rows}
+            if evaluator.eval_pred(pred, env):
+                append(envt)
+        return out
+
+
+class Project(Operator):
+    """Positional target extraction (or the identity branch's one row).
+
+    When liveness has already reduced the carry to exactly the target
+    tuple, the projection is the identity and the batch passes through
+    untouched.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, desc: str, fn) -> None:
+        super().__init__(f"PROJECT {desc}")
+        self.fn = fn  # None => identity
+
+    def run(self, ctx, batch: list) -> list:
+        out = batch if self.fn is None else self.fn(batch)
+        ctx.stats.tuples_emitted += len(out)
+        return out
+
+
+class Dedup(Operator):
+    """Union with duplicate elimination: set semantics over the branches."""
+
+    def __init__(self) -> None:
+        super().__init__("DEDUP")
+
+    def absorb(self, batch: list, out: set) -> None:
+        before = len(out)
+        out.update(batch)
+        self.actual_rows += len(out) - before
+        self.executions += 1
+
+
+class DeltaApply(Operator):
+    """``produced - known``: the semi-naive differential application.
+
+    The fixpoint driver routes every per-iteration result through one of
+    these per fixpoint variable, so the explain report shows how many
+    genuinely fresh tuples each iteration wave contributed.
+    """
+
+    def __init__(self, label: str) -> None:
+        super().__init__(f"DELTAAPPLY {label}")
+
+    def apply(self, produced: set, known) -> set:
+        fresh = produced - known
+        self.actual_rows += len(fresh)
+        self.executions += 1
+        return fresh
+
+
+# ---------------------------------------------------------------------------
+# Lowering: priced loop steps -> generated operator pipeline
+# ---------------------------------------------------------------------------
+#
+# Carry layouts are tuples of *items*: ("attr", var, idx) carries one
+# attribute value, ("row", var) carries a whole bound row (needed only
+# by residual predicates and VarRef targets).  An attr item is dropped
+# from a layout whenever the same variable's whole row is live there.
+
+
+def _term_items(term: ast.Term, schemas) -> list | None:
+    """The carry items a term reads, or None when untranslatable."""
+    if isinstance(term, (ast.Const, ast.ParamRef)):
+        return []
+    if isinstance(term, ast.AttrRef):
+        schema = schemas.get(term.var)
+        if schema is None:
+            return None
+        return [("attr", term.var, schema.index_of(term.attr))]
+    if isinstance(term, ast.VarRef):
+        if term.var not in schemas:
+            return None
+        return [("row", term.var)]
+    if isinstance(term, ast.Arith):
+        left = _term_items(term.left, schemas)
+        right = _term_items(term.right, schemas)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(term, ast.TupleCons):
+        out: list = []
+        for item in term.items:
+            sub = _term_items(item, schemas)
+            if sub is None:
+                return None
+            out.extend(sub)
+        return out
+    return None
+
+
+class _CodeGen:
+    """Generates operator inner loops against flat carry layouts."""
+
+    def __init__(self, schemas, params: dict) -> None:
+        self.schemas = schemas
+        self.ns: dict = {"_params": params}
+        self._n = 0
+
+    def const(self, value) -> str:
+        """Bind a constant into the namespace (no repr round-trips)."""
+        name = f"_c{self._n}"
+        self._n += 1
+        self.ns[name] = value
+        return name
+
+    def define(self, name: str, src: str):
+        exec(src, self.ns)  # noqa: S102 - compile-time codegen, own AST only
+        return self.ns[name]
+
+    # -- expressions --------------------------------------------------------
+
+    def term_expr(self, term: ast.Term, pos_of: dict, cur_var: str | None):
+        """Python source for a term, or None when untranslatable."""
+        if isinstance(term, ast.Const):
+            return self.const(term.value)
+        if isinstance(term, ast.ParamRef):
+            return f"_params[{term.name!r}]"
+        if isinstance(term, ast.AttrRef):
+            schema = self.schemas.get(term.var)
+            if schema is None:
+                return None
+            return self.attr_expr(term.var, schema.index_of(term.attr), pos_of, cur_var)
+        if isinstance(term, ast.VarRef):
+            return self.row_expr(term.var, pos_of, cur_var)
+        if isinstance(term, ast.Arith):
+            left = self.term_expr(term.left, pos_of, cur_var)
+            right = self.term_expr(term.right, pos_of, cur_var)
+            op = _ARITH_SRC.get(term.op)
+            if left is None or right is None or op is None:
+                return None
+            return f"({left} {op} {right})"
+        if isinstance(term, ast.TupleCons):
+            items = [self.term_expr(i, pos_of, cur_var) for i in term.items]
+            if any(i is None for i in items):
+                return None
+            return _tuple_src(items)
+        return None
+
+    def attr_expr(self, var: str, idx: int, pos_of: dict, cur_var: str | None):
+        if var == cur_var:
+            return f"r[{idx}]"
+        pos = pos_of.get(("attr", var, idx))
+        if pos is not None:
+            return f"e[{pos}]"
+        pos = pos_of.get(("row", var))
+        if pos is not None:
+            return f"e[{pos}][{idx}]"
+        return None
+
+    def row_expr(self, var: str, pos_of: dict, cur_var: str | None):
+        if var == cur_var:
+            return "r"
+        pos = pos_of.get(("row", var))
+        return f"e[{pos}]" if pos is not None else None
+
+    def item_expr(self, item, pos_of: dict, cur_var: str | None):
+        if item[0] == "row":
+            return self.row_expr(item[1], pos_of, cur_var)
+        return self.attr_expr(item[1], item[2], pos_of, cur_var)
+
+    def cmp_expr(self, conj: ast.Cmp, pos_of: dict):
+        left = self.term_expr(conj.left, pos_of, None)
+        right = self.term_expr(conj.right, pos_of, None)
+        op = _CMP_SRC.get(conj.op)
+        if left is None or right is None or op is None:
+            return None
+        return f"({left} {op} {right})"
+
+
+def _tuple_src(exprs: list[str]) -> str:
+    if not exprs:
+        return "()"
+    return "(" + ", ".join(exprs) + ",)"
+
+
+class BranchPipeline:
+    """The lowered physical form of one branch plan.
+
+    ``step_ops[i]`` holds the access operator (plus optional filter) of
+    the ``i``-th binding step, so the executor can keep the per-step
+    actual binding counts the tuple interpreter reports; ``tail_ops``
+    are the residual filter (when present) and the projection.
+    """
+
+    __slots__ = ("step_ops", "tail_ops")
+
+    def __init__(self, step_ops, tail_ops) -> None:
+        self.step_ops = step_ops
+        self.tail_ops = tail_ops
+
+    def operators(self):
+        for ops in self.step_ops:
+            yield from ops
+        yield from self.tail_ops
+
+    def explain(self, indent: str = "") -> str:
+        return "\n".join(
+            f"{indent}{op.explain_line()}" for op in self.operators()
+        )
+
+
+def lower_branch(
+    steps,
+    residual: ast.Pred,
+    schemas,
+    target_terms,
+    target_desc: str,
+    params: dict,
+    est_out: float | None = None,
+) -> BranchPipeline | None:
+    """Lower priced loop steps into the batched operator pipeline.
+
+    Returns None when some term cannot be expressed as generated code
+    (the plan then falls back to tuple-at-a-time execution).
+    """
+    if not steps:
+        return None
+    gen = _CodeGen(schemas, params)
+    has_residual = not isinstance(residual, ast.TruePred)
+
+    # The pipeline's entries, each with the carry items it reads.
+    entries: list[tuple[str, object]] = []
+    entry_items: list[list] = []
+    access_entry: dict[int, int] = {}
+    for s, step in enumerate(steps):
+        items: list = []
+        for term in step.key_terms:
+            sub = _term_items(term, schemas)
+            if sub is None:
+                return None
+            items.extend(sub)
+        access_entry[s] = len(entries)
+        entries.append(("access", step))
+        entry_items.append(items)
+        if step.filter_conjs:
+            items = []
+            for conj in step.filter_conjs:
+                left = _term_items(conj.left, schemas)
+                right = _term_items(conj.right, schemas)
+                if left is None or right is None:
+                    return None
+                items.extend(left + right)
+            entries.append(("filter", step))
+            entry_items.append(items)
+        if step.residual_preds:
+            # Single-variable residuals (memberships, quantifiers) run
+            # right after their step binds; they read the whole row.
+            entries.append(("step_residual", step))
+            entry_items.append([("row", step.var)])
+    if has_residual:
+        entries.append(("residual", residual))
+        entry_items.append(
+            [("row", v) for v in sorted(free_tuple_vars(residual)) if v in schemas]
+        )
+    if target_terms is None:
+        project_items: list | None = [("row", steps[0].var)]
+    else:
+        project_items = []
+        for term in target_terms:
+            sub = _term_items(term, schemas)
+            if sub is None:
+                return None
+            project_items.extend(sub)
+    entries.append(("project", target_terms))
+    entry_items.append(project_items)
+
+    # Liveness: the carry layout after step s holds every item some
+    # later entry reads, restricted to variables already bound; whole
+    # rows subsume their attribute items.
+    bound_rank = {step.var: s for s, step in enumerate(steps)}
+    layouts: list[tuple] = []
+    for s in range(len(steps)):
+        k = access_entry[s]
+        ordered: dict = {}
+        for j in range(k + 1, len(entries)):
+            for item in entry_items[j]:
+                if bound_rank.get(item[1], len(steps)) <= s:
+                    ordered.setdefault(item, None)
+        rows_live = {item[1] for item in ordered if item[0] == "row"}
+        layouts.append(
+            tuple(
+                item
+                for item in ordered
+                if item[0] == "row" or item[1] not in rows_live
+            )
+        )
+
+    def positions(layout: tuple) -> dict:
+        return {item: pos for pos, item in enumerate(layout)}
+
+    # Generate one operator per entry.
+    step_ops: list[list[Operator]] = []
+    tail_ops: list[Operator] = []
+    prev_pos: dict = {}
+    current: list[Operator] = []
+    for (kind, payload), items in zip(entries, entry_items):
+        if kind == "access":
+            step = payload
+            s = bound_rank[step.var]
+            layout = layouts[s]
+            emits = [gen.item_expr(item, prev_pos, step.var) for item in layout]
+            if any(e is None for e in emits):
+                return None
+            arity = len(step.schema.attribute_names)
+            identity = emits == [f"r[{i}]" for i in range(arity)]
+            emit_src = "r" if identity else _tuple_src(emits)
+            if step.key_positions:
+                key_exprs = [
+                    gen.term_expr(term, prev_pos, None) for term in step.key_terms
+                ]
+                if any(k is None for k in key_exprs):
+                    return None
+                if all(not free_tuple_vars(term) for term in step.key_terms):
+                    # Constant key: one lookup shared by the batch.
+                    key_fn = gen.define(
+                        "_key",
+                        f"def _key():\n    return {_tuple_src(key_exprs)}\n",
+                    )
+                    fn = gen.define(
+                        "_lookup",
+                        "def _lookup(bucket, batch):\n"
+                        f"    return [{emit_src} for e in batch for r in bucket]\n",
+                    )
+                    op: Operator = IndexLookup(
+                        step.source, step.key_positions, key_fn, fn
+                    )
+                else:
+                    scalar = len(key_exprs) == 1
+                    key_src = key_exprs[0] if scalar else _tuple_src(key_exprs)
+                    fn = gen.define(
+                        "_join",
+                        "def _join(get, batch, EMPTY):\n"
+                        f"    return [{emit_src} for e in batch "
+                        f"for r in get({key_src}, EMPTY)]\n",
+                    )
+                    op = HashJoin(step.source, step.key_positions, scalar, fn)
+            else:
+                body = f"    return [{emit_src} for e in batch for r in rows]\n"
+                if identity:
+                    # The common leading scan copies nothing.
+                    body = (
+                        "    if len(batch) == 1:\n"
+                        "        return list(rows)\n" + body
+                    )
+                fn = gen.define("_scan", "def _scan(rows, batch):\n" + body)
+                op = Scan(step.source, fn)
+            current = [op]
+            step_ops.append(current)
+            prev_pos = positions(layout)
+        elif kind == "filter":
+            step = payload
+            conds = [gen.cmp_expr(conj, prev_pos) for conj in step.filter_conjs]
+            if any(c is None for c in conds):
+                return None
+            fn = gen.define(
+                "_filter",
+                "def _filter(batch):\n"
+                f"    return [e for e in batch if {' and '.join(conds)}]\n",
+            )
+            current.append(Filter(step.filter_descs, fn))
+        elif kind == "step_residual":
+            step = payload
+            pos = prev_pos.get(("row", step.var))
+            if pos is None:
+                return None
+            current.append(
+                ResidualFilter(
+                    conjoin(step.residual_preds),
+                    [(step.var, schemas[step.var], pos)],
+                )
+            )
+        elif kind == "residual":
+            pos_of = prev_pos
+            var_rows = []
+            for var in sorted(free_tuple_vars(payload)):
+                if var not in schemas:
+                    continue
+                pos = pos_of.get(("row", var))
+                if pos is None:
+                    return None
+                var_rows.append((var, schemas[var], pos))
+            tail_ops.append(ResidualFilter(payload, var_rows))
+        else:  # project
+            if target_terms is None:
+                expr = gen.row_expr(steps[0].var, prev_pos, None)
+                if expr is None:
+                    return None
+                exprs = [expr]
+                single = True
+            else:
+                exprs = [
+                    gen.term_expr(term, prev_pos, None) for term in target_terms
+                ]
+                if any(e is None for e in exprs):
+                    return None
+                single = False
+            identity = (
+                not single
+                and len(exprs) == len(prev_pos)
+                and exprs == [f"e[{i}]" for i in range(len(exprs))]
+            )
+            if identity:
+                fn = None
+            else:
+                out_src = exprs[0] if single else _tuple_src(exprs)
+                fn = gen.define(
+                    "_project",
+                    "def _project(batch):\n"
+                    f"    return [{out_src} for e in batch]\n",
+                )
+            tail_ops.append(Project(target_desc, fn))
+
+    # Attach the optimizer's cumulative estimates for explain().
+    for s, ops in enumerate(step_ops):
+        ops[-1].est_rows = steps[s].est_cumulative
+    tail_ops[-1].est_rows = est_out
+    return BranchPipeline(step_ops, tail_ops)

@@ -29,6 +29,14 @@ operation counters the benchmarks report (rows scanned, index lookups,
 tuples emitted).  Every plan's :meth:`~BranchPlan.explain` reports the
 optimizer's *estimated* row counts next to the *actual* counts observed
 during execution, so estimation quality is testable.
+
+Plans *execute* through the batched physical-operator pipeline of
+:mod:`repro.compiler.operators` by default (``executor="batch"``): each
+branch is lowered once into Scan/IndexLookup/HashJoin/Filter/Project
+operators passing whole row batches, which removes the per-tuple Python
+dispatch of the interpreted loop nest.  ``executor="tuple"`` keeps the
+original tuple-at-a-time interpreter available so benchmark E16 can
+measure the difference on identical plans.
 """
 
 from __future__ import annotations
@@ -43,6 +51,7 @@ from ..calculus.rewrite import conjoin, conjuncts
 from ..errors import EvaluationError
 from ..relational import Database, HashIndex, Relation
 from ..types import RecordType
+from .operators import Dedup, lower_branch
 
 #: Join orders are enumerated exactly (Selinger-style subset DP) up to
 #: this many bindings per branch; wider branches fall back to greedy
@@ -51,6 +60,14 @@ DP_LIMIT = 6
 
 #: The default optimizer for every compilation entry point.
 DEFAULT_OPTIMIZER = "cost"
+
+#: The default executor: "batch" runs the lowered physical-operator
+#: pipeline (set-at-a-time), "tuple" the original interpreted loop nest.
+DEFAULT_EXECUTOR = "batch"
+
+#: Sentinel: a branch plan whose operator pipeline has not been lowered
+#: yet (lowering is lazy so estimate-only compilations never pay for it).
+_PENDING = object()
 
 
 @dataclass
@@ -205,6 +222,10 @@ class CostModel:
     DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
     #: Selectivity of ``<>`` when no statistics are available.
     DEFAULT_NEQ_SELECTIVITY = 0.9
+    #: Selectivity of a membership (``t IN R``) nobody has statistics for.
+    DEFAULT_MEMBERSHIP_SELECTIVITY = 0.25
+    #: Assumed per-element probability that a quantifier body holds.
+    QUANTIFIER_MATCH = 1.0 / 3.0
 
     def __init__(
         self,
@@ -362,6 +383,62 @@ class CostModel:
                 return estimated
         return fallback
 
+    # -- residual predicates -------------------------------------------------
+
+    def predicate_selectivity(
+        self, pred: ast.Pred, source: Source | None = None, schema=None
+    ) -> float:
+        """Selectivity of a residual predicate anchored on one binding.
+
+        Memberships and quantifiers used to run as *un-priced* filters;
+        this prices the common single-variable forms so the join order
+        can exploit a restrictive membership the same way it exploits a
+        histogram-priced range filter.  Anything unrecognized stays
+        neutral (1.0).
+        """
+        if isinstance(pred, ast.Not):
+            inner = self.predicate_selectivity(pred.pred, source, schema)
+            if inner >= 1.0:
+                return 1.0  # negation of an un-priced predicate stays neutral
+            return min(max(1.0 - inner, 0.01), 1.0)
+        if isinstance(pred, ast.InRel):
+            return self._membership_selectivity(pred, source, schema)
+        if isinstance(pred, (ast.Some, ast.All)):
+            # Existential: one of n range elements matching suffices, so
+            # big ranges are barely selective; universal: every element
+            # must match, so big ranges are very selective.  The
+            # per-element match probability is the System-R constant.
+            n = min(self.range_cardinality(pred.range), 64.0)
+            p = self.QUANTIFIER_MATCH
+            if isinstance(pred, ast.Some):
+                return min(max(1.0 - (1.0 - p) ** n, 0.05), 0.95)
+            return min(max(p ** n, 0.01), 0.95)
+        return 1.0
+
+    def _membership_selectivity(
+        self, pred: ast.InRel, source: Source | None, schema
+    ) -> float:
+        """``elem IN R``: containment says the matched fraction is the
+        distinct values of ``R`` over the distinct values of ``elem``."""
+        member_rows = self.range_cardinality(pred.range)
+        element = pred.element
+        if (
+            isinstance(element, ast.AttrRef)
+            and source is not None
+            and schema is not None
+        ):
+            table = self.source_table(source)
+            if table is not None and table.row_count > 0:
+                try:
+                    pos = schema.index_of(element.attr)
+                except Exception:
+                    pos = None
+                if pos is not None:
+                    distinct = table.distinct(pos)
+                    if distinct > 0:
+                        return min(1.0, member_rows / float(distinct))
+        return self.DEFAULT_MEMBERSHIP_SELECTIVITY
+
     # -- step pricing --------------------------------------------------------
 
     def price_step(
@@ -369,11 +446,14 @@ class CostModel:
         source: Source,
         key_positions: tuple[int, ...],
         restrictions: tuple = (),
+        residual_sel: float = 1.0,
     ) -> "StepEstimate":
-        """Price one loop step given the key positions usable as an index
-        and the single-variable comparison filters that run at the step."""
+        """Price one loop step given the key positions usable as an index,
+        the single-variable comparison filters that run at the step, and
+        the combined selectivity of priced residual predicates anchored
+        on the step's variable (memberships, quantifiers)."""
         card = self.source_cardinality(source)
-        filter_sel = self.restriction_selectivity(source, restrictions)
+        filter_sel = self.restriction_selectivity(source, restrictions) * residual_sel
         if key_positions:
             matched = card * self.key_selectivity(source, key_positions)
             # Cost-gated access path: an index pays off when a lookup is
@@ -500,12 +580,22 @@ class LoopStep:
     source: Source
     schema: RecordType
     # Index access: attribute positions in this step's rows, paired with
-    # value closures over the already-bound environment.
+    # value closures over the already-bound environment (and the source
+    # terms they were compiled from, for lowering to batch operators).
     key_positions: tuple[int, ...] = ()
     key_values: tuple = ()
-    # Cheap compiled filters evaluated on (env incl. this var).
+    key_terms: tuple = ()
+    # Cheap compiled filters evaluated on (env incl. this var), plus the
+    # comparison ASTs they came from (recompiled against batch slots).
     filters: tuple = ()
     filter_descs: tuple[str, ...] = ()
+    filter_conjs: tuple = ()
+    # Residual predicates anchored on this variable alone (memberships,
+    # quantifiers): checked through the evaluator as soon as the
+    # variable binds, so the priced selectivity matches where the
+    # filtering actually happens.
+    residual_preds: tuple = ()
+    residual_descs: tuple[str, ...] = ()
     # Cost-model estimates, recorded for explain().
     est_source_rows: float | None = None
     est_out_rows: float | None = None
@@ -516,7 +606,15 @@ class LoopStep:
         if self.key_positions:
             access = f"index{list(self.key_positions)}"
         filters = f" filter[{', '.join(self.filter_descs)}]" if self.filters else ""
-        return f"EACH {self.var} IN {self.source.describe()} via {access}{filters}"
+        residual = (
+            f" residual[{', '.join(self.residual_descs)}]"
+            if self.residual_preds
+            else ""
+        )
+        return (
+            f"EACH {self.var} IN {self.source.describe()} via "
+            f"{access}{filters}{residual}"
+        )
 
 
 @dataclass
@@ -529,6 +627,14 @@ class BranchPlan:
     optimizer: str = DEFAULT_OPTIMIZER
     est_cost: float | None = None
     est_out: float | None = None
+    #: Inputs for lazy lowering (the pushdown gate compiles plans purely
+    #: to price them, so operator codegen is deferred to first use).
+    target_terms: tuple | None = None
+    params: dict = field(default_factory=dict)
+    #: The lowered physical-operator pipeline: _PENDING until first use,
+    #: then a BranchPipeline, or None when some term could not be
+    #: generated (tuple-at-a-time execution is the fallback).
+    pipeline: object | None = None
     # Actual per-step binding counts, accumulated over every execution of
     # this plan; explain() divides by `executions` so the reported actuals
     # stay commensurable with the per-execution estimates.
@@ -536,7 +642,55 @@ class BranchPlan:
     actual_emitted: int = 0
     executions: int = 0
 
-    def execute(self, ctx: ExecutionContext, out: set) -> None:
+    def ensure_pipeline(self):
+        """Lower to the operator pipeline on first use (None on failure)."""
+        if self.pipeline is _PENDING:
+            self.pipeline = lower_branch(
+                self.steps,
+                self.residual,
+                self.schemas,
+                self.target_terms,
+                self.target_desc,
+                self.params,
+                est_out=self.est_out,
+            )
+        return self.pipeline
+
+    def execute(
+        self, ctx: ExecutionContext, out: set, executor: str | None = None
+    ) -> None:
+        """Run this branch, adding result tuples to ``out``."""
+        executor = DEFAULT_EXECUTOR if executor is None else executor
+        if executor != "tuple" and self.ensure_pipeline() is not None:
+            out.update(self.execute_batch(ctx))
+            return
+        self.execute_tuple(ctx, out)
+
+    def execute_batch(self, ctx: ExecutionContext) -> list:
+        """Run the lowered operator pipeline, returning the projected batch
+        (duplicates included — the caller's Dedup/union eliminates them,
+        exactly as the tuple interpreter's ``out.add`` does)."""
+        pipeline = self.pipeline
+        if len(self.actual_rows) != len(self.steps):
+            self.actual_rows = [0] * len(self.steps)
+        self.executions += 1
+        actual = self.actual_rows
+        batch: list = [()]
+        for i, ops in enumerate(pipeline.step_ops):
+            for op in ops:
+                op.executions += 1
+                batch = op.run(ctx, batch)
+                op.actual_rows += len(batch)
+            actual[i] += len(batch)
+        for op in pipeline.tail_ops:
+            op.executions += 1
+            batch = op.run(ctx, batch)
+            op.actual_rows += len(batch)
+        self.actual_emitted += len(batch)
+        return batch
+
+    def execute_tuple(self, ctx: ExecutionContext, out: set) -> None:
+        """The original tuple-at-a-time interpreted loop nest."""
         stats = ctx.stats
         residual = self.residual
         has_residual = not isinstance(residual, ast.TruePred)
@@ -570,6 +724,7 @@ class BranchPlan:
             else:
                 candidates = rows
             var = step.var
+            step_residuals = step.residual_preds
             for row in candidates:
                 stats.rows_scanned += 1
                 ok = True
@@ -578,6 +733,13 @@ class BranchPlan:
                     if not flt(env):
                         ok = False
                         break
+                if ok and step_residuals:
+                    stats.residual_checks += 1
+                    rich_env = {v: (r, schemas[v]) for v, r in env.items()}
+                    for pred in step_residuals:
+                        if not evaluator.eval_pred(pred, rich_env):
+                            ok = False
+                            break
                 if ok:
                     actual[depth] += 1
                     run(depth + 1, env)
@@ -609,6 +771,9 @@ class BranchPlan:
         if self.est_out is not None:
             emit += f"  [est={self.est_out:.1f} act={per_run(self.actual_emitted)}]"
         lines.append(emit)
+        if self.ensure_pipeline() is not None:
+            lines.append(f"{indent}operators:")
+            lines.append(self.pipeline.explain(indent + "  "))
         return "\n".join(lines)
 
 
@@ -618,11 +783,21 @@ class QueryPlan:
 
     branches: list[BranchPlan]
     optimizer: str = DEFAULT_OPTIMIZER
+    executor: str = DEFAULT_EXECUTOR
+    #: The union's duplicate-elimination operator (batched path); its
+    #: actual count is the number of distinct tuples the plan added.
+    dedup: Dedup = field(default_factory=Dedup)
 
-    def execute(self, ctx: ExecutionContext) -> set[tuple]:
+    def execute(
+        self, ctx: ExecutionContext, executor: str | None = None
+    ) -> set[tuple]:
+        executor = self.executor if executor is None else executor
         out: set[tuple] = set()
         for branch in self.branches:
-            branch.execute(ctx, out)
+            if executor != "tuple" and branch.ensure_pipeline() is not None:
+                self.dedup.absorb(branch.execute_batch(ctx), out)
+            else:
+                branch.execute_tuple(ctx, out)
         return out
 
     @property
@@ -630,10 +805,12 @@ class QueryPlan:
         return sum(b.est_cost or 0.0 for b in self.branches)
 
     def explain(self) -> str:
-        parts = [f"PLAN [optimizer={self.optimizer}]"]
+        parts = [f"PLAN [optimizer={self.optimizer} executor={self.executor}]"]
         for i, branch in enumerate(self.branches):
             parts.append(f"BRANCH {i}:")
             parts.append(branch.explain(indent="  "))
+        if self.dedup.executions:
+            parts.append(self.dedup.explain_line())
         return "\n".join(parts)
 
 
@@ -678,18 +855,21 @@ def _order_cost_based(
     equalities: list[tuple[int, str, int, ast.Term]],
     cost_model: CostModel,
     restrictions: dict[str, tuple] | None = None,
+    residual_sels: dict[str, float] | None = None,
 ) -> list[str]:
     """Pick the loop-nest order minimizing estimated cost.
 
     Exact subset DP (Selinger) up to :data:`DP_LIMIT` bindings; greedy
     cheapest-next-step beyond that.  Ties prefer delta-driven orders and
     then the syntactic order, keeping plans deterministic.  Per-variable
-    ``restrictions`` (histogram-priced range/inequality filters) shrink
-    a step's output cardinality, which is what lets a range-restricted
-    scan of a big table win the outer position.
+    ``restrictions`` (histogram-priced range/inequality filters) and
+    ``residual_sels`` (priced memberships/quantifiers) shrink a step's
+    output cardinality, which is what lets a restricted scan of a big
+    table win the outer position.
     """
     position = {v: i for i, v in enumerate(binding_vars)}
     restrictions = restrictions or {}
+    residual_sels = residual_sels or {}
 
     def transition(var: str, bound: frozenset) -> StepEstimate:
         keys = _available_keys(var, bound, equalities)
@@ -697,6 +877,7 @@ def _order_cost_based(
             sources[var],
             tuple(pos for (_g, pos, _o) in keys),
             restrictions.get(var, ()),
+            residual_sels.get(var, 1.0),
         )
 
     def tiebreak(order: tuple[str, ...]) -> tuple:
@@ -805,7 +986,7 @@ def compile_branch(
     # equalities are recorded in both orientations under one group id, so
     # whichever side gets bound later can serve as the index key.
     equalities: list[tuple[int, str, int, ast.Term]] = []  # (group, var, pos, other)
-    cheap: list[tuple[set[str], object, str]] = []
+    cheap: list[tuple[set[str], object, str, ast.Cmp]] = []
     residual: list[ast.Pred] = []
     # var -> ((pos, op, value), ...): priced single-variable comparisons.
     restrictions: dict[str, tuple] = {}
@@ -829,13 +1010,35 @@ def compile_branch(
         if vars_needed <= set(binding_vars) and isinstance(conj, ast.Cmp):
             fn = _compile_cmp(conj, schemas, params)
             if fn is not None:
-                cheap.append((vars_needed, fn, render_pred(conj)))
+                cheap.append((vars_needed, fn, render_pred(conj), conj))
                 restriction = _restriction_of(conj, schemas, params)
                 if restriction is not None:
                     var, pos, op, value = restriction
                     restrictions[var] = restrictions.get(var, ()) + ((pos, op, value),)
                 continue
         residual.append(conj)
+
+    # Residual predicates anchored on exactly one binding variable
+    # (memberships, quantifiers) are pulled out of the leaf residual:
+    # they run — evaluator-checked — at the step where their variable
+    # binds, and the cost model prices their selectivity into that step,
+    # so the join order can exploit them and the estimates describe
+    # where the filtering actually happens.
+    anchored_residuals: dict[str, list] = {}
+    leftover: list[ast.Pred] = []
+    for conj in residual:
+        vars_needed = _term_vars(conj)
+        if len(vars_needed) == 1 and next(iter(vars_needed)) in binding_vars:
+            anchored_residuals.setdefault(next(iter(vars_needed)), []).append(conj)
+        else:
+            leftover.append(conj)
+    residual = leftover
+    residual_sels: dict[str, float] = {}
+    for var, conjs in anchored_residuals.items():
+        for conj in conjs:
+            sel = cost_model.predicate_selectivity(conj, sources[var], schemas[var])
+            if sel < 1.0:
+                residual_sels[var] = residual_sels.get(var, 1.0) * sel
 
     # Pick the loop-nest order.
     if optimizer == "syntactic":
@@ -844,7 +1047,8 @@ def compile_branch(
         ordered = _order_greedy_keycount(binding_vars, sources, equalities)
     elif optimizer == "cost":
         ordered = _order_cost_based(
-            binding_vars, sources, equalities, cost_model, restrictions
+            binding_vars, sources, equalities, cost_model, restrictions,
+            residual_sels,
         )
     else:
         raise ValueError(
@@ -863,33 +1067,40 @@ def compile_branch(
         # The cost model gates the access path: keys are consumed as an
         # index only when the estimated lookup beats a scan (in the
         # legacy modes keys are always consumed, as before).
+        var_residual_sel = residual_sels.get(var, 1.0)
         estimate = cost_model.price_step(
             sources[var],
             tuple(pos for (_g, pos, _o) in available),
             var_restrictions,
+            var_residual_sel,
         )
         use_keys = estimate.use_index or optimizer in ("greedy", "syntactic")
         key_positions: list[int] = []
         key_values: list = []
+        key_terms: list = []
         step_filters: list = []
         step_descs: list[str] = []
+        step_conjs: list = []
         if use_keys:
             for group, pos, other in available:
                 value_fn = _compile_value(other, schemas, params)
                 if value_fn is not None:
                     key_positions.append(pos)
                     key_values.append(value_fn)
+                    key_terms.append(other)
                     consumed.add(group)
         # cheap filters whose variables are all bound once var is bound
-        for needed, fn, desc in cheap:
+        for needed, fn, desc, conj in cheap:
             if var in needed and needed <= bound_before | {var}:
                 step_filters.append(fn)
                 step_descs.append(desc)
+                step_conjs.append(conj)
         final = cost_model.price_step(
-            sources[var], tuple(key_positions), var_restrictions
+            sources[var], tuple(key_positions), var_restrictions, var_residual_sel
         )
         est_cost += final.build_cost + est_card * final.per_invocation
         est_card *= final.out_rows
+        step_residuals = tuple(anchored_residuals.get(var, ()))
         steps.append(
             LoopStep(
                 var=var,
@@ -897,8 +1108,12 @@ def compile_branch(
                 schema=schemas[var],
                 key_positions=tuple(key_positions),
                 key_values=tuple(key_values),
+                key_terms=tuple(key_terms),
                 filters=tuple(step_filters),
                 filter_descs=tuple(step_descs),
+                filter_conjs=tuple(step_conjs),
+                residual_preds=step_residuals,
+                residual_descs=tuple(render_pred(p) for p in step_residuals),
                 est_source_rows=final.source_rows,
                 est_out_rows=final.out_rows,
                 est_cumulative=est_card,
@@ -925,6 +1140,7 @@ def compile_branch(
             if needed <= bound:
                 step.filters = step.filters + (fn,)
                 step.filter_descs = step.filter_descs + (f"{v}[{pos}] = ...",)
+                step.filter_conjs = step.filter_conjs + (ast.Cmp("=", left, other),)
                 placed = True
                 break
         if not placed:
@@ -944,6 +1160,9 @@ def compile_branch(
 
         target_desc = "<" + ", ".join(render_term(t) for t in branch.targets) + ">"
 
+    # The operator pipeline is lowered lazily (first execute/explain):
+    # the pushdown gate compiles branches purely to price them, and
+    # those plans should not pay for operator code generation.
     return BranchPlan(
         steps=steps,
         residual=conjoin(tuple(residual)),
@@ -953,6 +1172,9 @@ def compile_branch(
         optimizer=optimizer,
         est_cost=est_cost,
         est_out=est_card,
+        target_terms=branch.targets,
+        params=params,
+        pipeline=_PENDING,
     )
 
 
@@ -1018,6 +1240,7 @@ def compile_query(
     params: dict | None = None,
     optimizer: str = DEFAULT_OPTIMIZER,
     cost_model: CostModel | None = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> QueryPlan:
     """Compile every branch of a query into an executable plan."""
     if cost_model is None:
@@ -1028,6 +1251,7 @@ def compile_query(
             for branch in query.branches
         ],
         optimizer=optimizer,
+        executor=executor,
     )
 
 
@@ -1039,8 +1263,9 @@ def run_query(
     stats: PlanStats | None = None,
     optimizer: str = DEFAULT_OPTIMIZER,
     cost_model: CostModel | None = None,
+    executor: str = DEFAULT_EXECUTOR,
 ) -> set[tuple]:
     """Compile and execute a query in one call."""
-    plan = compile_query(db, query, params, optimizer, cost_model)
+    plan = compile_query(db, query, params, optimizer, cost_model, executor)
     ctx = ExecutionContext(db, params, apply_values, stats)
     return plan.execute(ctx)

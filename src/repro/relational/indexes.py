@@ -16,7 +16,13 @@ from collections.abc import Iterable
 class HashIndex:
     """A hash partition of a row set on a tuple of attribute positions."""
 
-    __slots__ = ("positions", "buckets", "_total_rows", "_max_bucket_rows")
+    __slots__ = (
+        "positions",
+        "buckets",
+        "_total_rows",
+        "_max_bucket_rows",
+        "_scalar",
+    )
 
     def __init__(self, positions: tuple[int, ...], rows: Iterable[tuple]) -> None:
         self.positions = positions
@@ -35,10 +41,21 @@ class HashIndex:
         # relation version change), so the planner's skew probe is O(1).
         self._total_rows = total
         self._max_bucket_rows = heaviest
+        self._scalar: dict | None = None
 
     def lookup(self, key: tuple) -> list[tuple]:
         """All rows whose projection on ``positions`` equals ``key``."""
         return self.buckets.get(key, _EMPTY)
+
+    def scalar_buckets(self) -> dict:
+        """Buckets keyed by the bare value of a single-position key.
+
+        The batched executor probes this view so a one-column join needs
+        no key-tuple allocation per probe; built lazily, once per index.
+        """
+        if self._scalar is None:
+            self._scalar = {key[0]: rows for key, rows in self.buckets.items()}
+        return self._scalar
 
     def keys(self) -> Iterable[tuple]:
         return self.buckets.keys()

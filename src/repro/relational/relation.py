@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Iterator
 
-from ..errors import KeyConstraintError, TypeMismatchError
+from ..errors import TypeMismatchError
 from ..types import RelationType, check_relation_assignment
 from .indexes import HashIndex, IndexCache
 from .rows import Row
@@ -83,15 +83,29 @@ class Relation:
     # -- checked mutation ----------------------------------------------------
 
     def assign(self, rows: Iterable[object]) -> None:
-        """``rel := rex`` with full type and key checking."""
+        """``rel := rex`` with full type and key checking.
+
+        The assignment's pass over the new value also installs fresh
+        table statistics (one batched absorption), so the first
+        post-assign compilation is priced from real numbers instead of
+        waiting for a lazy rebuild that used to leave it blind.
+        """
         raw = tuple(self._coerce(r) for r in rows)
         checked = check_relation_assignment(self.rtype, raw)
         self._rows = set(checked)
         self._version += 1
-        self._stats = None  # wholesale replacement: rebuild lazily
+        stats = TableStats(len(self.rtype.element.attribute_names))
+        stats.add_rows_batch(self._rows)
+        self._stats = stats
 
     def insert(self, rows: Iterable[object]) -> None:
-        """``rel :+ rex`` — add tuples, keeping typing and key integrity."""
+        """``rel :+ rex`` — add tuples, keeping typing and key integrity.
+
+        One type sweep, one key check, and one *batched* statistics
+        absorption for the whole argument (distinct multisets,
+        heavy-hitter counts, and histograms are updated once per call,
+        not once per row).
+        """
         raw = [self._coerce(r) for r in rows]
         element = self.rtype.element
         for row in raw:
@@ -100,15 +114,20 @@ class Relation:
                     f"tuple {row!r} is not of element type {element.name} "
                     f"(insert into {self.name})"
                 )
-        combined = list(self._rows) + raw
-        try:
-            self.rtype.check_key(combined)
-        except KeyConstraintError:
-            raise
+        self.rtype.check_key(list(self._rows) + raw)
         if self._stats is not None:
-            self._stats.add_rows(set(raw) - self._rows)
+            self._stats.add_rows_batch(set(raw) - self._rows)
         self._rows.update(raw)
         self._version += 1
+
+    def insert_many(self, rows: Iterable[object]) -> None:
+        """Bulk ``rel :+ rex``: the explicit batch-load entry point.
+
+        An alias of :meth:`insert`, which already absorbs its whole
+        argument in one batch; kept as a named API so loaders say what
+        they mean.
+        """
+        self.insert(rows)
 
     def delete(self, rows: Iterable[object]) -> None:
         """``rel :- rex`` — remove tuples (absent tuples are ignored)."""
@@ -149,11 +168,11 @@ class Relation:
     # -- statistics ---------------------------------------------------------
 
     def stats(self) -> TableStats:
-        """Table statistics: built lazily, then maintained incrementally.
+        """Table statistics: maintained incrementally, rebuilt lazily.
 
         Inserts and deletes update the live object in place (see
-        :meth:`insert`/:meth:`delete`); a wholesale :meth:`assign` drops
-        it for a lazy rebuild.
+        :meth:`insert`/:meth:`delete`); a wholesale :meth:`assign`
+        installs fresh statistics computed during the assignment itself.
         """
         if self._stats is None:
             self._stats = TableStats.from_rows(

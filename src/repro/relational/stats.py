@@ -110,11 +110,20 @@ class Histogram:
         return min(i, len(self.bounds) - 1)
 
     def add(self, value: object) -> None:
+        self.add_bulk(value, 1)
+
+    def add_bulk(self, value: object, count: int) -> None:
+        """Attribute ``count`` identical values to their bucket at once.
+
+        The batch-load path calls this once per *distinct* value of a
+        batch instead of once per row, so histogram maintenance costs
+        scale with the value domain, not the row count.
+        """
         i = self._bucket_of(value)
         if i < 0:
-            self.mutations += 1
+            self.mutations += count
             return
-        self.depths[i] += 1
+        self.depths[i] += count
         try:
             if value < self.lo:
                 self.lo = value
@@ -122,7 +131,7 @@ class Histogram:
                 self.bounds[-1] = value
         except TypeError:
             pass
-        self.mutations += 1
+        self.mutations += count
 
     def remove(self, value: object) -> None:
         i = self._bucket_of(value)
@@ -227,6 +236,27 @@ class ColumnStats:
         elif self._histogram_failed:
             self._histogram_failed = False  # domain changed; retry later
 
+    def add_many(self, values) -> None:
+        """Batch insert: one ``Counter.update`` for the multiset and one
+        histogram adjustment per *distinct* value, instead of per-row
+        per-column Python calls (the batch-load path of ``insert_many``
+        and ``assign``)."""
+        fresh = Counter(values)
+        if not fresh:
+            return
+        counts = self.counts
+        counts.update(fresh)
+        if not self._max_dirty:
+            for value in fresh:
+                if counts[value] > self._max_count:
+                    self._max_count = counts[value]
+        if self._histogram is not None:
+            add_bulk = self._histogram.add_bulk
+            for value, count in fresh.items():
+                add_bulk(value, count)
+        elif self._histogram_failed:
+            self._histogram_failed = False  # domain changed; retry later
+
     def remove(self, value: object) -> None:
         old = self.counts.get(value, 0)
         if old - 1 > 0:
@@ -265,7 +295,7 @@ class TableStats:
     @classmethod
     def from_rows(cls, rows: Iterable[tuple], arity: int) -> "TableStats":
         stats = cls(arity)
-        stats.add_rows(rows)
+        stats.add_rows_batch(rows)
         return stats
 
     # -- incremental maintenance -------------------------------------------
@@ -276,6 +306,23 @@ class TableStats:
             self.row_count += 1
             for pos, value in enumerate(row[: self.arity]):
                 columns[pos].add(value)
+
+    def add_rows_batch(self, rows: Iterable[tuple]) -> None:
+        """Absorb a whole batch: one column-slice pass per column.
+
+        Equivalent to :meth:`add_rows` but updates every derived
+        quantity (distinct multisets, heavy-hitter counts, histograms)
+        once per batch instead of once per row — the bulk-load path of
+        :meth:`~repro.relational.relation.Relation.insert_many` and
+        ``assign``, and of the fixpoint engines' delta absorption.
+        """
+        if not isinstance(rows, (list, tuple, set, frozenset)):
+            rows = list(rows)
+        if not rows:
+            return
+        self.row_count += len(rows)
+        for pos, column in enumerate(self.columns):
+            column.add_many([row[pos] for row in rows])
 
     def remove_rows(self, rows: Iterable[tuple]) -> None:
         columns = self.columns
@@ -389,7 +436,7 @@ class DeltaStats:
 
     def absorb(self, delta: Iterable[tuple]) -> None:
         delta = delta if isinstance(delta, (list, tuple, set, frozenset)) else list(delta)
-        self.table.add_rows(delta)
+        self.table.add_rows_batch(delta)
         self.deltas_applied += 1
         self.last_delta = len(delta)
         self.peak_delta = max(self.peak_delta, self.last_delta)

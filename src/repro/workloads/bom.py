@@ -54,7 +54,9 @@ def bom_database(edges) -> Database:
     END explode
     """
     db = Database("bom")
-    db.declare("Contains", CONTAINSREL, edges)
+    # Bulk load: one key check and one batched statistics absorption for
+    # the whole edge set, instead of per-row maintenance.
+    db.declare("Contains", CONTAINSREL).insert_many(edges)
     body = d.query(
         d.branch(d.each("r", "Rel")),
         d.branch(

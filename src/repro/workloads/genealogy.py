@@ -53,14 +53,15 @@ def generate_family(
 def sg_database(parent_edges) -> Database:
     """Database with Parent, Sibling, and the same-generation constructor."""
     db = Database("genealogy")
-    db.declare("Parent", PARENTREL, parent_edges)
+    # Bulk loads: batched key checks and statistics absorption.
+    db.declare("Parent", PARENTREL).insert_many(parent_edges)
     siblings = {
         (a, b)
         for (a, pa) in parent_edges
         for (b, pb) in parent_edges
         if pa == pb and a != b
     }
-    db.declare("Sibling", SGREL, siblings)
+    db.declare("Sibling", SGREL).insert_many(siblings)
     body = d.query(
         d.branch(d.each("s", "Sibling")),
         d.branch(

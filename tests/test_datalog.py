@@ -191,3 +191,69 @@ class TestEngineBeyondTC:
         edb = {"edge": {("start", "m"), ("m", "n"), ("other", "z")}}
         engine = DatalogEngine(parse_program(src), edb)
         assert engine.solve()["reach"] == {("m",), ("n",)}
+
+
+class TestEngineCompiled:
+    """mode="compiled": Datalog routed through the constructor
+    translation and the batched planner executor (section 3.4 both ways:
+    same least models, different machinery)."""
+
+    def _agree(self, src, edb=None, preds=None):
+        reference = DatalogEngine(parse_program(src), edb).solve("seminaive")
+        compiled = DatalogEngine(parse_program(src), edb).solve("compiled")
+        for pred in preds or reference:
+            assert compiled.get(pred) == reference.get(pred), pred
+
+    def test_chain_tc(self):
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        assert engine.solve("compiled")["ahead"] == CHAIN_TC
+
+    def test_cycle_terminates(self):
+        self._agree(TC_SOURCE, {"infront": {("a", "b"), ("b", "a")}})
+
+    def test_inline_facts_and_constants(self):
+        self._agree(
+            "reach(Y) :- edge(start, Y).\nreach(Y) :- reach(X), edge(X, Y).",
+            {"edge": {("start", "m"), ("m", "n"), ("other", "z")}},
+        )
+
+    def test_mutual_recursion(self):
+        src = """
+        even(X) :- zero(X).
+        even(X) :- succ(Y, X), odd(Y).
+        odd(X) :- succ(Y, X), even(Y).
+        """
+        edb = {"zero": {(0,)}, "succ": {(i, i + 1) for i in range(6)}}
+        self._agree(src, edb, preds=("even", "odd"))
+
+    def test_nonlinear_same_generation(self):
+        src = """
+        sg(X, Y) :- sibling(X, Y).
+        sg(X, Y) :- parent(X, XP), sg(XP, YP), parent(Y, YP).
+        """
+        edb = {
+            "parent": {("a", "p"), ("b", "p"), ("c", "q"), ("d", "q"),
+                       ("p", "g"), ("q", "g")},
+            "sibling": {("a", "b"), ("b", "a"), ("c", "d"), ("d", "c")},
+        }
+        self._agree(src, edb, preds=("sg",))
+
+    def test_comparison_literals(self):
+        self._agree(
+            "adult(X) :- age(X, A), A >= 18.",
+            {"age": {("kim", 20), ("lee", 12)}},
+        )
+
+    def test_query_through_compiled_mode(self):
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        assert engine.query(parse_atom("ahead(a, X)"), mode="compiled") == {
+            ("a", "b"), ("a", "c"), ("a", "d"),
+        }
+
+    def test_stats_report_compiled_mode(self):
+        stats = DatalogStats()
+        engine = DatalogEngine(parse_program(TC_SOURCE), {"infront": CHAIN})
+        engine.solve("compiled", stats)
+        assert stats.mode == "compiled"
+        assert stats.iterations >= 3
+        assert stats.tuples_derived >= len(CHAIN_TC)

@@ -219,6 +219,132 @@ class TestCostModel:
         assert run_query(db, q) == {("a", "a")}
 
 
+class TestResidualPricing:
+    """Memberships and quantifiers priced instead of the old un-priced
+    fallback (the first ROADMAP planner follow-up)."""
+
+    def _membership_db(self):
+        from repro.types import record
+
+        arec = record("arec", k=STRING, j=STRING)
+        brec = record("brec", j=STRING, w=STRING)
+        trec = record("trec", k=STRING)
+        db = Database("member")
+        db.declare("B", relation_type("brel", brec),
+                   [(f"j{i}", f"w{i}") for i in range(300)])
+        db.declare("A", relation_type("arel", arec),
+                   [(f"k{i}", f"j{i}") for i in range(300)])
+        db.declare("Tiny", relation_type("trel", trec),
+                   [("k3",), ("k7",), ("k11",)])
+        return db
+
+    def _membership_query(self):
+        return d.query(
+            d.branch(
+                d.each("x", "B"), d.each("y", "A"),
+                pred=d.and_(
+                    d.eq(d.a("x", "j"), d.a("y", "j")),
+                    d.in_(d.a("y", "k"), "Tiny"),
+                ),
+                targets=[d.a("x", "w"), d.a("y", "k")],
+            )
+        )
+
+    def test_membership_selectivity_from_stats(self):
+        """|Tiny| = 3 over 300 distinct keys: selectivity 1%."""
+        from repro.compiler.plans import Source
+
+        db = self._membership_db()
+        model = CostModel(db)
+        sel = model.predicate_selectivity(
+            d.in_(d.a("y", "k"), "Tiny"),
+            Source("relation", name="A"),
+            db["A"].element_type,
+        )
+        assert sel == pytest.approx(0.01)
+
+    def test_membership_pins_chosen_plan(self):
+        """The membership-restricted relation wins the outer position
+        even though it is written second; the un-priced (syntactic)
+        order starts from the big partner.  Answers agree."""
+        db = self._membership_db()
+        q = self._membership_query()
+        plan_cost = compile_query(db, q, optimizer="cost")
+        plan_syn = compile_query(db, q, optimizer="syntactic")
+        assert [s.var for s in plan_cost.branches[0].steps] == ["y", "x"]
+        assert [s.var for s in plan_syn.branches[0].steps] == ["x", "y"]
+        rows_cost = plan_cost.execute(ExecutionContext(db))
+        rows_syn = plan_syn.execute(ExecutionContext(db))
+        assert rows_cost == rows_syn and len(rows_cost) == 3
+
+    def test_quantifier_selectivities_ordered(self):
+        """ALL over a big range is far more selective than SOME."""
+        db = self._membership_db()
+        model = CostModel(db)
+        inner = d.eq(d.a("s", "j"), "j1")
+        some_sel = model.predicate_selectivity(d.some("s", "B", inner))
+        all_sel = model.predicate_selectivity(d.all_("s", "B", inner))
+        assert 0.0 < all_sel < some_sel <= 0.95
+
+    def test_unrecognized_residual_stays_neutral(self):
+        db = self._membership_db()
+        model = CostModel(db)
+        assert model.predicate_selectivity(d.TRUE) == 1.0
+
+
+class TestBulkLoad:
+    def test_insert_many_matches_insert(self):
+        db1, db2 = Database(), Database()
+        rows = [(f"a{i}", f"b{i % 7}") for i in range(100)]
+        r1 = db1.declare("X", INFRONTREL)
+        r2 = db2.declare("Y", INFRONTREL)
+        r1.stats(), r2.stats()  # force live statistics before loading
+        r1.insert(rows)
+        r2.insert_many(rows)
+        assert r1.rows() == r2.rows()
+        s1, s2 = r1.stats(), r2.stats()
+        assert s1.row_count == s2.row_count == 100
+        assert [c.distinct for c in s1.columns] == [c.distinct for c in s2.columns]
+        assert s1.eq_selectivity(1) == pytest.approx(s2.eq_selectivity(1))
+
+    def test_insert_many_type_and_key_checked(self):
+        from repro.errors import TypeMismatchError
+
+        db = Database()
+        rel = db.declare("X", INFRONTREL)
+        with pytest.raises(TypeMismatchError):
+            rel.insert_many([("ok", "ok"), ("bad",)])
+        assert len(rel) == 0  # rejected load leaves the value unchanged
+
+    def test_insert_many_updates_histogram_in_bulk(self):
+        from repro.types import INTEGER, record
+
+        rec = record("nrec", n=INTEGER)
+        db = Database()
+        rel = db.declare("N", relation_type("nrel", rec),
+                         [(i,) for i in range(200)])
+        stats = rel.stats()
+        column = stats.columns[0]
+        assert column.histogram() is not None
+        builds = column.histogram_builds
+        rel.insert_many([(i,) for i in range(200, 260)])
+        # maintained incrementally: counts moved, no rebuild forced
+        assert stats.row_count == 260
+        assert column.histogram_builds == builds
+        assert column.histogram().total == 260
+
+    def test_assign_installs_stats_immediately(self):
+        """The assign fix: the first post-assign plan is priced from
+        real statistics, not a blind lazy rebuild."""
+        db = Database()
+        rel = db.declare("X", INFRONTREL)
+        rel.assign([(f"a{i}", f"b{i % 5}") for i in range(50)])
+        # stats are present without any probe having forced a build
+        assert rel._stats is not None
+        assert rel._stats.row_count == 50
+        assert rel._stats.distinct(1) == 5
+
+
 # ---------------------------------------------------------------------------
 # Cost-gated pushdown and access paths
 # ---------------------------------------------------------------------------
