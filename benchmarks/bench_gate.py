@@ -1,0 +1,183 @@
+"""Benchmark regression gate: compare BENCH_*.json against baselines.
+
+``python -m repro.bench.run_all`` writes one ``BENCH_<id>.json`` per
+experiment (wall-clock, a machine-speed calibration, and the sweep's own
+metrics).  This gate compares a freshly produced set against the
+committed baselines in ``benchmarks/baselines/`` and fails on:
+
+* **wall-clock** — calibration-normalized elapsed time more than
+  ``threshold`` (default 1.5x) above the baseline;
+* **scanned-row counters** — any ``*_rows_scanned`` metric more than
+  ``threshold`` above the baseline, and any ``*_scan_ratio`` metric
+  (a quotient of scanned-row counters) dropping below
+  baseline / ``threshold``: both deterministic, machine-independent;
+* **timing speedups** — any other ``*_speedup`` / ``*_ratio`` metric
+  collapsing below baseline / ``RATIO_THRESHOLD`` (3x).  These are
+  ratios of few-sample timings, so they get a deliberately wide margin:
+  the gate catches a headline win structurally disappearing (463x
+  falling to 100x), not scheduler noise on a shared runner;
+* **schema** — a record whose ``schema`` version differs from its
+  baseline fails outright (refresh the baselines instead of comparing
+  incomparable shapes).
+
+Usage::
+
+    python benchmarks/bench_gate.py --baselines benchmarks/baselines \
+        --current results [--threshold 1.5] [--update]
+
+``--update`` refreshes the baselines from the current results (the
+documented baseline-refresh procedure — see benchmarks/README.md).
+``--inject-slowdown F`` multiplies current wall-clocks by ``F`` before
+comparing; it exists to demonstrate that the gate actually fails (used
+by the PR description and the gate's own tests).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+
+#: Ratio/speedup metrics are few-sample timing quotients; a drop has to
+#: clear this (wide) factor before it reads as a regression.
+RATIO_THRESHOLD = 3.0
+
+
+def load_records(directory: pathlib.Path) -> dict[str, dict]:
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        record = json.loads(path.read_text())
+        records[record["experiment"]] = record
+    return records
+
+
+def compare_records(base: dict, cur: dict, threshold: float) -> list[str]:
+    """Human-readable regression messages for one experiment (empty = ok)."""
+    failures = []
+    name = base["experiment"]
+    if base.get("schema") != cur.get("schema"):
+        return [
+            f"{name}: record schema {cur.get('schema')!r} does not match "
+            f"baseline schema {base.get('schema')!r} — refresh the baselines"
+        ]
+    base_norm = base.get("normalized") or 0.0
+    cur_norm = cur.get("normalized") or 0.0
+    if base_norm > 0 and cur_norm > base_norm * threshold:
+        failures.append(
+            f"{name}: normalized wall-clock {cur_norm:.2f} vs baseline "
+            f"{base_norm:.2f} ({cur_norm / base_norm:.2f}x > {threshold}x)"
+        )
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for key, base_value in base_metrics.items():
+        cur_value = cur_metrics.get(key)
+        if cur_value is None:
+            # A gated metric silently disappearing is itself a failure —
+            # it usually means the sweep stopped measuring the win.
+            failures.append(
+                f"{name}: baseline metric {key} missing from the current "
+                f"record — did the experiment stop recording it?"
+            )
+            continue
+        if base_value <= 0:
+            continue
+        if key.endswith("_rows_scanned") and cur_value > base_value * threshold:
+            failures.append(
+                f"{name}: {key} {cur_value:.0f} vs baseline {base_value:.0f} "
+                f"({cur_value / base_value:.2f}x > {threshold}x)"
+            )
+        elif key.endswith("_scan_ratio") and cur_value < base_value / threshold:
+            # Quotients of scanned-row counters are deterministic, so
+            # they gate at the tight threshold, not the timing margin.
+            failures.append(
+                f"{name}: {key} fell to {cur_value:.2f} from baseline "
+                f"{base_value:.2f} (> {threshold}x drop, deterministic)"
+            )
+        elif (
+            key.endswith(("_speedup", "_ratio"))
+            and cur_value < base_value / RATIO_THRESHOLD
+        ):
+            failures.append(
+                f"{name}: {key} fell to {cur_value:.2f} from baseline "
+                f"{base_value:.2f} (> {RATIO_THRESHOLD}x drop)"
+            )
+    return failures
+
+
+def run_gate(
+    baselines: pathlib.Path,
+    current: pathlib.Path,
+    threshold: float = 1.5,
+    inject_slowdown: float = 1.0,
+) -> tuple[list[str], list[str]]:
+    """(failures, notes) of the whole gate run."""
+    base_records = load_records(baselines)
+    cur_records = load_records(current)
+    failures: list[str] = []
+    notes: list[str] = []
+    if not base_records:
+        notes.append(f"no baselines under {baselines} — nothing gated")
+    for name, base in sorted(base_records.items()):
+        cur = cur_records.get(name)
+        if cur is None:
+            notes.append(f"{name}: no current record (experiment not run)")
+            continue
+        if inject_slowdown != 1.0:
+            cur = dict(cur)
+            cur["normalized"] = (cur.get("normalized") or 0.0) * inject_slowdown
+        messages = compare_records(base, cur, threshold)
+        failures.extend(messages)
+        if not messages:
+            notes.append(
+                f"{name}: ok (normalized {cur.get('normalized', 0):.2f} vs "
+                f"baseline {base.get('normalized', 0):.2f})"
+            )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baselines", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/baselines"))
+    parser.add_argument("--current", type=pathlib.Path,
+                        default=pathlib.Path("results"))
+    parser.add_argument("--threshold", type=float, default=1.5)
+    parser.add_argument("--update", action="store_true",
+                        help="refresh baselines from the current results")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        help="multiply current wall-clocks (gate self-test)")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        args.baselines.mkdir(parents=True, exist_ok=True)
+        copied = 0
+        for path in sorted(args.current.glob("BENCH_*.json")):
+            shutil.copy(path, args.baselines / path.name)
+            copied += 1
+        print(f"refreshed {copied} baseline record(s) in {args.baselines}")
+        return 0
+
+    failures, notes = run_gate(
+        args.baselines, args.current, args.threshold, args.inject_slowdown
+    )
+    for note in notes:
+        print(f"  {note}")
+    if failures:
+        print(f"\nBENCH GATE FAILED ({len(failures)} regression(s)):")
+        for message in failures:
+            print(f"  ✗ {message}")
+        print(
+            "\nIf this regression is intended, apply the 'bench-override' "
+            "label to the PR, or refresh baselines with --update (see "
+            "benchmarks/README.md)."
+        )
+        return 1
+    print("\nbench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

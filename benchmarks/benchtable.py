@@ -2,10 +2,15 @@
 
 Every experiment file benchmarks representative operations with
 pytest-benchmark *and* regenerates its EXPERIMENTS.md table (written to
-``benchmarks/out/``).  Lives outside ``conftest.py`` so bench modules can
-use a plain ``from benchtable import write_table``.
+``benchmarks/out/``).  Tables that recorded machine-readable metrics
+(``Table.metric`` — e.g. E16/E17 speedup factors, scanned-row counters)
+also get a ``<name>.metrics.json`` next to the text rendering, the same
+scalars ``repro.bench.run_all`` folds into the CI bench-gate's
+``BENCH_<id>.json`` records.  Lives outside ``conftest.py`` so bench
+modules can use a plain ``from benchtable import write_table``.
 """
 
+import json
 import pathlib
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
@@ -14,3 +19,8 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 def write_table(name: str, table) -> None:
     OUT_DIR.mkdir(parents=True, exist_ok=True)
     (OUT_DIR / f"{name}.txt").write_text(table.render() + "\n")
+    metrics = getattr(table, "metrics", None)
+    if metrics:
+        (OUT_DIR / f"{name}.metrics.json").write_text(
+            json.dumps(dict(sorted(metrics.items())), indent=2) + "\n"
+        )

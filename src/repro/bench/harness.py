@@ -27,12 +27,19 @@ def measure(fn, repeat: int = 1):
 
 @dataclass
 class Table:
-    """An aligned text table with a title and typed-ish columns."""
+    """An aligned text table with a title and typed-ish columns.
+
+    ``metrics`` holds machine-readable scalars (wall-clocks, scanned-row
+    counters, speedup factors) that ``repro.bench.run_all`` serializes
+    into the per-experiment ``BENCH_<id>.json`` artifacts the CI
+    bench-gate compares against committed baselines.
+    """
 
     title: str
     columns: list[str]
     rows: list[list[object]] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
 
     def add(self, *values: object) -> None:
         if len(values) != len(self.columns):
@@ -43,6 +50,10 @@ class Table:
 
     def note(self, text: str) -> None:
         self.notes.append(text)
+
+    def metric(self, name: str, value: float) -> None:
+        """Record one machine-readable scalar for the bench-gate."""
+        self.metrics[name] = float(value)
 
     @staticmethod
     def _fmt(value: object) -> str:

@@ -15,6 +15,15 @@ which benchmarks E12 and E16 measure.  Each per-iteration result is
 applied through a :class:`~repro.compiler.operators.DeltaApply`
 operator whose counters surface in :meth:`CompiledFixpoint.explain`.
 
+The default ``executor="batch"`` runs the **columnar** pipelines: each
+iteration's delta sets are hashed once per execution context and probed
+through C-level column kernels, residual quantifiers are checked once
+per distinct binding (grouped index probes), and the differential
+projections fuse into their producing joins.  ``executor="rowbatch"``
+keeps the PR 3 row-major batches and ``executor="tuple"`` the original
+interpreter, both for measurement (benchmarks E16/E17); the executor is
+preserved across mid-fixpoint re-plans.
+
 Differential plans are additionally **re-optimized mid-fixpoint**: the
 delta cardinalities a plan was priced with are compared against the
 deltas actually observed after every iteration, and once they drift
@@ -165,8 +174,12 @@ class CompiledFixpoint:
         }
         model = CostModel(self.db, estimates, apply_tables=live_tables)
         for key, query in self.diff_branches.items():
+            # Re-lowered plans keep the driver's executor: columnar
+            # pipelines (delta hash sides, fused projection) are rebuilt
+            # against the re-enumerated join orders mid-fixpoint.
             self.diff_plans[key] = compile_query(
-                self.db, query, optimizer=self.optimizer, cost_model=model
+                self.db, query, optimizer=self.optimizer, cost_model=model,
+                executor=self.executor,
             )
         self.diff_estimates = estimates
         self.replans += 1

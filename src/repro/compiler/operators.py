@@ -23,38 +23,72 @@ is lowered once into a linear pipeline of physical operators that pass
 * :class:`DeltaApply` — the semi-naive ``produced - known`` subtraction
   the fixpoint driver applies per iteration.
 
-Two decisions make the batches fast in Python:
+Two batch layouts are generated from the same priced plans:
 
-1. **Flat carry layouts** (projection pushdown through the pipeline).
-   A batch row is not a tuple of whole bound rows but a flat tuple of
-   exactly the values still *live* — the attributes later joins key on,
-   later filters compare, and the target list projects, plus whole rows
-   only where the residual predicate needs them.  Liveness is computed
-   per pipeline boundary, so an attribute is dropped the step after its
-   last use.
+1. **Columnar (struct-of-arrays) carries** — the default
+   (``executor="batch"``, :func:`lower_branch_columnar`).  A batch is
+   ``(n, slots)``: one aligned list of *source rows* per still-live
+   binding variable (liveness computed per pipeline boundary, exactly
+   as before, but at variable granularity — values are never copied
+   between operators).  Generated kernels compose C-level primitives:
+   ``map``/``itemgetter`` column slices feed the hash probes,
+   ``chain``/``repeat`` expand surviving slots, ``compress`` applies
+   filter masks — and the projection **fuses into the producing
+   HashJoin / Scan / Filter** whenever no residual predicate follows,
+   so result tuples are materialized exactly once, in the final fused
+   pass.  Residual quantifiers and memberships run **batched**: rows
+   are grouped by the bindings the predicate reads and each distinct
+   group is decided once per batch — via one grouped index probe for
+   the recognized ``Some``/``InRel`` shapes, via a memoized reference-
+   evaluator call otherwise.  The cost model gates the physical
+   details: selective single-variable filters (priced selectivity ≤
+   :data:`FILTER_PUSH_SEL`) push into the join's probe as
+   per-distinct-key build-side filtering.
 
-2. **Operator code generation.**  Each operator's inner loop is a
-   single generated list comprehension with attribute access inlined as
-   constant indexing (``e[2]``, ``r[1]``) — no per-value closure calls.
-   Generated sources are tiny (one ``def`` per operator), built once at
-   compile time, and fall back to the tuple-at-a-time interpreter when
-   a term cannot be expressed (then the plan keeps ``pipeline=None``).
+2. **Row-major flat carries** — PR 3's layout, kept as
+   ``executor="rowbatch"`` so benchmark E17 can measure what the
+   columnar conversion buys.  A batch row is a flat tuple of exactly
+   the live values; each operator is one generated list comprehension
+   with attribute access inlined as constant indexing.
+
+Both lower lazily and degrade gracefully: an untranslatable term falls
+from columnar to row-major to the tuple-at-a-time interpreter
+(``executor="tuple"``, benchmark E16's baseline).
 
 Every operator accumulates the **actual row count** it produced, which
 ``explain()`` reports next to the optimizer's estimates — the batched
 counterpart of the per-step est-vs-actual report of the tuple
-interpreter (which survives as ``executor="tuple"`` so benchmark E16
-can measure what the batches buy).
+interpreter.
 """
 
 from __future__ import annotations
 
+from itertools import chain, compress, repeat
+from operator import itemgetter
+
 from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
-from ..calculus.rewrite import conjoin
+from ..calculus.rewrite import conjoin, conjuncts
 
 #: Shared empty bucket for missed hash probes inside generated loops.
 _EMPTY: tuple = ()
+
+#: G2 fusion gate: a single-variable comparison filter is pushed into the
+#: probe side of its HashJoin (per-distinct-key build-side filtering)
+#: when the cost model estimates it keeps at most this fraction of rows.
+#: Unselective filters stay as standalone compress-based Filter passes,
+#: where one C-level sweep beats re-filtering every probed bucket.
+FILTER_PUSH_SEL = 0.25
+
+
+def _batch_len(batch) -> int:
+    """Row count of a batch in either carry layout.
+
+    Row-major batches are plain lists of carry tuples; columnar batches
+    are ``(n, slots)`` pairs (slots are parallel per-step row lists); a
+    finished pipeline's output is the plain result list.
+    """
+    return batch[0] if type(batch) is tuple else len(batch)
 
 #: Arithmetic / comparison operators as Python source fragments.
 _ARITH_SRC = {"+": "+", "-": "-", "*": "*", "DIV": "//", "MOD": "%"}
@@ -112,11 +146,11 @@ class Scan(Operator):
         self.source = source
         self.fn = fn
 
-    def run(self, ctx, batch: list) -> list:
+    def run(self, ctx, batch):
         if not batch:
             return batch
         rows, _ = self.source.rows_and_indexable(ctx)
-        ctx.stats.rows_scanned += len(rows) * len(batch)
+        ctx.stats.rows_scanned += len(rows) * _batch_len(batch)
         return self.fn(rows, batch)
 
 
@@ -136,14 +170,14 @@ class IndexLookup(Operator):
         self.key_fn = key_fn
         self.fn = fn
 
-    def run(self, ctx, batch: list) -> list:
+    def run(self, ctx, batch):
         if not batch:
             return batch
         _rows, index_provider = self.source.rows_and_indexable(ctx)
         index = index_provider(self.positions)
         bucket = index.lookup(self.key_fn())
         ctx.stats.index_lookups += 1
-        ctx.stats.rows_scanned += len(bucket) * len(batch)
+        ctx.stats.rows_scanned += len(bucket) * _batch_len(batch)
         return self.fn(bucket, batch)
 
 
@@ -156,28 +190,82 @@ class HashJoin(Operator):
     per-tuple index maintenance anywhere in the loop.  ``fn`` is the
     generated probe loop; single-column keys probe a scalar-keyed view
     of the buckets to avoid a key-tuple allocation per batch row.
+
+    When the cost model gates a selective single-variable filter into
+    the join (``push_fn``), the probe goes through a per-execution
+    memo of *filtered* buckets: each distinct key's bucket is filtered
+    once per execution, so repeated probes (and every downstream slot
+    expansion) see only surviving rows.
     """
 
-    __slots__ = ("source", "positions", "scalar", "fn")
+    __slots__ = ("source", "positions", "scalar", "fn", "push_fn")
 
-    def __init__(self, source, positions: tuple[int, ...], scalar: bool, fn) -> None:
-        super().__init__(f"HASHJOIN {source.describe()} build{list(positions)}")
+    def __init__(
+        self,
+        source,
+        positions: tuple[int, ...],
+        scalar: bool,
+        fn,
+        push_fn=None,
+        push_desc: str = "",
+    ) -> None:
+        label = f"HASHJOIN {source.describe()} build{list(positions)}"
+        if push_fn is not None:
+            label += f" pushfilter[{push_desc}]"
+        super().__init__(label)
         self.source = source
         self.positions = positions
         self.scalar = scalar
         self.fn = fn
+        self.push_fn = push_fn
 
-    def run(self, ctx, batch: list) -> list:
+    def run(self, ctx, batch):
         if not batch:
             return batch
         _rows, index_provider = self.source.rows_and_indexable(ctx)
         index = index_provider(self.positions)
         buckets = index.scalar_buckets() if self.scalar else index.buckets
+        get = buckets.get
+        if self.push_fn is not None:
+            get = self._pushed_get(ctx, buckets)
         stats = ctx.stats
-        stats.index_lookups += len(batch)
-        out = self.fn(buckets.get, batch, _EMPTY)
-        stats.rows_scanned += len(out)
+        stats.index_lookups += _batch_len(batch)
+        out = self.fn(get, batch, _EMPTY)
+        stats.rows_scanned += _batch_len(out)
         return out
+
+    def _pushed_get(self, ctx, buckets):
+        """A ``get`` over filtered buckets, memoized per distinct key.
+
+        The memo lives on the execution context keyed by this operator
+        *object* (not its id — a recycled id after garbage collection
+        must never inherit another operator's filter), holding a strong
+        reference to the bucket dict it was filtered from and checked by
+        identity — so an index rebuilt after a relation mutation (or a
+        fresh per-iteration delta index) starts a fresh memo, while
+        repeated executions against the same index pay the filter once
+        per key.
+        """
+        entry = ctx.pushed_buckets.get(self)
+        if entry is None or entry[0] is not buckets:
+            memo: dict = {}
+            ctx.pushed_buckets[self] = (buckets, memo)
+        else:
+            memo = entry[1]
+        keep = self.push_fn
+        raw_get = buckets.get
+        memo_get = memo.get
+
+        def get(key, default):
+            bucket = memo_get(key)
+            if bucket is None:
+                raw = raw_get(key)
+                bucket = memo[key] = (
+                    [r for r in raw if keep(r)] if raw else default
+                )
+            return bucket
+
+        return get
 
 
 class Filter(Operator):
@@ -219,6 +307,7 @@ class ResidualFilter(Operator):
         if not batch:
             return batch
         ctx.stats.residual_checks += len(batch)
+        ctx.stats.residual_evals += len(batch)  # one evaluator call per row
         evaluator = ctx.evaluator
         pred = self.pred
         var_rows = self.var_rows
@@ -229,6 +318,215 @@ class ResidualFilter(Operator):
             if evaluator.eval_pred(pred, env):
                 append(envt)
         return out
+
+
+class ResidualProbe:
+    """A recognized residual shape that reduces to one grouped index probe.
+
+    ``Some``-quantifiers whose body is a conjunction of equalities linking
+    quantified attributes to outer terms become a semi-join: resolve the
+    (environment-free) range once per execution, hash it once on the
+    correlated positions, and the per-group verdict is a bucket-existence
+    check.  ``InRel`` memberships become one set-membership per group.
+    ``Not`` of either flips the verdict.  Attribute positions are looked
+    up from the resolved range's schema at probe-build time, so the plan
+    does not need the range schema at compile time.
+    """
+
+    __slots__ = ("kind", "rexpr", "attrs", "key_fn", "negate")
+
+    def __init__(self, kind: str, rexpr, attrs: tuple[str, ...], key_fn, negate: bool):
+        self.kind = kind  # "some" | "inrel"
+        self.rexpr = rexpr
+        self.attrs = attrs
+        self.key_fn = key_fn
+        self.negate = negate
+
+    def checker(self, ctx):
+        """Build the per-group verdict closure for one execution."""
+        value = ctx.evaluator.resolve_range(self.rexpr, {})
+        rows = value.rows
+        key_fn = self.key_fn
+        negate = self.negate
+        if self.kind == "inrel":
+            members = ctx.member_set(self.rexpr, rows)
+
+            def check(group):
+                element = key_fn(group)
+                if type(element) is not tuple:
+                    element = (element,)
+                return (element in members) is not negate
+
+            return check
+        rexpr = self.rexpr
+        if (
+            isinstance(rexpr, ast.RelRef)
+            and rexpr.name not in ctx.params
+            and rexpr.name in ctx.db
+        ):
+            # Stored relation: the version-aware index cache, so an
+            # in-place mutation between executions on a reused context
+            # can never serve a stale probe table.
+            index = ctx.db.relation(rexpr.name).index_on(self.attrs)
+        else:
+            positions = tuple(value.schema.index_of(a) for a in self.attrs)
+            index = ctx.residual_index(rexpr, rows, positions)
+        ctx.stats.index_lookups += 1
+        buckets = index.probe_table(scalar=len(self.attrs) == 1)
+
+        def check(group):
+            return (key_fn(group) in buckets) is not negate
+
+        return check
+
+
+def _static_residual_range(rexpr) -> bool:
+    """True when a residual's range needs no enclosing environment.
+
+    Fixpoint variables are fine (the execution context binds them per
+    iteration); correlated ranges referencing outer tuple variables are
+    not — those keep the grouped-evaluator fallback, which passes the
+    group's environment through.
+    """
+    return not any(
+        isinstance(node, (ast.AttrRef, ast.VarRef)) for node in ast.walk(rexpr)
+    )
+
+
+class BatchedResidualFilter(ResidualFilter):
+    """Columnar residual check: grouped, memoized, and probe-accelerated.
+
+    Instead of one reference-evaluator call per batch row, rows are
+    grouped by the bound values the predicate actually reads (the rows
+    of ``var_rows``); each distinct group is checked **once per batch**
+    (the memo) through either a :class:`ResidualProbe` (quantifier and
+    membership shapes — one grouped index probe, no evaluator at all) or
+    the evaluator fallback (fully general: correlated ranges, universal
+    quantifiers, disjunctions).  Joins multiply rows but not distinct
+    bindings, so the memo turns per-row predicate cost into per-distinct
+    cost; surviving rows are compressed out of every live slot at C
+    level.
+    """
+
+    __slots__ = ("keep_slots", "probe")
+
+    def __init__(self, pred: ast.Pred, var_rows, keep_slots, probe=None) -> None:
+        super().__init__(pred, var_rows)
+        self.keep_slots = tuple(keep_slots)
+        self.probe = probe
+        if probe is not None:
+            self.label += "  (grouped index probe)"
+        else:
+            self.label += "  (memoized per batch)"
+
+    def _checker(self, ctx):
+        if self.probe is not None:
+            return self.probe.checker(ctx)
+        evaluator = ctx.evaluator
+        pred = self.pred
+        stats = ctx.stats
+        var_rows = self.var_rows
+        if len(var_rows) == 1:
+            var, schema, _pos = var_rows[0]
+
+            def check(row):
+                stats.residual_evals += 1
+                return evaluator.eval_pred(pred, {var: (row, schema)})
+
+            return check
+        metas = tuple((var, schema) for var, schema, _pos in var_rows)
+
+        def check(rows):
+            stats.residual_evals += 1
+            env = {var: (row, schema) for (var, schema), row in zip(metas, rows)}
+            return evaluator.eval_pred(pred, env)
+
+        return check
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        keep = self.keep_slots
+        if n == 0:
+            return (0, [slots[i] for i in keep])
+        ctx.stats.residual_checks += n
+        var_rows = self.var_rows
+        if len(var_rows) == 1:
+            groups = slots[var_rows[0][2]]
+        elif var_rows:
+            groups = zip(*[slots[pos] for _var, _schema, pos in var_rows])
+        else:
+            # The predicate reads no bound variable: one verdict decides
+            # the whole batch.
+            groups = repeat((), n)
+        check = self._checker(ctx)
+        memo: dict = {}
+        memo_get = memo.get
+        mask = []
+        add = mask.append
+        for group in groups:
+            verdict = memo_get(group)
+            if verdict is None:
+                verdict = memo[group] = check(group)
+            add(verdict)
+        kept = [list(compress(slots[i], mask)) for i in keep]
+        survivors = len(kept[0]) if kept else sum(mask)
+        return (survivors, kept)
+
+
+def _residual_probe(pred: ast.Pred, var_rows, gen) -> ResidualProbe | None:
+    """Recognize a probe-reducible residual, compiling its key extractor.
+
+    ``var_rows`` fixes the group-key layout: a single ``(var, schema,
+    slot)`` triple means the group is that variable's row; several mean a
+    tuple of rows in that order.  Returns None when the predicate needs
+    the evaluator fallback.
+    """
+    negate = False
+    if isinstance(pred, ast.Not):
+        negate = True
+        pred = pred.pred
+    if len(var_rows) == 1:
+        names = {var_rows[0][0]: "k"}
+    else:
+        names = {vr[0]: f"k[{i}]" for i, vr in enumerate(var_rows)}
+    if isinstance(pred, ast.InRel):
+        if not _static_residual_range(pred.range):
+            return None
+        expr = gen.col_term(pred.element, names, None)
+        if expr is None:
+            return None
+        key_fn = gen.define("_rkey", f"def _rkey(k):\n    return {expr}\n")
+        return ResidualProbe("inrel", pred.range, (), key_fn, negate)
+    if isinstance(pred, ast.Some) and len(pred.vars) == 1:
+        qvar = pred.vars[0]
+        if qvar in names or not _static_residual_range(pred.range):
+            return None
+        attrs: list[str] = []
+        exprs: list[str] = []
+        for conj in conjuncts(pred.pred):
+            if not (isinstance(conj, ast.Cmp) and conj.op == "="):
+                return None
+            matched = False
+            for qside, outer in ((conj.left, conj.right), (conj.right, conj.left)):
+                if (
+                    isinstance(qside, ast.AttrRef)
+                    and qside.var == qvar
+                    and qvar not in free_tuple_vars(outer)
+                ):
+                    expr = gen.col_term(outer, names, None)
+                    if expr is not None:
+                        attrs.append(qside.attr)
+                        exprs.append(expr)
+                        matched = True
+                        break
+            if not matched:
+                return None
+        if not attrs:
+            return None
+        key_src = exprs[0] if len(exprs) == 1 else _tuple_src(exprs)
+        key_fn = gen.define("_rkey", f"def _rkey(k):\n    return {key_src}\n")
+        return ResidualProbe("some", pred.range, tuple(attrs), key_fn, negate)
+    return None
 
 
 class Project(Operator):
@@ -414,13 +712,19 @@ class BranchPipeline:
     the ``i``-th binding step, so the executor can keep the per-step
     actual binding counts the tuple interpreter reports; ``tail_ops``
     are the residual filter (when present) and the projection.
+
+    ``columnar`` marks pipelines whose carries are struct-of-arrays
+    slots; ``fused`` marks pipelines whose final access/filter operator
+    emits the projected result directly (no standalone Project pass).
     """
 
-    __slots__ = ("step_ops", "tail_ops")
+    __slots__ = ("step_ops", "tail_ops", "columnar", "fused")
 
-    def __init__(self, step_ops, tail_ops) -> None:
+    def __init__(self, step_ops, tail_ops, columnar=False, fused=False) -> None:
         self.step_ops = step_ops
         self.tail_ops = tail_ops
+        self.columnar = columnar
+        self.fused = fused
 
     def operators(self):
         for ops in self.step_ops:
@@ -649,3 +953,550 @@ def lower_branch(
         ops[-1].est_rows = steps[s].est_cumulative
     tail_ops[-1].est_rows = est_out
     return BranchPipeline(step_ops, tail_ops)
+
+
+# ---------------------------------------------------------------------------
+# Columnar lowering: struct-of-arrays carries with operator fusion
+# ---------------------------------------------------------------------------
+#
+# A columnar batch is ``(n, slots)``: ``n`` is the row count and each
+# slot is a list of *source rows* (one slot per still-live binding
+# variable, in binding order), all aligned — slot_i[t] is the row the
+# t-th carry binds for that variable.  This is a late-materialized
+# struct-of-arrays layout: no attribute value is copied between
+# operators; a join expands each live slot with C-level kernels
+# (map/itemgetter column slices, chain/repeat expansion, compress
+# filtering) and only the final projection materializes result tuples —
+# fused into the producing access or filter operator whenever no
+# residual predicate follows it.
+
+#: C-level kernels shared by every generated columnar function.
+_COLUMNAR_NS = {
+    "_fi": chain.from_iterable,
+    "_rep": repeat,
+    "_cmp": compress,
+    "_ig": itemgetter,
+    "_len": len,
+    "_list": list,
+    "_map": map,
+    "_zip": zip,
+    "_range": range,
+    "_sum": sum,
+}
+
+
+class _ColGen(_CodeGen):
+    """Generates columnar kernels over slot-of-rows carries.
+
+    ``touched`` accumulates the bound variables whose slot expressions
+    the generated source actually referenced — the fused-emit pass
+    resets it, generates its target/condition sources, and zips exactly
+    the touched slots (structural liveness, no source re-parsing).
+    """
+
+    def __init__(self, schemas, params: dict) -> None:
+        super().__init__(schemas, params)
+        self.ns.update(_COLUMNAR_NS)
+        self.touched: set[str] = set()
+
+    def col_term(self, term: ast.Term, names: dict, cur_var: str | None):
+        """Python source for a term; bound rows are reachable through
+        ``names[var]`` (loop variables or group-key subscripts), the
+        current step's source row through ``r``."""
+        if isinstance(term, ast.Const):
+            return self.const(term.value)
+        if isinstance(term, ast.ParamRef):
+            return f"_params[{term.name!r}]"
+        if isinstance(term, ast.AttrRef):
+            schema = self.schemas.get(term.var)
+            if schema is None:
+                return None
+            idx = schema.index_of(term.attr)
+            if term.var == cur_var:
+                return f"r[{idx}]"
+            base = names.get(term.var)
+            if base is None:
+                return None
+            self.touched.add(term.var)
+            return f"{base}[{idx}]"
+        if isinstance(term, ast.VarRef):
+            if term.var == cur_var:
+                return "r"
+            base = names.get(term.var)
+            if base is not None:
+                self.touched.add(term.var)
+            return base
+        if isinstance(term, ast.Arith):
+            left = self.col_term(term.left, names, cur_var)
+            right = self.col_term(term.right, names, cur_var)
+            op = _ARITH_SRC.get(term.op)
+            if left is None or right is None or op is None:
+                return None
+            return f"({left} {op} {right})"
+        if isinstance(term, ast.TupleCons):
+            items = [self.col_term(i, names, cur_var) for i in term.items]
+            if any(i is None for i in items):
+                return None
+            return _tuple_src(items)
+        return None
+
+    def col_cmp(self, conj: ast.Cmp, names: dict, cur_var: str | None = None):
+        left = self.col_term(conj.left, names, cur_var)
+        right = self.col_term(conj.right, names, cur_var)
+        op = _CMP_SRC.get(conj.op)
+        if left is None or right is None or op is None:
+            return None
+        return f"({left} {op} {right})"
+
+
+def lower_branch_columnar(
+    steps,
+    residual: ast.Pred,
+    schemas,
+    target_terms,
+    target_desc: str,
+    params: dict,
+    est_out: float | None = None,
+) -> BranchPipeline | None:
+    """Lower priced loop steps into the columnar operator pipeline.
+
+    Returns None when some term cannot be expressed as generated code
+    (the executor then falls back to the row-major pipeline, and from
+    there to tuple-at-a-time interpretation).
+    """
+    if not steps:
+        return None
+    gen = _ColGen(schemas, params)
+    bound_rank = {step.var: s for s, step in enumerate(steps)}
+    bound_vars = set(bound_rank)
+
+    def term_reads(term: ast.Term):
+        vars_ = free_tuple_vars(term)
+        if not vars_ <= bound_vars:
+            return None
+        return vars_
+
+    # --- G2: cost-gated pushdown of selective single-variable filters ---
+    # A HashJoin step whose priced filter selectivity clears the
+    # FILTER_PUSH_SEL gate filters its buckets per distinct key at probe
+    # time; the conjuncts leave the Filter operator entirely.
+    step_conjs: dict[int, list] = {}
+    step_push: dict[int, tuple] = {}
+    for s, step in enumerate(steps):
+        kept: list = []
+        push_srcs: list[str] = []
+        push_descs: list[str] = []
+        sel = getattr(step, "est_filter_sel", None)
+        hash_join = bool(step.key_positions) and any(
+            free_tuple_vars(t) for t in step.key_terms
+        )
+        allow = hash_join and sel is not None and sel <= FILTER_PUSH_SEL
+        for conj, desc in zip(step.filter_conjs, step.filter_descs):
+            src = None
+            if allow and (
+                free_tuple_vars(conj.left) | free_tuple_vars(conj.right)
+            ) <= {step.var}:
+                src = gen.col_cmp(conj, {}, step.var)
+            if src is None:
+                kept.append((conj, desc))
+            else:
+                push_srcs.append(src)
+                push_descs.append(desc)
+        step_conjs[s] = kept
+        if push_srcs:
+            fn = gen.define(
+                "_push", "def _push(r):\n    return " + " and ".join(push_srcs) + "\n"
+            )
+            step_push[s] = (fn, ", ".join(push_descs))
+
+    # --- the pipeline's entries, each with the variables it reads ---
+    entries: list[tuple] = []
+    for s, step in enumerate(steps):
+        reads: set = set()
+        for term in step.key_terms:
+            vars_ = term_reads(term)
+            if vars_ is None:
+                return None
+            reads |= vars_
+        entries.append(("access", s, reads))
+        if step_conjs[s]:
+            freads: set = set()
+            for conj, _desc in step_conjs[s]:
+                left = term_reads(conj.left)
+                right = term_reads(conj.right)
+                if left is None or right is None:
+                    return None
+                freads |= left | right
+            entries.append(("filter", s, freads))
+        for pred in step.residual_preds:
+            entries.append(("step_residual", (s, pred), {step.var}))
+    has_residual = not isinstance(residual, ast.TruePred)
+    if has_residual:
+        for conj in conjuncts(residual):
+            entries.append(
+                ("residual", conj, {v for v in free_tuple_vars(conj) if v in bound_vars})
+            )
+    if target_terms is None:
+        proj_reads = {steps[0].var}
+    else:
+        proj_reads = set()
+        for term in target_terms:
+            vars_ = term_reads(term)
+            if vars_ is None:
+                return None
+            proj_reads |= vars_
+    entries.append(("project", target_terms, proj_reads))
+
+    # --- fusion: Project (and the final step's filter) folds into the
+    # producing access operator exactly when no residual follows it ---
+    last = len(steps) - 1
+    fuse = not has_residual and not steps[last].residual_preds
+    fused_conds: list = []
+    if fuse:
+        fused_conds = step_conjs[last]
+        entries = [
+            e
+            for e in entries
+            if e[0] != "project" and not (e[0] == "filter" and e[1] == last)
+        ]
+        kind, payload, reads = entries[-1]
+        extra = set(proj_reads)
+        for conj, _desc in fused_conds:
+            left = term_reads(conj.left)
+            right = term_reads(conj.right)
+            if left is None or right is None:
+                return None
+            extra |= left | right
+        entries[-1] = (kind, payload, reads | extra)
+
+    # --- liveness: after entry k a slot survives iff some later entry
+    # reads its variable ---
+    n_entries = len(entries)
+    after: list[set] = [set()] * n_entries
+    running: set = set()
+    for k in range(n_entries - 1, -1, -1):
+        after[k] = set(running)
+        running |= entries[k][2]
+
+    # --- generation -----------------------------------------------------
+
+    def unpack_src(indices) -> str:
+        return "".join(f"    s{i} = slots[{i}]\n" for i in sorted(set(indices)))
+
+    def key_columns(step, slot_of, names):
+        """Source expressions for the probe-key columns, or None."""
+        cols = []
+        for term in step.key_terms:
+            vars_ = free_tuple_vars(term)
+            if (
+                isinstance(term, ast.AttrRef)
+                and term.var in slot_of
+                and schemas.get(term.var) is not None
+            ):
+                idx = schemas[term.var].index_of(term.attr)
+                cols.append(f"_map(_ig({idx}), s{slot_of[term.var]})")
+            elif not vars_:
+                expr = gen.col_term(term, {}, None)
+                if expr is None:
+                    return None
+                cols.append(f"_rep({expr})")
+            else:
+                read = sorted(vars_, key=lambda v: slot_of.get(v, -1))
+                if any(v not in slot_of for v in read):
+                    return None
+                expr = gen.col_term(term, names, None)
+                if expr is None:
+                    return None
+                if len(read) == 1:
+                    j = slot_of[read[0]]
+                    cols.append(f"[{expr} for e{j} in s{j}]")
+                else:
+                    unp = ", ".join(f"e{slot_of[v]}" for v in read)
+                    srcs = ", ".join(f"s{slot_of[v]}" for v in read)
+                    cols.append(f"[{expr} for {unp} in _zip({srcs})]")
+        return cols
+
+    def emit_comprehension(step, slot_of, names, conds_pairs, arg_rows: str, n_known):
+        """The fused final pass: access + filter + project in one loop."""
+        var = step.var
+        gen.touched = set()
+        if target_terms is None:
+            root = steps[0].var
+            if root == var:
+                target = "r"
+            else:
+                target = names.get(root)
+                if target is None:
+                    return None
+                gen.touched.add(root)
+        else:
+            exprs = [gen.col_term(t, names, var) for t in target_terms]
+            if any(e is None for e in exprs):
+                return None
+            target = _tuple_src(exprs)
+        cond_srcs = []
+        for conj, _desc in conds_pairs:
+            src = gen.col_cmp(conj, names, var)
+            if src is None:
+                return None
+            cond_srcs.append(src)
+        cond = f" if {' and '.join(cond_srcs)}" if cond_srcs else ""
+        read = [v for v in sorted(slot_of, key=slot_of.get) if v in gen.touched]
+        if arg_rows == "_b":  # hash-join buckets aligned with the batch
+            if read:
+                unp = ", ".join(f"e{slot_of[v]}" for v in read)
+                srcs = ", ".join(f"s{slot_of[v]}" for v in read)
+                return (
+                    f"    return [{target} for {unp}, _bk in _zip({srcs}, _b) "
+                    f"for r in _bk{cond}]\n"
+                )
+            return f"    return [{target} for _bk in _b for r in _bk{cond}]\n"
+        # scan / constant-key bucket: one shared row source
+        if read:
+            unp = ", ".join(f"e{slot_of[v]}" for v in read)
+            srcs = ", ".join(f"s{slot_of[v]}" for v in read)
+            if len(read) == 1:
+                j = slot_of[read[0]]
+                return (
+                    f"    return [{target} for e{j} in s{j} "
+                    f"for r in {arg_rows}{cond}]\n"
+                )
+            return (
+                f"    return [{target} for {unp} in _zip({srcs}) "
+                f"for r in {arg_rows}{cond}]\n"
+            )
+        if n_known:  # leading step: exactly one incoming carry
+            if target == "r" and not cond and arg_rows == "rows":
+                return "    return rows if type(rows) is list else _list(rows)\n"
+            return f"    return [{target} for r in {arg_rows}{cond}]\n"
+        return (
+            f"    return [{target} for _t in _range(n) for r in {arg_rows}{cond}]\n"
+        )
+
+    def gen_access(k, s, layout_before, layout_after, final):
+        step = steps[s]
+        var = step.var
+        slot_of = {v: i for i, v in enumerate(layout_before)}
+        names = {v: f"e{slot_of[v]}" for v in slot_of}
+        const_key = bool(step.key_positions) and all(
+            not free_tuple_vars(t) for t in step.key_terms
+        )
+        is_join = bool(step.key_positions) and not const_key
+        parents = [v for v in layout_after if v != var]
+        conds_pairs = fused_conds if final else []
+
+        if is_join:
+            cols = key_columns(step, slot_of, names)
+            if cols is None or not layout_before:
+                return None
+            key = cols[0] if len(cols) == 1 else f"_zip({', '.join(cols)})"
+            scalar = len(cols) == 1
+            body = "    n, slots = batch\n"
+            body += unpack_src(slot_of.values())
+            if final:
+                body += f"    _b = _map(get, {key}, _rep(EMPTY))\n"
+                tail = emit_comprehension(step, slot_of, names, conds_pairs, "_b", False)
+                if tail is None:
+                    return None
+                body += tail
+            else:
+                body += f"    _b = _list(_map(get, {key}, _rep(EMPTY)))\n"
+                body += "    _c = _list(_map(_len, _b))\n"
+                outs = []
+                for v in layout_after:
+                    if v == var:
+                        body += "    on = _list(_fi(_b))\n"
+                        outs.append("on")
+                    else:
+                        j = slot_of[v]
+                        body += f"    o{j} = _list(_fi(_map(_rep, s{j}, _c)))\n"
+                        outs.append(f"o{j}")
+                if outs:
+                    body += f"    return (_len({outs[0]}), [{', '.join(outs)}])\n"
+                else:
+                    body += "    return (_sum(_c), [])\n"
+            fn = gen.define("_join", "def _join(get, batch, EMPTY):\n" + body)
+            push_fn, push_desc = step_push.get(s, (None, ""))
+            return HashJoin(
+                step.source, step.key_positions, scalar, fn, push_fn, push_desc
+            )
+
+        # Scan or constant-key IndexLookup: one shared row source.
+        arg = "bucket" if const_key else "rows"
+        body = "    n, slots = batch\n"
+        body += unpack_src(slot_of.values())
+        leading = s == 0
+        if final:
+            tail = emit_comprehension(step, slot_of, names, conds_pairs, arg, leading)
+            if tail is None:
+                return None
+            body += tail
+        elif leading:
+            if var in layout_after:
+                body += (
+                    f"    {arg} = {arg} if type({arg}) is list else _list({arg})\n"
+                    f"    return (_len({arg}), [{arg}])\n"
+                )
+            else:
+                body += f"    return (_len({arg}), [])\n"
+        else:
+            body += f"    {arg} = {arg} if type({arg}) is list else _list({arg})\n"
+            body += f"    _nr = _len({arg})\n"
+            outs = []
+            for v in layout_after:
+                if v == var:
+                    body += f"    on = {arg} * n\n"
+                    outs.append("on")
+                else:
+                    j = slot_of[v]
+                    body += f"    o{j} = _list(_fi(_map(_rep, s{j}, _rep(_nr))))\n"
+                    outs.append(f"o{j}")
+            body += f"    return (n * _nr, [{', '.join(outs)}])\n"
+        if const_key:
+            key_exprs = [gen.term_expr(t, {}, None) for t in step.key_terms]
+            if any(e is None for e in key_exprs):
+                return None
+            key_fn = gen.define(
+                "_key", f"def _key():\n    return {_tuple_src(key_exprs)}\n"
+            )
+            fn = gen.define("_lookup", "def _lookup(bucket, batch):\n" + body)
+            return IndexLookup(step.source, step.key_positions, key_fn, fn)
+        fn = gen.define("_scan", "def _scan(rows, batch):\n" + body)
+        return Scan(step.source, fn)
+
+    def gen_filter(s, layout_before, layout_after):
+        slot_of = {v: i for i, v in enumerate(layout_before)}
+        names = {v: f"e{slot_of[v]}" for v in slot_of}
+        conds = []
+        read: set = set()
+        descs = []
+        for conj, desc in step_conjs[s]:
+            src = gen.col_cmp(conj, names, None)
+            if src is None:
+                return None
+            conds.append(src)
+            read |= free_tuple_vars(conj.left) | free_tuple_vars(conj.right)
+            descs.append(desc)
+        keep = [slot_of[v] for v in layout_after]
+        cond = " and ".join(conds)
+        body = "    n, slots = batch\n"
+        read_idx = sorted(slot_of[v] for v in read if v in slot_of)
+        body += unpack_src(set(read_idx) | {slot_of[v] for v in layout_after})
+        if not read_idx:
+            kept = ", ".join(f"s{j}" for j in keep)
+            body += (
+                f"    if {cond}:\n        return (n, [{kept}])\n"
+                f"    return (0, [{', '.join('[]' for _ in keep) }])\n"
+            )
+        else:
+            if len(read_idx) == 1:
+                j = read_idx[0]
+                body += f"    _m = [{cond} for e{j} in s{j}]\n"
+            else:
+                unp = ", ".join(f"e{j}" for j in read_idx)
+                srcs = ", ".join(f"s{j}" for j in read_idx)
+                body += f"    _m = [{cond} for {unp} in _zip({srcs})]\n"
+            outs = []
+            for j in keep:
+                body += f"    o{j} = _list(_cmp(s{j}, _m))\n"
+                outs.append(f"o{j}")
+            if outs:
+                body += f"    return (_len({outs[0]}), [{', '.join(outs)}])\n"
+            else:
+                body += "    return (_sum(_m), [])\n"
+        fn = gen.define("_filter", "def _filter(batch):\n" + body)
+        return Filter(tuple(descs), fn)
+
+    def gen_project(layout_before):
+        slot_of = {v: i for i, v in enumerate(layout_before)}
+        names = {v: f"e{slot_of[v]}" for v in slot_of}
+        body = "    n, slots = batch\n"
+        if target_terms is None:
+            root = steps[0].var
+            if root not in slot_of:
+                return None
+            body += f"    return slots[{slot_of[root]}]\n"
+        else:
+            exprs = [gen.col_term(t, names, None) for t in target_terms]
+            if any(e is None for e in exprs):
+                return None
+            target = _tuple_src(exprs)
+            read = sorted(
+                {v for t in target_terms for v in free_tuple_vars(t)},
+                key=lambda v: slot_of.get(v, -1),
+            )
+            if not read:
+                body += f"    return [{target}] * n\n"
+            elif len(read) == 1:
+                j = slot_of[read[0]]
+                body += f"    return [{target} for e{j} in slots[{j}]]\n"
+            else:
+                unp = ", ".join(f"e{slot_of[v]}" for v in read)
+                srcs = ", ".join(f"slots[{slot_of[v]}]" for v in read)
+                body += f"    return [{target} for {unp} in _zip({srcs})]\n"
+        fn = gen.define("_project", "def _project(batch):\n" + body)
+        return Project(target_desc, fn)
+
+    step_ops: list[list[Operator]] = []
+    tail_ops: list[Operator] = []
+    layout: list[str] = []
+    current: list[Operator] = []
+    for k, (kind, payload, reads) in enumerate(entries):
+        if kind == "access":
+            s = payload
+            final_here = fuse and s == last
+            if final_here:
+                layout_after: list[str] = []
+            else:
+                layout_after = [
+                    st.var for st in steps[: s + 1] if st.var in after[k]
+                ]
+            op = gen_access(k, s, layout, layout_after, final_here)
+            if op is None:
+                return None
+            current = [op]
+            step_ops.append(current)
+            layout = layout_after
+        elif kind == "filter":
+            s = payload
+            layout_after = [st.var for st in steps[: s + 1] if st.var in after[k]]
+            op = gen_filter(s, layout, layout_after)
+            if op is None:
+                return None
+            current.append(op)
+            layout = layout_after
+        elif kind in ("step_residual", "residual"):
+            if kind == "step_residual":
+                s, pred = payload
+                read_vars = [steps[s].var]
+                bound_here = steps[: s + 1]
+            else:
+                pred = payload
+                read_vars = sorted(reads, key=lambda v: bound_rank[v])
+                bound_here = steps
+            layout_after = [st.var for st in bound_here if st.var in after[k]]
+            slot_of = {v: i for i, v in enumerate(layout)}
+            if any(v not in slot_of for v in read_vars):
+                return None
+            var_rows = [(v, schemas[v], slot_of[v]) for v in read_vars]
+            keep_slots = [slot_of[v] for v in layout_after]
+            probe = _residual_probe(pred, var_rows, gen)
+            op = BatchedResidualFilter(pred, var_rows, keep_slots, probe)
+            if kind == "step_residual":
+                current.append(op)
+            else:
+                tail_ops.append(op)
+            layout = layout_after
+        else:  # standalone project (a residual precedes it)
+            op = gen_project(layout)
+            if op is None:
+                return None
+            tail_ops.append(op)
+
+    for s, ops in enumerate(step_ops):
+        ops[-1].est_rows = steps[s].est_cumulative
+    if tail_ops:
+        tail_ops[-1].est_rows = est_out
+    else:
+        step_ops[-1][-1].est_rows = est_out
+    return BranchPipeline(step_ops, tail_ops, columnar=True, fused=fuse)

@@ -30,13 +30,15 @@ tuples emitted).  Every plan's :meth:`~BranchPlan.explain` reports the
 optimizer's *estimated* row counts next to the *actual* counts observed
 during execution, so estimation quality is testable.
 
-Plans *execute* through the batched physical-operator pipeline of
-:mod:`repro.compiler.operators` by default (``executor="batch"``): each
-branch is lowered once into Scan/IndexLookup/HashJoin/Filter/Project
-operators passing whole row batches, which removes the per-tuple Python
-dispatch of the interpreted loop nest.  ``executor="tuple"`` keeps the
-original tuple-at-a-time interpreter available so benchmark E16 can
-measure the difference on identical plans.
+Plans *execute* through the batched physical-operator pipelines of
+:mod:`repro.compiler.operators`.  The default (``executor="batch"``)
+lowers each branch into **columnar struct-of-arrays** pipelines —
+aligned per-variable row slots expanded by C-level kernels, grouped
+residual probes, and projection fused into the producing join or filter
+— with fusion decisions cost-gated by the :class:`CostModel`.
+``executor="rowbatch"`` keeps the row-major batched pipelines (PR 3) and
+``executor="tuple"`` the original tuple-at-a-time interpreter, so
+benchmarks E16/E17 can measure each layer on identical plans.
 """
 
 from __future__ import annotations
@@ -51,7 +53,7 @@ from ..calculus.rewrite import conjoin, conjuncts
 from ..errors import EvaluationError
 from ..relational import Database, HashIndex, Relation
 from ..types import RecordType
-from .operators import Dedup, lower_branch
+from .operators import Dedup, _batch_len, lower_branch, lower_branch_columnar
 
 #: Join orders are enumerated exactly (Selinger-style subset DP) up to
 #: this many bindings per branch; wider branches fall back to greedy
@@ -61,9 +63,15 @@ DP_LIMIT = 6
 #: The default optimizer for every compilation entry point.
 DEFAULT_OPTIMIZER = "cost"
 
-#: The default executor: "batch" runs the lowered physical-operator
-#: pipeline (set-at-a-time), "tuple" the original interpreted loop nest.
+#: The default executor: "batch" runs the columnar (struct-of-arrays)
+#: operator pipeline with fused projection, "rowbatch" the row-major
+#: batched pipeline it replaced (kept as the measurement baseline of
+#: benchmark E17), and "tuple" the original interpreted loop nest
+#: (benchmark E16's baseline).
 DEFAULT_EXECUTOR = "batch"
+
+#: Every accepted executor mode.
+EXECUTORS = ("batch", "rowbatch", "tuple")
 
 #: Sentinel: a branch plan whose operator pipeline has not been lowered
 #: yet (lowering is lazy so estimate-only compilations never pay for it).
@@ -72,11 +80,18 @@ _PENDING = object()
 
 @dataclass
 class PlanStats:
-    """Operation counters for compiled execution."""
+    """Operation counters for compiled execution.
+
+    ``residual_checks`` counts rows that reached a residual predicate;
+    ``residual_evals`` counts actual reference-evaluator invocations —
+    the columnar executor's per-batch memoization and grouped index
+    probes make the second far smaller than the first.
+    """
 
     rows_scanned: int = 0
     index_lookups: int = 0
     residual_checks: int = 0
+    residual_evals: int = 0
     tuples_emitted: int = 0
     iterations: int = 0
 
@@ -96,6 +111,15 @@ class ExecutionContext:
         self.apply_values = dict(apply_values or {})
         self.stats = stats if stats is not None else PlanStats()
         self._set_indexes: dict[tuple[int, tuple[int, ...]], HashIndex] = {}
+        self._residual_indexes: dict[tuple, tuple[object, HashIndex]] = {}
+        self._member_sets: dict[object, frozenset | set] = {}
+        #: Per-operator memos of build-side-filtered buckets — the
+        #: cost-gated probe-pushdown cache of the columnar executor.
+        #: Keyed by the HashJoin operator object itself (a recycled id
+        #: must never inherit another operator's filter); values are
+        #: (buckets, memo) pairs with the bucket dict held and
+        #: identity-checked so a rebuilt index restarts the memo.
+        self.pushed_buckets: dict[object, tuple[dict, dict]] = {}
         # The residual evaluator shares params/apply values with the plan.
         self.evaluator = Evaluator(db, self.params, self.apply_values)
 
@@ -107,6 +131,39 @@ class ExecutionContext:
             index = HashIndex(positions, rows)
             self._set_indexes[key] = index
         return index
+
+    def residual_index(self, token, rows, positions: tuple[int, ...]) -> HashIndex:
+        """The grouped-probe index of a residual's range.
+
+        Keyed by the range's AST node (hashable, like :meth:`member_set`)
+        with the row collection held and identity-checked, so a freed
+        row list can never alias another range's index and per-iteration
+        fixpoint values rebuild cleanly.  Stored relations do not come
+        through here — :class:`~repro.compiler.operators.ResidualProbe`
+        routes them to the relation's version-aware index cache, which
+        in-place mutations invalidate.
+        """
+        key = (token, positions)
+        entry = self._residual_indexes.get(key)
+        if entry is None or entry[0] is not rows:
+            index = HashIndex(positions, rows)
+            self._residual_indexes[key] = (rows, index)
+            return index
+        return entry[1]
+
+    def member_set(self, token: object, rows) -> frozenset | set:
+        """``rows`` as a set, cached per execution (membership residuals).
+
+        Keyed by the residual's range expression (``token``, a hashable
+        frozen AST node) rather than by object identity, so a freed row
+        list can never alias another range's members.
+        """
+        if isinstance(rows, (set, frozenset)):
+            return rows
+        members = self._member_sets.get(token)
+        if members is None:
+            members = self._member_sets[token] = set(rows)
+        return members
 
 
 # ---------------------------------------------------------------------------
@@ -129,7 +186,9 @@ class Source:
         yields a HashIndex or None."""
         if self.kind == "relation":
             relation = ctx.db.relation(self.name)
-            return relation.raw(), lambda pos: relation.index_on(
+            # raw_list(): a per-version cached list view — the columnar
+            # kernels make several aligned passes over a scan's rows.
+            return relation.raw_list(), lambda pos: relation.index_on(
                 tuple(relation.element_type.attribute_names[i] for i in pos)
             )
         if self.kind == "apply":
@@ -600,6 +659,9 @@ class LoopStep:
     est_source_rows: float | None = None
     est_out_rows: float | None = None
     est_cumulative: float | None = None
+    # Priced selectivity of this step's single-variable comparison
+    # filters — the columnar lowering's G2 gate (probe pushdown) reads it.
+    est_filter_sel: float | None = None
 
     def describe(self) -> str:
         access = "scan"
@@ -631,10 +693,14 @@ class BranchPlan:
     #: to price them, so operator codegen is deferred to first use).
     target_terms: tuple | None = None
     params: dict = field(default_factory=dict)
-    #: The lowered physical-operator pipeline: _PENDING until first use,
-    #: then a BranchPipeline, or None when some term could not be
-    #: generated (tuple-at-a-time execution is the fallback).
+    #: The lowered columnar physical-operator pipeline: _PENDING until
+    #: first use, then a BranchPipeline, or None when some term could not
+    #: be generated (the row-major pipeline, then the tuple interpreter,
+    #: are the fallbacks).
     pipeline: object | None = None
+    #: The row-major batched pipeline of PR 3, kept as benchmark E17's
+    #: measurement baseline (``executor="rowbatch"``).
+    row_pipeline: object | None = None
     # Actual per-step binding counts, accumulated over every execution of
     # this plan; explain() divides by `executions` so the reported actuals
     # stay commensurable with the per-execution estimates.
@@ -643,9 +709,9 @@ class BranchPlan:
     executions: int = 0
 
     def ensure_pipeline(self):
-        """Lower to the operator pipeline on first use (None on failure)."""
+        """Lower to the columnar pipeline on first use (None on failure)."""
         if self.pipeline is _PENDING:
-            self.pipeline = lower_branch(
+            self.pipeline = lower_branch_columnar(
                 self.steps,
                 self.residual,
                 self.schemas,
@@ -656,36 +722,75 @@ class BranchPlan:
             )
         return self.pipeline
 
+    def ensure_row_pipeline(self):
+        """Lower to the row-major pipeline on first use (None on failure)."""
+        if self.row_pipeline is _PENDING:
+            self.row_pipeline = lower_branch(
+                self.steps,
+                self.residual,
+                self.schemas,
+                self.target_terms,
+                self.target_desc,
+                self.params,
+                est_out=self.est_out,
+            )
+        return self.row_pipeline
+
+    def _pipeline_for(self, executor: str):
+        """The lowered pipeline serving ``executor``, or None (→ tuple).
+
+        The default columnar executor degrades to the row-major pipeline
+        when a branch cannot be expressed columnar, and both batched
+        modes degrade to the interpreted loop nest when no pipeline can
+        be generated at all.
+        """
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if executor == "tuple":
+            return None
+        if executor == "batch":
+            pipeline = self.ensure_pipeline()
+            if pipeline is not None:
+                return pipeline
+        return self.ensure_row_pipeline()
+
     def execute(
         self, ctx: ExecutionContext, out: set, executor: str | None = None
     ) -> None:
         """Run this branch, adding result tuples to ``out``."""
         executor = DEFAULT_EXECUTOR if executor is None else executor
-        if executor != "tuple" and self.ensure_pipeline() is not None:
-            out.update(self.execute_batch(ctx))
+        pipeline = self._pipeline_for(executor)
+        if pipeline is not None:
+            out.update(self.execute_batch(ctx, pipeline))
             return
         self.execute_tuple(ctx, out)
 
-    def execute_batch(self, ctx: ExecutionContext) -> list:
-        """Run the lowered operator pipeline, returning the projected batch
+    def execute_batch(self, ctx: ExecutionContext, pipeline=None) -> list:
+        """Run a lowered operator pipeline, returning the projected batch
         (duplicates included — the caller's Dedup/union eliminates them,
         exactly as the tuple interpreter's ``out.add`` does)."""
-        pipeline = self.pipeline
+        if pipeline is None:
+            pipeline = self.pipeline
         if len(self.actual_rows) != len(self.steps):
             self.actual_rows = [0] * len(self.steps)
         self.executions += 1
         actual = self.actual_rows
-        batch: list = [()]
+        batch = (1, []) if pipeline.columnar else [()]
         for i, ops in enumerate(pipeline.step_ops):
             for op in ops:
                 op.executions += 1
                 batch = op.run(ctx, batch)
-                op.actual_rows += len(batch)
-            actual[i] += len(batch)
+                op.actual_rows += _batch_len(batch)
+            actual[i] += _batch_len(batch)
         for op in pipeline.tail_ops:
             op.executions += 1
             batch = op.run(ctx, batch)
-            op.actual_rows += len(batch)
+            op.actual_rows += _batch_len(batch)
+        if pipeline.fused:
+            # The fused final operator emitted the projection itself.
+            ctx.stats.tuples_emitted += len(batch)
         self.actual_emitted += len(batch)
         return batch
 
@@ -705,6 +810,7 @@ class BranchPlan:
             if depth == len(self.steps):
                 if has_residual:
                     stats.residual_checks += 1
+                    stats.residual_evals += 1
                     rich_env = {
                         v: (row, schemas[v]) for v, row in env.items()
                     }
@@ -735,6 +841,7 @@ class BranchPlan:
                         break
                 if ok and step_residuals:
                     stats.residual_checks += 1
+                    stats.residual_evals += 1
                     rich_env = {v: (r, schemas[v]) for v, r in env.items()}
                     for pred in step_residuals:
                         if not evaluator.eval_pred(pred, rich_env):
@@ -794,8 +901,9 @@ class QueryPlan:
         executor = self.executor if executor is None else executor
         out: set[tuple] = set()
         for branch in self.branches:
-            if executor != "tuple" and branch.ensure_pipeline() is not None:
-                self.dedup.absorb(branch.execute_batch(ctx), out)
+            pipeline = branch._pipeline_for(executor)
+            if pipeline is not None:
+                self.dedup.absorb(branch.execute_batch(ctx, pipeline), out)
             else:
                 branch.execute_tuple(ctx, out)
         return out
@@ -1117,6 +1225,9 @@ def compile_branch(
                 est_source_rows=final.source_rows,
                 est_out_rows=final.out_rows,
                 est_cumulative=est_card,
+                est_filter_sel=cost_model.restriction_selectivity(
+                    sources[var], var_restrictions
+                ),
             )
         )
 
@@ -1175,6 +1286,7 @@ def compile_branch(
         target_terms=branch.targets,
         params=params,
         pipeline=_PENDING,
+        row_pipeline=_PENDING,
     )
 
 

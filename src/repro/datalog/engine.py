@@ -246,7 +246,10 @@ class DatalogEngine:
     # -- compiled evaluation ----------------------------------------------------
 
     def solve_compiled(
-        self, stats: DatalogStats | None = None, optimizer: str = "cost"
+        self,
+        stats: DatalogStats | None = None,
+        optimizer: str = "cost",
+        executor: str = "batch",
     ) -> dict[str, frozenset]:
         """Evaluate through the constructor translation and the batched
         fixpoint executor (see :mod:`repro.compiler`).
@@ -254,7 +257,10 @@ class DatalogEngine:
         Each IDB predicate's least model is the value of its translated
         constructor application; mutually recursive predicates share one
         instantiated system, so every strongly connected component is
-        solved exactly once.
+        solved exactly once.  ``executor`` selects the physical layer —
+        ``"batch"`` (columnar struct-of-arrays pipelines, the default),
+        ``"rowbatch"`` (row-major batches), or ``"tuple"`` — so Datalog
+        programs inherit every executor improvement unchanged.
         """
         from ..compiler.fixpoint import construct_compiled
         from .to_constructors import datalog_to_database
@@ -269,7 +275,9 @@ class DatalogEngine:
         for pred, application in applications.items():
             if pred in solved:
                 continue
-            result = construct_compiled(db, application, optimizer=optimizer)
+            result = construct_compiled(
+                db, application, optimizer=optimizer, executor=executor
+            )
             # Harvest every application of the instantiated system: a
             # mutually recursive clique is computed once, not per root.
             for key, rows in result.values.items():
@@ -283,14 +291,17 @@ class DatalogEngine:
         return totals
 
     def solve(
-        self, mode: str = "seminaive", stats: DatalogStats | None = None
+        self,
+        mode: str = "seminaive",
+        stats: DatalogStats | None = None,
+        executor: str = "batch",
     ) -> dict[str, frozenset]:
         if mode == "naive":
             return self.solve_naive(stats)
         if mode == "seminaive":
             return self.solve_seminaive(stats)
         if mode == "compiled":
-            return self.solve_compiled(stats)
+            return self.solve_compiled(stats, executor=executor)
         raise ValueError(f"unknown mode {mode!r}")
 
     def query(

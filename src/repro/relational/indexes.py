@@ -57,6 +57,15 @@ class HashIndex:
             self._scalar = {key[0]: rows for key, rows in self.buckets.items()}
         return self._scalar
 
+    def probe_table(self, scalar: bool = False) -> dict:
+        """The grouped-probe view of the index: a bucket dict fetched
+        once per batch and then tested per distinct key (``key in
+        probe_table`` for semi-join verdicts, ``probe_table.get`` for
+        the generated join kernels' C-level ``map`` probes).
+        ``scalar=True`` answers with the bare-value view of a
+        single-position index."""
+        return self.scalar_buckets() if scalar else self.buckets
+
     def keys(self) -> Iterable[tuple]:
         return self.buckets.keys()
 

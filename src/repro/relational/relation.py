@@ -23,7 +23,16 @@ from .stats import TableStats
 class Relation:
     """A mutable relation variable holding a set of raw value tuples."""
 
-    __slots__ = ("name", "rtype", "_rows", "_version", "_index_cache", "_stats")
+    __slots__ = (
+        "name",
+        "rtype",
+        "_rows",
+        "_version",
+        "_index_cache",
+        "_stats",
+        "_raw_list",
+        "_raw_list_version",
+    )
 
     def __init__(
         self,
@@ -37,6 +46,8 @@ class Relation:
         self._version = 0
         self._index_cache = IndexCache()
         self._stats: TableStats | None = None
+        self._raw_list: list[tuple] = []
+        self._raw_list_version = -1
         rows = tuple(rows)
         if rows:
             self.assign(rows)
@@ -54,6 +65,21 @@ class Relation:
     def raw(self) -> set[tuple]:
         """The live underlying set; callers must not mutate it."""
         return self._rows
+
+    def raw_list(self) -> list[tuple]:
+        """The current rows as a list, cached per version.
+
+        The columnar executor's kernels make several aligned passes over
+        a scan's rows (key slice, probe, expansion), which needs a
+        stable sequence; materializing it once per relation version means
+        repeated executions — fixpoint iterations especially — share one
+        list instead of re-listing the set per scan.  Callers must not
+        mutate it.
+        """
+        if self._raw_list_version != self._version:
+            self._raw_list = list(self._rows)
+            self._raw_list_version = self._version
+        return self._raw_list
 
     @property
     def version(self) -> int:

@@ -78,16 +78,18 @@ def test_batched_executor_equivalence_on_random_graphs(seed):
     )
     plan = compile_query(db, q)
     batch_rows = plan.execute(ExecutionContext(db), executor="batch")
+    rowbatch_rows = plan.execute(ExecutionContext(db), executor="rowbatch")
     tuple_rows = plan.execute(ExecutionContext(db), executor="tuple")
     reference = Evaluator(db).eval_query(q)
-    assert batch_rows == tuple_rows == reference
+    assert batch_rows == rowbatch_rows == tuple_rows == reference
 
-    # Recursive fixpoint: batched compiled == interpreted semi-naive,
-    # and both match the independent closure oracle.
+    # Recursive fixpoint: columnar == row-major batched == interpreted
+    # semi-naive, and all match the independent closure oracle.
     system = instantiate(db, d.constructed("Infront", "ahead"))
     semi = seminaive_fixpoint(db, system)
     compiled = compile_fixpoint(db, system, executor="batch").run()
-    assert compiled[system.root] == semi[system.root]
+    rowbatch = compile_fixpoint(db, system, executor="rowbatch").run()
+    assert compiled[system.root] == rowbatch[system.root] == semi[system.root]
     assert set(compiled[system.root]) == transitive_closure(edges)
 
 
@@ -203,7 +205,13 @@ class TestOperatorPipeline:
         ops = list(plan.branches[0].ensure_pipeline().operators())
         assert isinstance(ops[0], Scan)
         assert isinstance(ops[1], HashJoin)
-        assert isinstance(ops[-1], Project)
+        # No residual follows, so the projection fuses into the final
+        # HashJoin instead of running as a standalone pass.
+        assert isinstance(ops[-1], HashJoin)
+        assert not any(isinstance(op, Project) for op in ops)
+        # The row-major baseline pipeline keeps the standalone Project.
+        row_ops = list(plan.branches[0].ensure_row_pipeline().operators())
+        assert isinstance(row_ops[-1], Project)
 
     def test_per_operator_actuals_reported(self):
         db = self._db()
