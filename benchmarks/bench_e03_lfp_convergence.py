@@ -6,7 +6,7 @@ from repro import paper
 from repro.bench import experiments
 from repro.calculus import dsl as d
 from repro.constructors import apply_constructor, construct_bounded
-from repro.workloads import chain, grid
+from repro.workloads import chain
 
 from benchtable import write_table
 

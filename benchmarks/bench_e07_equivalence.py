@@ -5,7 +5,7 @@ import pytest
 from repro import paper
 from repro.bench import experiments
 from repro.calculus import dsl as d
-from repro.constructors import instantiate, solve_system
+from repro.constructors import instantiate
 from repro.datalog import DatalogEngine, datalog_to_database, parse_program, system_to_program
 from repro.workloads import binary_tree
 

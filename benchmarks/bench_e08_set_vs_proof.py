@@ -14,7 +14,7 @@ from repro.compiler import construct_compiled
 from repro.constructors import apply_constructor
 from repro.datalog import parse_atom, parse_program
 from repro.prolog import KnowledgeBase, SLDEngine, TabledEngine
-from repro.workloads import chain, cycle
+from repro.workloads import chain
 
 from benchtable import write_table
 

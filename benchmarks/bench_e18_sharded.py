@@ -1,0 +1,125 @@
+"""E18 — sharded parallel executor vs single-worker columnar execution.
+
+The same cost-based plan runs through the executor registry twice:
+``executor="batch"`` (one worker, columnar pipelines) against
+``executor="sharded"`` (hash-partitioned build and probe sides, the
+columnar pipelines per shard in a worker pool, dedup-aware merge).  The
+acceptance bar — >=2x wall-clock on the 100k-row skewed join at >=4
+workers with byte-identical answers — is a multi-core number: the
+process-pool headline test skips on boxes with fewer than four cores,
+while the equivalence and shard-accounting tests always run.  The sweep
+also regenerates the E18 table.
+"""
+
+import os
+
+import pytest
+
+from benchtable import write_table
+from repro.bench import experiments
+from repro.bench.experiments import e18_sharded_case
+from repro.compiler import ExecutionContext, ShardConfig, compile_query
+
+CORES = os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def small_case():
+    return e18_sharded_case(rows=10_000, dim=1_000)
+
+
+def _sharded(db, plan, config):
+    ctx = ExecutionContext(db)
+    ctx.shard_config = config
+    return plan.execute(ctx, executor="sharded")
+
+
+def test_e18_equivalence_both_pools(small_case):
+    db, query = small_case
+    plan = compile_query(db, query)
+    batch_rows = plan.execute(ExecutionContext(db), executor="batch")
+    for pool in ("thread", "process"):
+        config = ShardConfig(workers=4, pool=pool, min_rows=0, rows_per_shard=64)
+        assert _sharded(db, plan, config) == batch_rows, pool
+
+
+def test_e18_shard_report_in_explain(small_case):
+    db, query = small_case
+    plan = compile_query(db, query)
+    config = ShardConfig(workers=4, min_rows=0, rows_per_shard=64)
+    rows = _sharded(db, plan, config)
+    report = plan.branches[0].shards
+    assert report is not None and report.k >= 2
+    assert report.merged_total == len(rows)  # dedup-aware merge
+    assert "SHARDS k=" in plan.explain()
+
+
+@pytest.mark.benchmark(group="E18-executor")
+def test_e18_batch_executor(benchmark, small_case):
+    db, query = small_case
+    plan = compile_query(db, query)
+    benchmark.pedantic(
+        lambda: plan.execute(ExecutionContext(db), executor="batch"),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E18-executor")
+def test_e18_sharded_executor(benchmark, small_case):
+    db, query = small_case
+    plan = compile_query(db, query)
+    config = ShardConfig(workers=max(2, min(8, CORES)), min_rows=0)
+    rows_sharded = benchmark(lambda: _sharded(db, plan, config))
+    assert rows_sharded == plan.execute(ExecutionContext(db), executor="batch")
+
+
+@pytest.mark.skipif(
+    CORES < 4 or not os.environ.get("E18_HEADLINE"),
+    reason="the >=2x headline needs >=4 quiet cores (process pool); "
+    "opt in with E18_HEADLINE=1 — CI's perf gate is the bench-gate "
+    "job's sharded_speedup baseline comparison, not this smoke-step "
+    "assertion",
+)
+def test_e18_headline_speedup():
+    """The acceptance bar: >=2x over the single-worker columnar executor
+    on the 100k-row skewed join at >=4 workers, identical answers
+    (measured directly, independent of pytest-benchmark).  Run it
+    explicitly on a quiet >=4-core box::
+
+        E18_HEADLINE=1 PYTHONPATH=src python -m pytest \\
+            benchmarks/bench_e18_sharded.py -k headline -q
+    """
+    import time
+
+    db, query = e18_sharded_case()
+    assert sum(len(r) for r in db.relations.values()) >= 100_000
+    plan = compile_query(db, query)
+    config = ShardConfig(workers=max(4, CORES), pool="process")
+
+    def best_of(fn, reps):
+        best, rows = float("inf"), None
+        for _ in range(reps):
+            start = time.perf_counter()
+            rows = fn()
+            best = min(best, time.perf_counter() - start)
+        return rows, best
+
+    rows_batch, t_batch = best_of(
+        lambda: plan.execute(ExecutionContext(db), executor="batch"), 3
+    )
+    rows_sharded, t_sharded = best_of(lambda: _sharded(db, plan, config), 3)
+    assert rows_sharded == rows_batch
+    assert t_batch >= 2.0 * t_sharded, (
+        f"expected >=2x at {config.workers} workers, got "
+        f"{t_batch / t_sharded:.2f}x "
+        f"(batch {t_batch:.4f}s vs sharded {t_sharded:.4f}s)"
+    )
+
+
+@pytest.mark.benchmark(group="E18-table")
+def test_e18_table(benchmark):
+    table = benchmark.pedantic(experiments.e18_sharded, rounds=1, iterations=1)
+    write_table("e18", table)
+    assert all(row[-1] for row in table.rows)  # every comparison agreed
+    assert table.metrics["sharded_speedup"] > 0
+    assert table.metrics["sharded_fixpoint_speedup"] > 0

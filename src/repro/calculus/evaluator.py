@@ -23,7 +23,7 @@ database.
 from __future__ import annotations
 
 from collections.abc import Collection, Mapping
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import EvaluationError
 from ..relational import Database, Relation

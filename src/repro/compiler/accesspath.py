@@ -21,7 +21,7 @@ updates (maintenance per [ShTZ 84] is out of scope and explicit here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..calculus import ast
 from ..constructors.instantiate import instantiate

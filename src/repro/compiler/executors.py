@@ -1,0 +1,157 @@
+"""Executor backends: the one registry every physical layer plugs into.
+
+PRs 3 and 4 grew three ways to run a compiled :class:`~.plans.BranchPlan`
+— the tuple-at-a-time interpreter, the row-major batched pipelines, and
+the columnar struct-of-arrays pipelines — dispatched by string compares
+scattered across ``plans.py``, ``fixpoint.py``, and the Datalog engine.
+This module makes that contract explicit: an :class:`ExecutorBackend`
+knows how to run one branch against an execution context, backends are
+looked up by name in one registry, and every entry point
+(``QueryPlan.execute``, the fixpoint driver, ``DatalogEngine.solve``)
+dispatches through :func:`get_backend`.
+
+The registry is the architectural seam for parallel and distributed
+execution: the sharded backend (:mod:`repro.compiler.sharded`) registers
+itself here, and a future async or distributed backend only has to
+implement :meth:`ExecutorBackend.execute_branch` — the compiler, the
+fixpoint driver, and Datalog inherit it with no further changes.
+
+Built-in backends:
+
+``tuple``
+    The original interpreted loop nest (benchmark E16's baseline).
+``rowbatch``
+    PR 3's row-major flat-carry operator pipelines (E17's baseline).
+``batch``
+    The columnar struct-of-arrays pipelines with operator fusion — the
+    default everywhere.
+``sharded``
+    Hash-partitioned parallel execution of the columnar pipelines in a
+    worker pool (see :mod:`repro.compiler.sharded`), registered when
+    the :mod:`repro.compiler` package imports (with a lazy fallback in
+    :func:`get_backend` for bare uses of this module).
+
+Fallbacks degrade gracefully and in one direction: ``sharded`` runs
+unsharded (``batch``) when a branch is too small or untranslatable,
+``batch`` falls to ``rowbatch`` when a branch cannot be expressed
+columnar, and both batched modes fall to ``tuple`` when no pipeline can
+be generated at all.
+"""
+
+from __future__ import annotations
+
+#: Every accepted executor mode, in preference order.  Kept in sync with
+#: the registry below (the sharded backend registers lazily, so the name
+#: is listed here even before its module is imported).
+EXECUTOR_NAMES = ("batch", "rowbatch", "tuple", "sharded")
+
+
+class ExecutorBackend:
+    """One physical execution strategy for compiled branch plans.
+
+    A backend receives the *logical* plan objects — it decides how their
+    lowered pipelines (or the interpreter) actually run.  ``dedup`` is
+    the owning query plan's duplicate-elimination operator; backends
+    that produce whole batches route them through it so the union
+    counters stay correct, while the tuple interpreter adds rows to
+    ``out`` directly (exactly as before the registry existed).
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "?"
+
+    def execute_branch(self, branch, ctx, out: set, dedup=None) -> None:
+        """Run ``branch`` under ``ctx``, adding result tuples to ``out``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class TupleBackend(ExecutorBackend):
+    """The interpreted loop nest: one recursive call per binding."""
+
+    name = "tuple"
+
+    def execute_branch(self, branch, ctx, out: set, dedup=None) -> None:
+        branch.execute_tuple(ctx, out)
+
+
+class RowBatchBackend(ExecutorBackend):
+    """Row-major flat-carry batched pipelines (PR 3's layout)."""
+
+    name = "rowbatch"
+
+    def _pipeline(self, branch):
+        return branch.ensure_row_pipeline()
+
+    def execute_branch(self, branch, ctx, out: set, dedup=None) -> None:
+        pipeline = self._pipeline(branch)
+        if pipeline is None:
+            branch.execute_tuple(ctx, out)
+            return
+        batch = branch.execute_batch(ctx, pipeline)
+        if dedup is not None:
+            dedup.absorb(batch, out)
+        else:
+            out.update(batch)
+
+
+class BatchBackend(RowBatchBackend):
+    """Columnar struct-of-arrays pipelines with fusion — the default."""
+
+    name = "batch"
+
+    def _pipeline(self, branch):
+        pipeline = branch.ensure_pipeline()
+        if pipeline is not None:
+            return pipeline
+        return branch.ensure_row_pipeline()
+
+
+_BACKENDS: dict[str, ExecutorBackend] = {}
+
+
+def register_backend(backend: ExecutorBackend) -> ExecutorBackend:
+    """Install ``backend`` under its :attr:`~ExecutorBackend.name`.
+
+    Re-registration replaces the previous instance (tests swap in
+    configured sharded backends); returns the backend for chaining.
+    """
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def get_backend(name: str) -> ExecutorBackend:
+    """The backend registered under ``name``.
+
+    Raises ``ValueError`` for unknown names, listing the accepted modes
+    — the registry is the single validation point for every entry
+    ``executor=`` argument in the library.
+    """
+    backend = _BACKENDS.get(name)
+    if backend is None and name == "sharded":
+        # Fallback registration: the repro.compiler package __init__
+        # imports .sharded eagerly (so in normal use the backend is
+        # already present); this branch keeps bare uses of this module
+        # working should that import order ever change — the sharded
+        # module itself imports plan machinery, so it cannot be
+        # imported at registry-definition time.
+        from . import sharded  # noqa: F401  (import registers the backend)
+
+        backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValueError(
+            f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+        )
+    return backend
+
+
+def executor_names() -> tuple[str, ...]:
+    """Every accepted executor name (registered or lazily registrable)."""
+    return EXECUTOR_NAMES
+
+
+register_backend(TupleBackend())
+register_backend(RowBatchBackend())
+register_backend(BatchBackend())

@@ -85,9 +85,14 @@ class CompiledFixpoint:
     #: were priced with; drift is measured against these.
     diff_estimates: dict[object, float] = field(default_factory=dict)
     optimizer: str = DEFAULT_OPTIMIZER
-    #: "batch" runs the lowered physical-operator pipelines, "tuple" the
-    #: original interpreted loop nests (kept for benchmark E16).
+    #: Which executor backend runs the compiled plans ("batch" columnar
+    #: pipelines by default; "rowbatch"/"tuple" for measurement;
+    #: "sharded" for hash-partitioned parallel execution — see
+    #: :mod:`repro.compiler.executors`).
     executor: str = DEFAULT_EXECUTOR
+    #: Sharded-backend tuning carried onto every per-iteration execution
+    #: context (None → the module defaults of repro.compiler.sharded).
+    shard_config: object | None = None
     #: Drift factor that triggers a re-plan; None disables re-planning.
     replan_drift: float | None = REPLAN_DRIFT
     #: How many times run() swapped in re-optimized differential plans.
@@ -201,6 +206,7 @@ class CompiledFixpoint:
         }
         executor = self.executor
         ctx = ExecutionContext(self.db, stats=self.plan_stats)
+        ctx.shard_config = self.shard_config
         values: dict[AppKey, set] = {
             key: self.base_plans[key].execute(ctx, executor=executor)
             for key in system.apps
@@ -243,6 +249,7 @@ class CompiledFixpoint:
             ctx = ExecutionContext(
                 self.db, apply_values=apply_values, stats=self.plan_stats
             )
+            ctx.shard_config = self.shard_config
             new_deltas: dict[AppKey, set] = {}
             for key in system.apps:
                 produced = self.diff_plans[key].execute(ctx, executor=executor)
@@ -322,6 +329,7 @@ def compile_fixpoint(
     optimizer: str = DEFAULT_OPTIMIZER,
     replan_drift: float | None = REPLAN_DRIFT,
     executor: str = DEFAULT_EXECUTOR,
+    shard_config: object | None = None,
 ) -> CompiledFixpoint:
     """Compile base and differential plans for every equation.
 
@@ -376,6 +384,7 @@ def compile_fixpoint(
         diff_estimates=estimates,
         optimizer=optimizer,
         executor=executor,
+        shard_config=shard_config,
         replan_drift=replan_drift,
     )
 
@@ -387,6 +396,7 @@ def construct_compiled(
     optimizer: str = DEFAULT_OPTIMIZER,
     replan_drift: float | None = REPLAN_DRIFT,
     executor: str = DEFAULT_EXECUTOR,
+    shard_config: object | None = None,
 ):
     """Compiled counterpart of :func:`repro.constructors.construct`."""
     from ..constructors.api import ConstructionResult
@@ -398,7 +408,8 @@ def construct_compiled(
             f"instantiated system for {system.root.describe()} is not positive"
         )
     program = compile_fixpoint(db, system, optimizer=optimizer,
-                               replan_drift=replan_drift, executor=executor)
+                               replan_drift=replan_drift, executor=executor,
+                               shard_config=shard_config)
     stats = FixpointStats()
     values = program.run(max_iterations, stats)
     root_app = system.apps[system.root]

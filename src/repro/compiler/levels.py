@@ -28,7 +28,6 @@ from ..calculus import ast
 from ..calculus.analysis import free_range_names
 from ..constructors.instantiate import AppKey, InstantiatedSystem, instantiate
 from ..constructors.positivity import definition_violations
-from ..errors import PositivityError
 from ..relational import Database
 from .fixpoint import CompiledFixpoint, compile_fixpoint, fixpoint_apply_estimates
 from .graphutils import Digraph, connected_components, recursive_nodes

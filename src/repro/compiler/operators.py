@@ -327,10 +327,15 @@ class ResidualProbe:
     quantified attributes to outer terms become a semi-join: resolve the
     (environment-free) range once per execution, hash it once on the
     correlated positions, and the per-group verdict is a bucket-existence
-    check.  ``InRel`` memberships become one set-membership per group.
-    ``Not`` of either flips the verdict.  Attribute positions are looked
-    up from the resolved range's schema at probe-build time, so the plan
-    does not need the range schema at compile time.
+    check.  ``All``-quantifiers whose body is a *disjunction of
+    inequalities* (``<>`` comparisons, or negated equalities) reduce by
+    complement — ``ALL s (s.a <> t1 OR ...)`` is ``NOT SOME s (s.a = t1
+    AND ...)`` — to the same probe with the verdict flipped (an
+    anti-join).  ``InRel`` memberships become one set-membership per
+    group.  ``Not`` of any of these flips the verdict.  Attribute
+    positions are looked up from the resolved range's schema at
+    probe-build time, so the plan does not need the range schema at
+    compile time.
     """
 
     __slots__ = ("kind", "rexpr", "attrs", "key_fn", "negate")
@@ -473,6 +478,49 @@ class BatchedResidualFilter(ResidualFilter):
         return (survivors, kept)
 
 
+def _disjuncts(pred: ast.Pred) -> tuple:
+    """The top-level disjuncts of ``pred`` (flattening nested ORs)."""
+    if isinstance(pred, ast.Or):
+        out: list = []
+        for part in pred.parts:
+            out.extend(_disjuncts(part))
+        return tuple(out)
+    return (pred,)
+
+
+def _probe_key(equalities, qvar: str, names: dict, gen):
+    """Compile the correlated probe key of a quantifier body.
+
+    ``equalities`` are ``(left, right)`` pairs that must each equate one
+    attribute of the quantified variable with a term over outer
+    bindings; returns ``(attrs, key_fn)`` or None when any pair does not
+    fit the shape.
+    """
+    attrs: list[str] = []
+    exprs: list[str] = []
+    for left, right in equalities:
+        matched = False
+        for qside, outer in ((left, right), (right, left)):
+            if (
+                isinstance(qside, ast.AttrRef)
+                and qside.var == qvar
+                and qvar not in free_tuple_vars(outer)
+            ):
+                expr = gen.col_term(outer, names, None)
+                if expr is not None:
+                    attrs.append(qside.attr)
+                    exprs.append(expr)
+                    matched = True
+                    break
+        if not matched:
+            return None
+    if not attrs:
+        return None
+    key_src = exprs[0] if len(exprs) == 1 else _tuple_src(exprs)
+    key_fn = gen.define("_rkey", f"def _rkey(k):\n    return {key_src}\n")
+    return tuple(attrs), key_fn
+
+
 def _residual_probe(pred: ast.Pred, var_rows, gen) -> ResidualProbe | None:
     """Recognize a probe-reducible residual, compiling its key extractor.
 
@@ -501,31 +549,41 @@ def _residual_probe(pred: ast.Pred, var_rows, gen) -> ResidualProbe | None:
         qvar = pred.vars[0]
         if qvar in names or not _static_residual_range(pred.range):
             return None
-        attrs: list[str] = []
-        exprs: list[str] = []
+        equalities = []
         for conj in conjuncts(pred.pred):
             if not (isinstance(conj, ast.Cmp) and conj.op == "="):
                 return None
-            matched = False
-            for qside, outer in ((conj.left, conj.right), (conj.right, conj.left)):
-                if (
-                    isinstance(qside, ast.AttrRef)
-                    and qside.var == qvar
-                    and qvar not in free_tuple_vars(outer)
-                ):
-                    expr = gen.col_term(outer, names, None)
-                    if expr is not None:
-                        attrs.append(qside.attr)
-                        exprs.append(expr)
-                        matched = True
-                        break
-            if not matched:
-                return None
-        if not attrs:
+            equalities.append((conj.left, conj.right))
+        key = _probe_key(equalities, qvar, names, gen)
+        if key is None:
             return None
-        key_src = exprs[0] if len(exprs) == 1 else _tuple_src(exprs)
-        key_fn = gen.define("_rkey", f"def _rkey(k):\n    return {key_src}\n")
-        return ResidualProbe("some", pred.range, tuple(attrs), key_fn, negate)
+        attrs, key_fn = key
+        return ResidualProbe("some", pred.range, attrs, key_fn, negate)
+    if isinstance(pred, ast.All) and len(pred.vars) == 1:
+        # Complement probe (ROADMAP follow-up): a universal whose body is
+        # a disjunction of inequalities is the negation of an existential
+        # over the complementary equalities —
+        #   ALL s IN R (s.a <> t1 OR s.b <> t2)
+        #     ==  NOT SOME s IN R (s.a = t1 AND s.b = t2)
+        # — one grouped anti-join probe per batch, no evaluator calls.
+        qvar = pred.vars[0]
+        if qvar in names or not _static_residual_range(pred.range):
+            return None
+        equalities = []
+        for disj in _disjuncts(pred.pred):
+            if isinstance(disj, ast.Not) and (
+                isinstance(disj.pred, ast.Cmp) and disj.pred.op == "="
+            ):
+                equalities.append((disj.pred.left, disj.pred.right))
+            elif isinstance(disj, ast.Cmp) and disj.op == "<>":
+                equalities.append((disj.left, disj.right))
+            else:
+                return None
+        key = _probe_key(equalities, qvar, names, gen)
+        if key is None:
+            return None
+        attrs, key_fn = key
+        return ResidualProbe("some", pred.range, attrs, key_fn, not negate)
     return None
 
 

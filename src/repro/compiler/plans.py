@@ -31,14 +31,18 @@ optimizer's *estimated* row counts next to the *actual* counts observed
 during execution, so estimation quality is testable.
 
 Plans *execute* through the batched physical-operator pipelines of
-:mod:`repro.compiler.operators`.  The default (``executor="batch"``)
-lowers each branch into **columnar struct-of-arrays** pipelines —
-aligned per-variable row slots expanded by C-level kernels, grouped
-residual probes, and projection fused into the producing join or filter
-— with fusion decisions cost-gated by the :class:`CostModel`.
-``executor="rowbatch"`` keeps the row-major batched pipelines (PR 3) and
-``executor="tuple"`` the original tuple-at-a-time interpreter, so
-benchmarks E16/E17 can measure each layer on identical plans.
+:mod:`repro.compiler.operators`, dispatched by name through the
+:mod:`repro.compiler.executors` backend registry.  The default
+(``executor="batch"``) lowers each branch into **columnar
+struct-of-arrays** pipelines — aligned per-variable row slots expanded
+by C-level kernels, grouped residual probes, and projection fused into
+the producing join or filter — with fusion decisions cost-gated by the
+:class:`CostModel`.  ``executor="sharded"`` runs the same columnar
+pipelines hash-partitioned across a worker pool
+(:mod:`repro.compiler.sharded`, benchmark E18); ``executor="rowbatch"``
+keeps the row-major batched pipelines (PR 3) and ``executor="tuple"``
+the original tuple-at-a-time interpreter, so benchmarks E16/E17 can
+measure each layer on identical plans.
 """
 
 from __future__ import annotations
@@ -48,11 +52,12 @@ from itertools import combinations
 
 from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
-from ..calculus.evaluator import Evaluator, RangeValue
+from ..calculus.evaluator import Evaluator
 from ..calculus.rewrite import conjoin, conjuncts
 from ..errors import EvaluationError
-from ..relational import Database, HashIndex, Relation
+from ..relational import Database, HashIndex
 from ..types import RecordType
+from .executors import EXECUTOR_NAMES, get_backend
 from .operators import Dedup, _batch_len, lower_branch, lower_branch_columnar
 
 #: Join orders are enumerated exactly (Selinger-style subset DP) up to
@@ -66,12 +71,14 @@ DEFAULT_OPTIMIZER = "cost"
 #: The default executor: "batch" runs the columnar (struct-of-arrays)
 #: operator pipeline with fused projection, "rowbatch" the row-major
 #: batched pipeline it replaced (kept as the measurement baseline of
-#: benchmark E17), and "tuple" the original interpreted loop nest
-#: (benchmark E16's baseline).
+#: benchmark E17), "tuple" the original interpreted loop nest
+#: (benchmark E16's baseline), and "sharded" the hash-partitioned
+#: parallel backend (benchmark E18).  Dispatch goes through the
+#: :mod:`repro.compiler.executors` registry.
 DEFAULT_EXECUTOR = "batch"
 
-#: Every accepted executor mode.
-EXECUTORS = ("batch", "rowbatch", "tuple")
+#: Every accepted executor mode (see :mod:`repro.compiler.executors`).
+EXECUTORS = EXECUTOR_NAMES
 
 #: Sentinel: a branch plan whose operator pipeline has not been lowered
 #: yet (lowering is lazy so estimate-only compilations never pay for it).
@@ -120,6 +127,14 @@ class ExecutionContext:
         #: (buckets, memo) pairs with the bucket dict held and
         #: identity-checked so a rebuilt index restarts the memo.
         self.pushed_buckets: dict[object, tuple[dict, dict]] = {}
+        #: Per-source (rows, index_provider) overrides, keyed by the
+        #: Source object's id — the sharded backend materializes one
+        #: override map per shard so generated pipelines transparently
+        #: see partition views instead of whole sources.
+        self.source_overrides: dict[int, tuple] | None = None
+        #: Sharded-executor tuning for plans run under this context
+        #: (None → the module defaults of repro.compiler.sharded).
+        self.shard_config = None
         # The residual evaluator shares params/apply values with the plan.
         self.evaluator = Evaluator(db, self.params, self.apply_values)
 
@@ -184,6 +199,11 @@ class Source:
     def rows_and_indexable(self, ctx: ExecutionContext):
         """Returns (rows, index_provider) where index_provider(positions)
         yields a HashIndex or None."""
+        overrides = ctx.source_overrides
+        if overrides is not None:
+            shard = overrides.get(id(self))
+            if shard is not None:
+                return shard
         if self.kind == "relation":
             relation = ctx.db.relation(self.name)
             # raw_list(): a per-version cached list view — the columnar
@@ -707,6 +727,9 @@ class BranchPlan:
     actual_rows: list[int] = field(default_factory=list)
     actual_emitted: int = 0
     executions: int = 0
+    #: Filled by the sharded backend: per-shard produced counts and the
+    #: dedup-aware merged count (see repro.compiler.sharded.ShardReport).
+    shards: object | None = None
 
     def ensure_pipeline(self):
         """Lower to the columnar pipeline on first use (None on failure)."""
@@ -736,36 +759,12 @@ class BranchPlan:
             )
         return self.row_pipeline
 
-    def _pipeline_for(self, executor: str):
-        """The lowered pipeline serving ``executor``, or None (→ tuple).
-
-        The default columnar executor degrades to the row-major pipeline
-        when a branch cannot be expressed columnar, and both batched
-        modes degrade to the interpreted loop nest when no pipeline can
-        be generated at all.
-        """
-        if executor not in EXECUTORS:
-            raise ValueError(
-                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
-            )
-        if executor == "tuple":
-            return None
-        if executor == "batch":
-            pipeline = self.ensure_pipeline()
-            if pipeline is not None:
-                return pipeline
-        return self.ensure_row_pipeline()
-
     def execute(
         self, ctx: ExecutionContext, out: set, executor: str | None = None
     ) -> None:
         """Run this branch, adding result tuples to ``out``."""
         executor = DEFAULT_EXECUTOR if executor is None else executor
-        pipeline = self._pipeline_for(executor)
-        if pipeline is not None:
-            out.update(self.execute_batch(ctx, pipeline))
-            return
-        self.execute_tuple(ctx, out)
+        get_backend(executor).execute_branch(self, ctx, out)
 
     def execute_batch(self, ctx: ExecutionContext, pipeline=None) -> list:
         """Run a lowered operator pipeline, returning the projected batch
@@ -878,6 +877,8 @@ class BranchPlan:
         if self.est_out is not None:
             emit += f"  [est={self.est_out:.1f} act={per_run(self.actual_emitted)}]"
         lines.append(emit)
+        if self.shards is not None and self.shards.executions:
+            lines.append(f"{indent}{self.shards.explain_line()}")
         if self.ensure_pipeline() is not None:
             lines.append(f"{indent}operators:")
             lines.append(self.pipeline.explain(indent + "  "))
@@ -899,13 +900,10 @@ class QueryPlan:
         self, ctx: ExecutionContext, executor: str | None = None
     ) -> set[tuple]:
         executor = self.executor if executor is None else executor
+        backend = get_backend(executor)
         out: set[tuple] = set()
         for branch in self.branches:
-            pipeline = branch._pipeline_for(executor)
-            if pipeline is not None:
-                self.dedup.absorb(branch.execute_batch(ctx, pipeline), out)
-            else:
-                branch.execute_tuple(ctx, out)
+            backend.execute_branch(branch, ctx, out, dedup=self.dedup)
         return out
 
     @property

@@ -24,12 +24,11 @@ fixpoint generators and of :mod:`repro.compiler.specialize`.
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass
 
 from ..calculus import ast
 from ..calculus.rewrite import conjoin, simplify
-from ..calculus.subst import FreshNames, bound_vars, rename_vars, substitute_params, substitute_ranges
+from ..calculus.subst import FreshNames, bound_vars, substitute_params, substitute_ranges
 from ..errors import EvaluationError
 from ..relational import Database
 

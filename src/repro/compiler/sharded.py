@@ -1,0 +1,449 @@
+"""The sharded parallel executor backend (``executor="sharded"``).
+
+Hash-partitioned execution of the columnar operator pipelines of
+:mod:`repro.compiler.operators` across a ``concurrent.futures`` worker
+pool.  The backend plugs into the :mod:`repro.compiler.executors`
+registry, so every entry point — ``compile_query``, the fixpoint driver,
+``DatalogEngine.solve(mode="compiled")`` — inherits it by passing
+``executor="sharded"``.
+
+How a branch is sharded
+-----------------------
+
+The leading step's input rows are hash-partitioned into ``k`` shards and
+the *whole* lowered pipeline runs once per shard, each worker under its
+own :class:`~.plans.ExecutionContext` (private operation counters,
+private residual/pushdown memos) with a per-shard **source override
+map**: the leading source answers with the shard's rows, and — when the
+first downstream hash join keys purely on the leading variable — that
+join's *build side* is hash-partitioned on the same key, so each worker
+builds an index over ``rows/k`` build rows instead of all of them.
+Stored relations answer build-side partitions from
+:meth:`~repro.relational.relation.Relation.partitions` (version-cached
+shard views); fixpoint variables are partitioned once per iteration, so
+each iteration's delta is split exactly once and every shard probes its
+own slice.  Every other step sees its full source, which keeps the
+decomposition correct for arbitrary downstream joins, filters, and
+residual predicates: each output tuple derives from exactly one leading
+row, hence from exactly one shard.
+
+Shard outputs are merged with a **dedup-aware union**: the per-shard
+result batches (which may repeat tuples *across* shards) are unioned
+into one set before the owning plan's Dedup/DeltaApply sees them, so
+``explain()`` reports per-shard produced counts *and* the merged
+distinct count without double-counting — and the fixpoint driver's
+semi-naive ``produced - known`` subtraction stays deterministic across
+mid-fixpoint re-plans (the merged set is order-independent).
+
+Partition count and pools
+-------------------------
+
+The partition count comes from the leading source's table statistics
+(:class:`~repro.relational.stats.TableStats` row counts — the same
+numbers ``db.stats`` feeds the planner), clamped to the configured
+worker count, which falls back to ``os.cpu_count()``.  Small inputs
+(``min_rows``) run unsharded through the plain columnar backend.
+Workers run in threads by default (zero setup cost; C-level kernels
+still interleave under the GIL) — a fork-based **process pool** is the
+opt-in knob for true multi-core scaling (:class:`ShardConfig.pool`
+``= "process"``), falling back to threads where ``fork`` is
+unavailable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from functools import partial
+
+from ..calculus.analysis import free_tuple_vars
+from ..relational.indexes import ShardView, partition_rows, partition_views
+from .executors import BatchBackend, register_backend
+from .operators import _batch_len
+from .plans import ExecutionContext, _compile_value
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Tuning knobs of the sharded backend.
+
+    ``workers=None`` falls back to ``os.cpu_count()``.  ``pool`` selects
+    the worker pool: ``"thread"`` (default) or ``"process"`` (fork-based
+    — the multi-core option; silently degrades to threads where fork is
+    unavailable).  Branches whose leading source holds fewer than
+    ``min_rows`` rows run unsharded; above that, one shard is created
+    per ``rows_per_shard`` leading rows, clamped to the worker count.
+    """
+
+    workers: int | None = None
+    pool: str = "thread"
+    min_rows: int = 4096
+    rows_per_shard: int = 2048
+
+    def effective_workers(self) -> int:
+        return self.workers if self.workers else (os.cpu_count() or 1)
+
+
+#: The module default; :func:`configure` rebinds it (ShardConfig is
+#: frozen), so always read it through this module or
+#: :func:`default_shard_config` — a from-import snapshots a stale value.
+DEFAULT_CONFIG = ShardConfig()
+
+
+def configure(**knobs) -> ShardConfig:
+    """Update the module-default :class:`ShardConfig` (returns the new one).
+
+    Per-context overrides (``ExecutionContext.shard_config``) take
+    precedence over the module default.
+    """
+    global DEFAULT_CONFIG
+    DEFAULT_CONFIG = replace(DEFAULT_CONFIG, **knobs)
+    return DEFAULT_CONFIG
+
+
+def default_shard_config() -> ShardConfig:
+    """The live module-default :class:`ShardConfig`.
+
+    The accessor every external reader should use: :func:`configure`
+    *rebinds* the module global, so a ``from ... import DEFAULT_CONFIG``
+    taken before a ``configure()`` call reports knobs the backend no
+    longer uses.
+    """
+    return DEFAULT_CONFIG
+
+
+def shard_count(n_rows: float, config: ShardConfig) -> int:
+    """How many shards a leading input of ``n_rows`` rows gets."""
+    workers = config.effective_workers()
+    if workers <= 1 or n_rows < max(config.min_rows, 2):
+        return 1
+    per_shard = max(1, config.rows_per_shard)
+    wanted = -(-int(n_rows) // per_shard)  # ceil division
+    return max(1, min(workers, wanted))
+
+
+class ShardReport:
+    """Per-branch shard accounting, surfaced by ``explain()``.
+
+    ``produced`` are the per-shard batch sizes of the most recent
+    execution (duplicates included — what each worker handed back);
+    ``merged_total`` accumulates the *distinct* union size per
+    execution, so the reported merged actuals never double-count a
+    tuple two shards both produced.
+    """
+
+    __slots__ = ("k", "produced", "produced_total", "merged_total", "executions")
+
+    def __init__(self) -> None:
+        self.k = 0
+        self.produced: tuple[int, ...] = ()
+        self.produced_total = 0
+        self.merged_total = 0
+        self.executions = 0
+
+    def record(self, produced_counts, merged: int) -> None:
+        self.k = len(produced_counts)
+        self.produced = tuple(produced_counts)
+        self.produced_total += sum(produced_counts)
+        self.merged_total += merged
+        self.executions += 1
+
+    def explain_line(self) -> str:
+        per = self.executions or 1
+        return (
+            f"SHARDS k={self.k} produced={list(self.produced)} "
+            f"[produced={self.produced_total / per:.1f} "
+            f"merged={self.merged_total / per:.1f}]"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shard planning: pick the partition key and build the override maps
+# ---------------------------------------------------------------------------
+
+
+def _estimated_rows(ctx: ExecutionContext, source, rows) -> int:
+    """Leading-source cardinality, preferring the stats layer's counts."""
+    if source.kind == "relation":
+        stats = ctx.db.relation(source.name).stats()
+        if stats.row_count:
+            return stats.row_count
+    try:
+        return len(rows)
+    except TypeError:
+        return 0
+
+
+def _alignment(branch):
+    """The first downstream hash join keyed purely on the leading variable.
+
+    Returns ``(step, key_value_fns)`` — the step whose build side can be
+    partitioned compatibly with the leading rows, and one compiled value
+    extractor per key term (evaluated against ``{lead_var: row}``) — or
+    None when no such join exists (the shards then split on row hash).
+    """
+    steps = branch.steps
+    lead_var = steps[0].var
+    for step in steps[1:]:
+        if not step.key_positions:
+            continue
+        if not any(free_tuple_vars(term) for term in step.key_terms):
+            continue  # constant-key lookup: nothing to align
+        if not all(free_tuple_vars(term) <= {lead_var} for term in step.key_terms):
+            break  # first real join reads later bindings: no alignment
+        fns = [
+            _compile_value(term, branch.schemas, branch.params)
+            for term in step.key_terms
+        ]
+        if any(fn is None for fn in fns):
+            break
+        return step, fns
+    return None
+
+
+def _partition_leading(rows, lead_var: str, align, k: int):
+    """Hash-partition the leading rows into ``k`` lists.
+
+    With an aligned join the split key is the join key computed from
+    each leading row (so probe rows land with their build partition);
+    without one, the whole row hashes.
+    """
+    if align is None:
+        return partition_rows(rows, (), k)
+    shards: list[list] = [[] for _ in range(k)]
+    _step, fns = align
+    env: dict = {}
+    if len(fns) == 1:
+        fn = fns[0]
+        for row in rows:
+            env[lead_var] = row
+            shards[hash(fn(env)) % k].append(row)
+    else:
+        for row in rows:
+            env[lead_var] = row
+            shards[hash(tuple(fn(env) for fn in fns)) % k].append(row)
+    return shards
+
+
+def _build_partitions(ctx: ExecutionContext, step, k: int):
+    """Shard views of an aligned join's build side, version-cached for
+    stored relations and computed per execution for fixpoint deltas."""
+    source = step.source
+    if source.kind == "relation":
+        relation = ctx.db.relation(source.name)
+        attrs = tuple(
+            relation.element_type.attribute_names[i] for i in step.key_positions
+        )
+        return relation.partitions(attrs, k)
+    rows, _provider = source.rows_and_indexable(ctx)
+    return partition_views(rows, step.key_positions, k)
+
+
+def _prewarm(branch, pipeline, ctx: ExecutionContext, skip_sources) -> None:
+    """Build shared relation indexes in the calling thread before fan-out.
+
+    Worker threads would otherwise race to lazily build the same
+    relation index or scalar-bucket view; the races are benign (every
+    build sees the same immutable rows) but wasteful, so the structures
+    that live on the :class:`~repro.relational.relation.Relation` itself
+    — its version-cached indexes and ``raw_list`` — are materialized
+    once up front.  Only relation sources warm: apply/computed sources
+    cache their indexes on the *execution context*, and every shard
+    worker runs under its own context, so warming them here would build
+    an index no worker ever sees.  Sources in ``skip_sources`` are
+    overridden per shard and need no shared index.
+    """
+    for step in branch.steps:
+        if step.source.kind != "relation" or id(step.source) in skip_sources:
+            continue
+        rows, provider = step.source.rows_and_indexable(ctx)
+        if step.key_positions:
+            index = provider(step.key_positions)
+            if index is not None and len(step.key_positions) == 1:
+                index.scalar_buckets()
+
+
+# ---------------------------------------------------------------------------
+# Shard execution
+# ---------------------------------------------------------------------------
+
+
+def _run_shard(pipeline, db, params, apply_values, overrides):
+    """Run one shard's pipeline under a private execution context.
+
+    Returns ``(batch, step_counts, op_counts, stats)`` — the produced
+    rows plus the per-step / per-operator actual counts and the shard's
+    private :class:`~.plans.PlanStats`, merged serially by the caller so
+    shared operator counters are never mutated from worker threads.
+    """
+    ctx = ExecutionContext(db, params, apply_values)
+    ctx.source_overrides = overrides
+    step_counts: list[int] = []
+    op_counts: list[int] = []
+    batch = (1, []) if pipeline.columnar else [()]
+    for ops in pipeline.step_ops:
+        for op in ops:
+            batch = op.run(ctx, batch)
+            op_counts.append(_batch_len(batch))
+        step_counts.append(_batch_len(batch))
+    for op in pipeline.tail_ops:
+        batch = op.run(ctx, batch)
+        op_counts.append(_batch_len(batch))
+    if pipeline.fused:
+        ctx.stats.tuples_emitted += len(batch)
+    return batch, step_counts, op_counts, ctx.stats
+
+
+#: Fork-inherited task table for the process pool (set pre-fork, read by
+#: workers through :func:`_fork_call`; only shard indexes cross the pipe).
+#: Guarded by :data:`_FORK_LOCK` across the whole set → fork → map →
+#: reset window, so two concurrent process-pool executions can never
+#: fork against each other's task table.
+_FORK_TASKS = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_call(i: int):
+    return _FORK_TASKS[i]()
+
+
+_THREAD_POOLS: dict[int, ThreadPoolExecutor] = {}
+
+
+def _thread_pool(workers: int) -> ThreadPoolExecutor:
+    pool = _THREAD_POOLS.get(workers)
+    if pool is None:
+        pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-shard"
+        )
+        _THREAD_POOLS[workers] = pool
+    return pool
+
+
+def _run_tasks(tasks, config: ShardConfig):
+    """Run shard tasks on the configured pool, preserving task order."""
+    workers = min(config.effective_workers(), len(tasks))
+    if config.pool == "process" and hasattr(os, "fork") and len(tasks) > 1:
+        import multiprocessing
+
+        global _FORK_TASKS
+        with _FORK_LOCK:
+            _FORK_TASKS = tasks
+            try:
+                fork = multiprocessing.get_context("fork")
+                with fork.Pool(processes=workers) as pool:
+                    return pool.map(_fork_call, range(len(tasks)))
+            finally:
+                _FORK_TASKS = None
+    if workers <= 1:
+        return [task() for task in tasks]
+    return list(_thread_pool(workers).map(lambda task: task(), tasks))
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+class ShardedBackend(BatchBackend):
+    """Hash-partitioned parallel execution of the columnar pipelines.
+
+    Falls back to the plain (unsharded) batch path when a branch has no
+    generated pipeline, when the leading input is below the sharding
+    threshold, or when only one shard would be created.
+    """
+
+    name = "sharded"
+
+    def execute_branch(self, branch, ctx, out: set, dedup=None) -> None:
+        pipeline = self._pipeline(branch)
+        if pipeline is None:
+            branch.execute_tuple(ctx, out)
+            return
+        config = ctx.shard_config or DEFAULT_CONFIG
+        shard_overrides = self._plan_shards(branch, ctx, config)
+        if shard_overrides is None:
+            batch = branch.execute_batch(ctx, pipeline)
+            if dedup is not None:
+                dedup.absorb(batch, out)
+            else:
+                out.update(batch)
+            return
+        _prewarm(branch, pipeline, ctx, skip_sources=set(shard_overrides[0]))
+        tasks = [
+            partial(
+                _run_shard, pipeline, ctx.db, ctx.params, ctx.apply_values,
+                overrides,
+            )
+            for overrides in shard_overrides
+        ]
+        results = _run_tasks(tasks, config)
+        self._merge(branch, pipeline, ctx, results, out, dedup)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan_shards(self, branch, ctx, config: ShardConfig):
+        """Per-shard source-override maps, or None (run unsharded)."""
+        steps = branch.steps
+        if not steps:
+            return None
+        lead = steps[0]
+        try:
+            rows, _provider = lead.source.rows_and_indexable(ctx)
+        except Exception:
+            return None
+        k = shard_count(_estimated_rows(ctx, lead.source, rows), config)
+        if k <= 1:
+            return None
+        align = _alignment(branch)
+        lead_parts = _partition_leading(rows, lead.var, align, k)
+        build_views = None
+        if align is not None:
+            build_views = _build_partitions(ctx, align[0], k)
+        overrides: list[dict[int, tuple]] = []
+        for i in range(k):
+            view = ShardView(lead_parts[i])
+            per_shard = {id(lead.source): (view.rows, view.index_on)}
+            if build_views is not None:
+                bview = build_views[i]
+                per_shard[id(align[0].source)] = (bview.rows, bview.index_on)
+            overrides.append(per_shard)
+        return overrides
+
+    # -- merging -------------------------------------------------------------
+
+    def _merge(self, branch, pipeline, ctx, results, out: set, dedup) -> None:
+        if len(branch.actual_rows) != len(branch.steps):
+            branch.actual_rows = [0] * len(branch.steps)
+        branch.executions += 1
+        operators = list(pipeline.operators())
+        for op in operators:
+            op.executions += 1
+        produced: set = set()
+        produced_counts: list[int] = []
+        stats = ctx.stats
+        for batch, step_counts, op_counts, shard_stats in results:
+            produced.update(batch)
+            produced_counts.append(len(batch))
+            for i, count in enumerate(step_counts):
+                branch.actual_rows[i] += count
+            for op, count in zip(operators, op_counts):
+                op.actual_rows += count
+            stats.rows_scanned += shard_stats.rows_scanned
+            stats.index_lookups += shard_stats.index_lookups
+            stats.residual_checks += shard_stats.residual_checks
+            stats.residual_evals += shard_stats.residual_evals
+            stats.tuples_emitted += shard_stats.tuples_emitted
+        branch.actual_emitted += sum(produced_counts)
+        if branch.shards is None:
+            branch.shards = ShardReport()
+        branch.shards.record(produced_counts, len(produced))
+        if dedup is not None:
+            dedup.absorb(produced, out)
+        else:
+            out.update(produced)
+
+
+register_backend(ShardedBackend())

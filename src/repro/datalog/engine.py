@@ -21,10 +21,10 @@ restricted (safe); violations raise :class:`~repro.errors.TranslationError`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import TranslationError
-from .ast import Atom, Comparison, Const, Literal, Program, Rule, Var
+from .ast import Atom, Comparison, Const, Program, Rule
 
 Bindings = dict[str, object]
 Facts = dict[str, set[tuple]]
@@ -250,6 +250,7 @@ class DatalogEngine:
         stats: DatalogStats | None = None,
         optimizer: str = "cost",
         executor: str = "batch",
+        shard_config: object | None = None,
     ) -> dict[str, frozenset]:
         """Evaluate through the constructor translation and the batched
         fixpoint executor (see :mod:`repro.compiler`).
@@ -257,10 +258,13 @@ class DatalogEngine:
         Each IDB predicate's least model is the value of its translated
         constructor application; mutually recursive predicates share one
         instantiated system, so every strongly connected component is
-        solved exactly once.  ``executor`` selects the physical layer —
-        ``"batch"`` (columnar struct-of-arrays pipelines, the default),
-        ``"rowbatch"`` (row-major batches), or ``"tuple"`` — so Datalog
-        programs inherit every executor improvement unchanged.
+        solved exactly once.  ``executor`` names a backend in the
+        :mod:`repro.compiler.executors` registry — ``"batch"`` (columnar
+        struct-of-arrays pipelines, the default), ``"rowbatch"``
+        (row-major batches), ``"tuple"``, or ``"sharded"``
+        (hash-partitioned parallel execution; ``shard_config`` tunes its
+        worker pool) — so Datalog programs inherit every executor
+        improvement unchanged.
         """
         from ..compiler.fixpoint import construct_compiled
         from .to_constructors import datalog_to_database
@@ -276,7 +280,8 @@ class DatalogEngine:
             if pred in solved:
                 continue
             result = construct_compiled(
-                db, application, optimizer=optimizer, executor=executor
+                db, application, optimizer=optimizer, executor=executor,
+                shard_config=shard_config,
             )
             # Harvest every application of the instantiated system: a
             # mutually recursive clique is computed once, not per root.
@@ -295,13 +300,16 @@ class DatalogEngine:
         mode: str = "seminaive",
         stats: DatalogStats | None = None,
         executor: str = "batch",
+        shard_config: object | None = None,
     ) -> dict[str, frozenset]:
         if mode == "naive":
             return self.solve_naive(stats)
         if mode == "seminaive":
             return self.solve_seminaive(stats)
         if mode == "compiled":
-            return self.solve_compiled(stats, executor=executor)
+            return self.solve_compiled(
+                stats, executor=executor, shard_config=shard_config
+            )
         raise ValueError(f"unknown mode {mode!r}")
 
     def query(

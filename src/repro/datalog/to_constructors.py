@@ -28,7 +28,7 @@ from ..constructors import define_constructor
 from ..errors import TranslationError
 from ..relational import Database
 from ..types import ANY, Field, RecordType, RelationType
-from .ast import Atom, Comparison, Const, Program, Rule, Var
+from .ast import Atom, Comparison, Const, Program, Rule
 
 _CMP_OPS = {"=": "=", "\\=": "<>", "<": "<", "=<": "<=", ">": ">", ">=": ">="}
 

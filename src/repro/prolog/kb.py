@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from ..datalog.ast import Atom, Const, Program, Rule
+from ..datalog.ast import Program, Rule
 from ..relational import Database
 
 

@@ -20,7 +20,7 @@ goal-directed like SLD, terminating like the fixpoint engines.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from itertools import count
 
 from ..datalog.ast import Atom, Comparison, Const, Var

@@ -12,7 +12,14 @@ from .algebra import (
     union,
 )
 from .database import Database
-from .indexes import HashIndex, IndexCache
+from .indexes import (
+    HashIndex,
+    IndexCache,
+    PartitionCache,
+    ShardView,
+    partition_rows,
+    partition_views,
+)
 from .relation import Relation
 from .rows import Row
 from .stats import ColumnStats, DeltaStats, Histogram, StatsCatalog, TableStats
@@ -24,11 +31,15 @@ __all__ = [
     "HashIndex",
     "Histogram",
     "IndexCache",
+    "PartitionCache",
     "Relation",
     "Row",
+    "ShardView",
     "StatsCatalog",
     "TableStats",
     "antijoin",
+    "partition_rows",
+    "partition_views",
     "cartesian",
     "difference",
     "equijoin",

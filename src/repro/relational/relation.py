@@ -15,7 +15,7 @@ from collections.abc import Iterable, Iterator
 
 from ..errors import TypeMismatchError
 from ..types import RelationType, check_relation_assignment
-from .indexes import HashIndex, IndexCache
+from .indexes import HashIndex, IndexCache, PartitionCache, ShardView
 from .rows import Row
 from .stats import TableStats
 
@@ -29,6 +29,7 @@ class Relation:
         "_rows",
         "_version",
         "_index_cache",
+        "_partition_cache",
         "_stats",
         "_raw_list",
         "_raw_list_version",
@@ -45,6 +46,7 @@ class Relation:
         self._rows: set[tuple] = set()
         self._version = 0
         self._index_cache = IndexCache()
+        self._partition_cache = PartitionCache()
         self._stats: TableStats | None = None
         self._raw_list: list[tuple] = []
         self._raw_list_version = -1
@@ -190,6 +192,21 @@ class Relation:
     def peek_index(self, positions: tuple[int, ...]) -> HashIndex | None:
         """An already-built index on ``positions``, or None (never builds)."""
         return self._index_cache.peek(self._version, positions)
+
+    def partitions(self, key: tuple[str, ...], k: int) -> tuple[ShardView, ...]:
+        """``k`` hash partitions of the rows on the named key attributes.
+
+        The shard views (rows plus their lazily-built local indexes) are
+        cached per relation version and per ``(key, k)``, so the sharded
+        executor pays the partition pass once per mutation — fixpoint
+        iterations and repeated queries share one split, exactly as
+        :meth:`index_on` shares one hash index.  An empty ``key``
+        partitions on the whole row.
+        """
+        positions = tuple(self.rtype.element.index_of(a) for a in key)
+        return self._partition_cache.get(
+            self._version, positions, k, self.raw_list()
+        )
 
     # -- statistics ---------------------------------------------------------
 

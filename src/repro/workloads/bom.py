@@ -10,9 +10,9 @@ from __future__ import annotations
 import random
 
 from ..calculus import dsl as d
-from ..constructors import Constructor, define_constructor
+from ..constructors import define_constructor
 from ..relational import Database
-from ..types import CARDINAL, STRING, record, relation_type
+from ..types import STRING, record, relation_type
 
 CONTAINSREC = record("containsrec", part=STRING, sub=STRING)
 CONTAINSREL = relation_type("containsrel", CONTAINSREC)

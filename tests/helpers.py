@@ -1,13 +1,27 @@
-"""Shared test data and oracles, importable from every test module.
+"""Shared test data, oracles, and the cross-executor property harness.
 
 Kept out of ``conftest.py`` so test files can use plain ``from helpers
 import ...`` imports: pytest's rootdir-based collection puts this
 directory on ``sys.path``, whereas relative imports from ``conftest``
 only work when the test tree is a package.
+
+The **executor harness** (:func:`assert_executors_agree`,
+:func:`assert_fixpoint_executors_agree`, and the seeded random
+query/database generators) is the shared safety net of every executor
+backend: one call runs a query or fixpoint under every registered
+backend — columnar ``batch``, row-major ``rowbatch``, the ``tuple``
+interpreter, and ``sharded`` parallel execution — plus the reference
+calculus evaluator (and, for fixpoints, the interpreted semi-naive
+engine), asserting byte-identical answers and sane est/act accounting.
+``tests/test_executor_properties.py`` drives it over 50+ seeds; the
+older per-backend suites reuse the same assertions.
 """
 
+import random
+
+from repro.calculus import Evaluator, dsl as d
 from repro.relational import Database
-from repro.types import STRING, record, relation_type
+from repro.types import INTEGER, STRING, record, relation_type
 
 # -- the paper's CAD schema (sections 2.3 and 3.1) ---------------------------
 
@@ -80,3 +94,203 @@ def transitive_closure(edges) -> set[tuple]:
         if new <= closure:
             return closure
         closure |= new
+
+
+# ---------------------------------------------------------------------------
+# The cross-executor property harness
+# ---------------------------------------------------------------------------
+
+#: Every backend the harness cross-checks (the registry's full set).
+ALL_EXECUTORS = ("batch", "rowbatch", "tuple", "sharded")
+
+PROPREC = record("proprec", k=STRING, f=STRING, n=INTEGER)
+PROP_RELATIONS = ("P", "Q", "S")
+
+
+def forced_shard_config():
+    """A ShardConfig that shards even tiny inputs across 3 workers.
+
+    Correctness coverage must exercise the partition/merge machinery on
+    the small randomized databases the generators produce — the
+    production thresholds would run them unsharded.
+    """
+    from repro.compiler import ShardConfig
+
+    return ShardConfig(workers=3, min_rows=0, rows_per_shard=1)
+
+
+def random_prop_database(rng: random.Random) -> Database:
+    """Three small relations over one shared, skewed key domain.
+
+    Keys are drawn with quadratic skew (low ids are heavy) so hash
+    joins see heavy buckets, grouped residual probes see repeated
+    groups, and the sharded backend sees imbalanced partitions.
+    """
+    db = Database("prop")
+    keyspace = rng.randint(2, 14)
+
+    def skewed_key() -> str:
+        return f"k{int(keyspace * rng.random() ** 2)}"
+
+    for name in PROP_RELATIONS:
+        count = rng.randint(0, 120)
+        rows = {
+            (skewed_key(), skewed_key(), rng.randrange(8)) for _ in range(count)
+        }
+        db.declare(name, relation_type(name.lower(), PROPREC), rows)
+    return db
+
+
+def random_prop_query(rng: random.Random):
+    """A random query over :func:`random_prop_database`'s schema.
+
+    Draws 1-3 bindings joined by equality chains, optional range and
+    inequality restrictions, optional (possibly negated) existential
+    and universal quantifiers, and optional (possibly negated)
+    memberships — every predicate family the executors specialize.
+    """
+    join_attrs = ("k", "f")
+
+    def one_branch():
+        nvars = rng.randint(1, 3)
+        variables = [f"v{i}" for i in range(nvars)]
+        bindings = [
+            d.each(v, rng.choice(PROP_RELATIONS)) for v in variables
+        ]
+        preds = []
+        for i in range(1, nvars):
+            preds.append(
+                d.eq(
+                    d.a(variables[rng.randrange(i)], rng.choice(join_attrs)),
+                    d.a(variables[i], rng.choice(join_attrs)),
+                )
+            )
+        if rng.random() < 0.5:  # histogram-priced range restriction
+            op = rng.choice((d.lt, d.le, d.gt, d.ge, d.ne))
+            preds.append(op(d.a(rng.choice(variables), "n"), rng.randrange(8)))
+        if rng.random() < 0.6:  # quantifier (grouped-probe / fallback paths)
+            rel_name = rng.choice(PROP_RELATIONS)
+            outer = d.a(rng.choice(variables), rng.choice(join_attrs))
+            body_attr = d.a("qs", rng.choice(join_attrs))
+            if rng.random() < 0.5:
+                quant = d.some("qs", rel_name, d.eq(body_attr, outer))
+            else:
+                quant = d.all_("qs", rel_name, d.ne(body_attr, outer))
+            if rng.random() < 0.3:
+                quant = d.not_(quant)
+            preds.append(quant)
+        if rng.random() < 0.4:  # membership / negation
+            v = rng.choice(variables)
+            member = d.in_(
+                d.tup(d.a(v, "k"), d.a(v, "f"), d.a(v, "n")),
+                rng.choice(PROP_RELATIONS),
+            )
+            if rng.random() < 0.5:
+                member = d.not_(member)
+            preds.append(member)
+        if nvars == 1 and rng.random() < 0.3:
+            targets = None  # identity branch
+        else:
+            targets = [
+                d.a(rng.choice(variables), rng.choice(("k", "f", "n")))
+                for _ in range(rng.randint(1, 3))
+            ]
+        pred = d.and_(*preds) if preds else d.TRUE
+        return d.branch(*bindings, pred=pred, targets=targets)
+
+    branches = [one_branch()]
+    if rng.random() < 0.25:  # a second union arm exercises Dedup
+        branches.append(one_branch())
+    return d.query(*branches)
+
+
+def assert_plan_accounting(plan, result_size: int) -> None:
+    """est/act sanity of a just-executed plan.
+
+    Estimates exist on every step, actual counters are consistent
+    (non-negative, executions recorded), and the rendered explain text
+    carries both numbers without crashing.
+    """
+    for branch in plan.branches:
+        assert branch.executions >= 1
+        assert len(branch.actual_rows) == len(branch.steps)
+        assert all(count >= 0 for count in branch.actual_rows)
+        assert branch.actual_emitted >= 0
+        for step in branch.steps:
+            assert step.est_cumulative is not None and step.est_cumulative >= 0
+        assert branch.est_out is not None and branch.est_out >= 0
+    text = plan.explain()
+    assert "est=" in text and "act=" in text
+    if plan.dedup.executions:
+        assert plan.dedup.actual_rows == result_size
+
+
+def assert_executors_agree(
+    db: Database,
+    query,
+    params: dict | None = None,
+    executors: tuple[str, ...] = ALL_EXECUTORS,
+    shard_config=None,
+) -> set:
+    """Run ``query`` under every backend; assert identical answers.
+
+    The reference calculus evaluator is the semantic oracle; each
+    backend executes a freshly compiled plan (one per backend, so
+    per-plan counters stay attributable), the sharded backend under a
+    forced-sharding configuration.  Returns the agreed rows.
+    """
+    from repro.compiler import ExecutionContext, compile_query
+
+    reference = Evaluator(db, params).eval_query(query)
+    if shard_config is None:
+        shard_config = forced_shard_config()
+    for executor in executors:
+        plan = compile_query(db, query, params=params)
+        ctx = ExecutionContext(db, params=params)
+        ctx.shard_config = shard_config
+        rows = plan.execute(ctx, executor=executor)
+        assert rows == reference, (
+            f"executor {executor!r} diverged: {len(rows)} rows vs "
+            f"{len(reference)} reference rows"
+        )
+        assert_plan_accounting(plan, len(rows))
+    return reference
+
+
+def assert_fixpoint_executors_agree(
+    db_factory,
+    application,
+    executors: tuple[str, ...] = ALL_EXECUTORS,
+    shard_config=None,
+    oracle: set | None = None,
+) -> frozenset:
+    """Cross-check a recursive construction across every backend.
+
+    ``db_factory`` builds a fresh database per engine (plans and
+    statistics must not leak between runs); the interpreted semi-naive
+    engine is the baseline and ``oracle`` (e.g. a transitive-closure
+    set) an optional independent witness.  Returns the agreed value.
+    """
+    from repro.compiler import compile_fixpoint
+    from repro.constructors import instantiate
+    from repro.constructors.engines import seminaive_fixpoint
+
+    if shard_config is None:
+        shard_config = forced_shard_config()
+    base_db = db_factory()
+    base_system = instantiate(base_db, application)
+    expected = seminaive_fixpoint(base_db, base_system)[base_system.root]
+    for executor in executors:
+        db = db_factory()
+        system = instantiate(db, application)
+        program = compile_fixpoint(
+            db, system, executor=executor, shard_config=shard_config
+        )
+        values = program.run()
+        assert values[system.root] == expected, (
+            f"fixpoint executor {executor!r} diverged: "
+            f"{len(values[system.root])} vs {len(expected)} rows"
+        )
+    if oracle is not None:
+        assert set(expected) == oracle
+    return expected

@@ -3,9 +3,12 @@
 The refactor's safety net: the batched pipeline (``executor="batch"``)
 must be extensionally identical to the tuple-at-a-time interpreter
 (``executor="tuple"``), to the reference calculus evaluator, and to the
-pre-refactor interpreted semi-naive engine — asserted over 50 seeded
-random databases and the BOM/CAD/genealogy/graph workloads, including
-the mid-fixpoint re-planning paths of benchmark E15.
+pre-refactor interpreted semi-naive engine — asserted through the
+shared cross-executor harness in :mod:`helpers` (which also covers the
+``sharded`` backend; the broad randomized sweep lives in
+``test_executor_properties.py``) and over the BOM/CAD/genealogy/graph
+workloads, including the mid-fixpoint re-planning paths of benchmark
+E15.
 """
 
 import random
@@ -16,6 +19,8 @@ from helpers import (
     SCENE_INFRONT,
     SCENE_OBJECTS,
     SCENE_ONTOP,
+    assert_executors_agree,
+    assert_fixpoint_executors_agree,
     transitive_closure,
 )
 from repro import paper
@@ -54,7 +59,8 @@ def _random_edges(rng: random.Random) -> list[tuple[str, str]]:
 
 
 # ---------------------------------------------------------------------------
-# 50-seed property: batch == tuple == reference == interpreted semi-naive
+# 50-seed property: every backend == reference == interpreted semi-naive
+# (asserted through the shared harness of helpers.py)
 # ---------------------------------------------------------------------------
 
 
@@ -64,7 +70,7 @@ def test_batched_executor_equivalence_on_random_graphs(seed):
     edges = _random_edges(rng)
     db = paper.cad_database(infront=edges, mutual=False)
 
-    # Non-recursive join query: batch == tuple == reference evaluator.
+    # Non-recursive join query: all backends == reference evaluator.
     c1 = edges[0][0] if edges else "n0"
     q = d.query(
         d.branch(
@@ -76,21 +82,15 @@ def test_batched_executor_equivalence_on_random_graphs(seed):
             targets=[d.a("x", "front"), d.a("y", "back")],
         )
     )
-    plan = compile_query(db, q)
-    batch_rows = plan.execute(ExecutionContext(db), executor="batch")
-    rowbatch_rows = plan.execute(ExecutionContext(db), executor="rowbatch")
-    tuple_rows = plan.execute(ExecutionContext(db), executor="tuple")
-    reference = Evaluator(db).eval_query(q)
-    assert batch_rows == rowbatch_rows == tuple_rows == reference
+    assert_executors_agree(db, q)
 
-    # Recursive fixpoint: columnar == row-major batched == interpreted
-    # semi-naive, and all match the independent closure oracle.
-    system = instantiate(db, d.constructed("Infront", "ahead"))
-    semi = seminaive_fixpoint(db, system)
-    compiled = compile_fixpoint(db, system, executor="batch").run()
-    rowbatch = compile_fixpoint(db, system, executor="rowbatch").run()
-    assert compiled[system.root] == rowbatch[system.root] == semi[system.root]
-    assert set(compiled[system.root]) == transitive_closure(edges)
+    # Recursive fixpoint: every backend == interpreted semi-naive, and
+    # all match the independent closure oracle.
+    assert_fixpoint_executors_agree(
+        lambda: paper.cad_database(infront=edges, mutual=False),
+        d.constructed("Infront", "ahead"),
+        oracle=transitive_closure(edges),
+    )
 
 
 @pytest.mark.parametrize("workload", ["bom", "cad", "genealogy"])

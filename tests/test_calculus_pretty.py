@@ -1,6 +1,6 @@
 """Rendering tests: ASTs print in the paper's concrete syntax."""
 
-from repro.calculus import ast, dsl as d, render
+from repro.calculus import dsl as d, render
 
 
 class TestTermRendering:

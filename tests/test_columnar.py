@@ -264,6 +264,73 @@ class TestBatchedResiduals:
         assert rows == Evaluator(db).eval_query(q)
         assert rows == plan.execute(ExecutionContext(db), executor="tuple")
 
+    def test_all_quantifier_uses_complement_probe(self):
+        """ALL s (s.a <> outer.b) runs as one grouped anti-join probe:
+        the complement existential is hashed once and each distinct
+        binding costs a bucket-existence check — zero evaluator calls."""
+        db = _wide_db()
+        # s ranges over R2, whose a0 values share the "bk" domain with
+        # y.a0 — the probe genuinely decides, and (since y itself is in
+        # R2) the universal can never hold: the complement must filter
+        # everything, exactly as the reference evaluator says.
+        q = _join_query(
+            pred_extra=d.all_("s", "R2", d.ne(d.a("s", "a0"), d.a("y", "a0")))
+        )
+        plan = compile_query(db, q)
+        residuals = [
+            op for op in _ops(plan) if isinstance(op, BatchedResidualFilter)
+        ]
+        assert len(residuals) == 1 and residuals[0].probe is not None
+        assert residuals[0].probe.negate  # complement: flipped verdict
+        stats = PlanStats()
+        rows = plan.execute(ExecutionContext(db, stats=stats))
+        assert stats.residual_evals == 0
+        assert rows == Evaluator(db).eval_query(q) == set()
+
+    def test_all_quantifier_probe_disjunction_and_negation(self):
+        """OR-of-inequality bodies and negated-equality disjuncts compile
+        to a multi-attribute complement probe; NOT ALL flips back to a
+        plain semi-join verdict.  Answers match the evaluator with zero
+        evaluator calls on the residual."""
+        db = _wide_db()
+        body = d.or_(
+            d.not_(d.eq(d.a("s", "a0"), d.a("y", "a7"))),
+            d.ne(d.a("s", "a1"), d.a("x", "a1")),
+        )
+        for wrap in (lambda p: p, d.not_):
+            q = _join_query(pred_extra=wrap(d.all_("s", "R2", body)))
+            plan = compile_query(db, q)
+            residuals = [
+                op for op in _ops(plan) if isinstance(op, BatchedResidualFilter)
+            ]
+            assert residuals and residuals[0].probe is not None
+            assert residuals[0].probe.attrs == ("a0", "a1")
+            stats = PlanStats()
+            rows = plan.execute(ExecutionContext(db, stats=stats))
+            assert stats.residual_evals == 0
+            assert rows == Evaluator(db).eval_query(q)
+
+    def test_all_quantifier_range_body_keeps_evaluator_fallback(self):
+        """A universal whose body is not a disjunction of inequalities
+        (here: a range comparison) cannot complement into equalities —
+        the memoized evaluator fallback stays in charge."""
+        db = _wide_db(rows=120, keys=10)
+        q = _join_query(
+            pred_extra=d.all_("s", "R2", d.or_(
+                d.ne(d.a("s", "a0"), d.a("y", "a7")),
+                d.ge(d.a("s", "a1"), 0),
+            ))
+        )
+        plan = compile_query(db, q)
+        residuals = [
+            op for op in _ops(plan) if isinstance(op, BatchedResidualFilter)
+        ]
+        assert residuals and residuals[0].probe is None
+        stats = PlanStats()
+        rows = plan.execute(ExecutionContext(db, stats=stats))
+        assert rows == Evaluator(db).eval_query(q)
+        assert stats.residual_evals > 0  # the fallback really ran
+
     def test_multi_variable_residual_falls_back_memoized(self):
         db = _wide_db(rows=120, keys=15)
         q = _join_query(

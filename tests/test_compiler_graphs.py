@@ -19,7 +19,7 @@ from repro.compiler import (
 )
 from repro.calculus import dsl as d
 
-from helpers import SCENE_INFRONT, SCENE_ONTOP
+from helpers import SCENE_INFRONT
 
 
 class TestGraphUtils:

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro import paper
 from repro.calculus import Evaluator, ast, dsl as d
 from repro.compiler import (
-    ExecutionContext,
     PlanStats,
     compile_query,
     compile_statement,
@@ -202,8 +201,6 @@ class TestInlining:
         inlined = inline_nonrecursive(db, q)
         assert Evaluator(db).eval_query(inlined) == {("table",), ("chair",)}
         # evidence of substitution: no branch references variable "r"
-        from repro.calculus.analysis import free_tuple_vars
-
         for branch in inlined.branches:
             assert "r" not in {b.var for b in branch.bindings}
 

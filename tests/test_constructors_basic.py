@@ -10,7 +10,6 @@ from repro import paper
 from repro.calculus import Evaluator, dsl as d
 from repro.constructors import (
     apply_constructor,
-    construct,
     construct_bounded,
     define_constructor,
 )

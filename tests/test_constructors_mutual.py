@@ -3,7 +3,7 @@
 import pytest
 
 from repro import paper
-from repro.constructors import apply_constructor, construct, instantiate
+from repro.constructors import apply_constructor, instantiate
 from repro.calculus import dsl as d
 
 from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP

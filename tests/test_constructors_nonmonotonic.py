@@ -12,7 +12,6 @@ import pytest
 from repro import paper
 from repro.constructors import (
     apply_constructor,
-    construct,
     is_definition_positive,
 )
 from repro.calculus import dsl as d

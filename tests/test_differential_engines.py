@@ -14,7 +14,7 @@ import random
 
 import pytest
 
-from helpers import make_edge_db, transitive_closure
+from helpers import transitive_closure
 from repro import paper
 from repro.calculus import dsl as d
 from repro.compiler import compile_fixpoint

@@ -10,7 +10,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import paper
-from repro.calculus import Evaluator, ast, dsl as d, render
+from repro.calculus import Evaluator, dsl as d, render
 from repro.compiler import compile_statement, construct_compiled, run_query
 from repro.constructors import apply_constructor
 from repro.datalog import DatalogEngine, parse_program

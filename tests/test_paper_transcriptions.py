@@ -1,13 +1,9 @@
 """Tests for repro.paper: the executable transcription of the paper."""
 
-import pytest
 
 from repro import paper
 from repro.calculus import dsl as d
-from repro.constructors import apply_constructor
-from repro.errors import PositivityError
 from repro.relational import Database
-from repro.selectors import selected
 
 
 class TestSchemas:

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.datalog import parse_atom, parse_program
-from repro.errors import ConvergenceError
 from repro.prolog import (
     DepthLimitExceeded,
     KnowledgeBase,
@@ -12,7 +11,7 @@ from repro.prolog import (
     unify_atoms,
     unify_terms,
 )
-from repro.datalog.ast import Atom, Const, Var, mkatom
+from repro.datalog.ast import Const, Var, mkatom
 
 TC_SOURCE = """
 ahead(X, Y) :- infront(X, Y).

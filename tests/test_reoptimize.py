@@ -10,7 +10,6 @@ reduces scanned rows.  Plus the satellite regression: a fixpoint
 observation survives mutations of relations the application never reads.
 """
 
-import pytest
 
 from helpers import INFRONTREL, OBJECTREL, SCENE_OBJECTS
 from repro import paper

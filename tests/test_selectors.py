@@ -5,7 +5,7 @@ import pytest
 from repro import paper
 from repro.calculus import Evaluator, dsl as d
 from repro.errors import ArityError, IntegrityError
-from repro.selectors import SelectedRelation, selected
+from repro.selectors import selected
 
 from helpers import SCENE_INFRONT, SCENE_OBJECTS, SCENE_ONTOP
 

@@ -5,7 +5,6 @@ import pytest
 from repro import paper
 from repro.calculus import ast, dsl as d
 from repro.constructors import construct, define_constructor, instantiate
-from repro.constructors.instantiate import AppKey
 from repro.datalog import DatalogEngine, system_to_program
 from repro.errors import ArityError, DBPLError, EvaluationError, TranslationError
 from repro.relational import Database
