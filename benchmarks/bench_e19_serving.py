@@ -1,0 +1,100 @@
+"""E19 — prepared+cached serving vs compile-per-call.
+
+The session front door now runs queries through ``compile_query`` and
+the executor-backend registry behind a bounded LRU plan cache;
+``Session.prepare`` compiles a constant-parameterized shape once and
+rebinds constants per execution; ``Session.snapshot`` pins
+version-stamped relation views for repeatable reads under writers.  The
+acceptance bar — prepared+cached p50 latency >= 5x better than
+compile-per-call on the 3-step join under mixed read/write client
+threads — is asserted by the headline test (opt-in on quiet boxes; CI's
+perf gate is the bench-gate baseline comparison of
+``prepared_p50_speedup``).  The sweep also regenerates the E19 table.
+
+Interpreted-evaluator comparisons run on a small instance: the reference
+evaluator is tuple-at-a-time nested loops, and the serving case's 3-step
+join is exactly the shape it is worst at.
+"""
+
+import os
+
+import pytest
+
+from benchtable import write_table
+from repro.bench import experiments
+from repro.bench.experiments import E19_JOIN, e19_serving_case
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    return e19_serving_case(facts=120, dims=20, anns=6)
+
+
+def test_e19_prepared_matches_interpreted(small_session):
+    s = small_session
+    for bound in ((5, 4), (10, 8), (2, 15)):
+        prepared = s.prepare(E19_JOIN % bound)
+        assert prepared.execute() == s.query(E19_JOIN % bound, mode="interpreted")
+
+
+def test_e19_cache_hit_counter():
+    s = e19_serving_case()
+    assert s.plan_cache.misses == 0
+    s.query(E19_JOIN % (45, 10))
+    s.query(E19_JOIN % (50, 8))  # same shape, different constants
+    s.prepare(E19_JOIN % (55, 12))  # still the same shape
+    assert s.plan_cache.misses == 1
+    assert s.plan_cache.hits == 2
+    assert len(s.plan_cache) == 1
+
+
+def test_e19_snapshot_repeatable_read():
+    s = e19_serving_case()
+    prepared = s.prepare(E19_JOIN % (50, 8))
+    snap = s.snapshot()
+    pinned = prepared.execute(snapshot=snap)
+    s.insert("Fact", [(999_999, "k1", "t0")])
+    assert prepared.execute(snapshot=snap) == pinned
+
+
+@pytest.mark.benchmark(group="E19-serving")
+def test_e19_compile_per_call(benchmark):
+    s = e19_serving_case(plan_cache_size=0)
+    rows = benchmark(lambda: s.query(E19_JOIN % (50, 8)))
+    # A twin session holds identical seeded data: compiled answers agree.
+    assert rows == e19_serving_case().query(E19_JOIN % (50, 8))
+
+
+@pytest.mark.benchmark(group="E19-serving")
+def test_e19_prepared_execution(benchmark):
+    s = e19_serving_case()
+    prepared = s.prepare(E19_JOIN % (50, 8))
+    rows = benchmark(lambda: prepared.execute())
+    assert rows == s.query(E19_JOIN % (50, 8))
+
+
+@pytest.mark.skipif(
+    not os.environ.get("E19_HEADLINE"),
+    reason="latency percentiles need a quiet box; opt in with "
+    "E19_HEADLINE=1 — CI's perf gate is the bench-gate job's "
+    "prepared_p50_speedup baseline comparison, not this smoke-step "
+    "assertion",
+)
+def test_e19_headline_speedup():
+    """The acceptance bar: prepared+cached p50 >= 5x better than
+    compile-per-call on the 3-step join workload.  Run it explicitly::
+
+        E19_HEADLINE=1 PYTHONPATH=src python -m pytest \\
+            benchmarks/bench_e19_serving.py -k headline -q
+    """
+    table = experiments.e19_serving()
+    assert table.metrics["prepared_p50_speedup"] >= 5.0, table.render()
+
+
+@pytest.mark.benchmark(group="E19-table")
+def test_e19_table(benchmark):
+    table = benchmark.pedantic(experiments.e19_serving, rounds=1, iterations=1)
+    write_table("e19", table)
+    assert all(row[-1] for row in table.rows)  # both modes answered right
+    assert table.metrics["prepared_p50_speedup"] > 0
+    assert table.metrics["cache_hit_rate"] > 0

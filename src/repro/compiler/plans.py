@@ -54,7 +54,7 @@ from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
 from ..calculus.evaluator import Evaluator
 from ..calculus.rewrite import conjoin, conjuncts
-from ..errors import EvaluationError
+from ..errors import DBPLError, EvaluationError, NameResolutionError, SchemaError
 from ..relational import Database, HashIndex
 from ..types import RecordType
 from .executors import EXECUTOR_NAMES, get_backend
@@ -363,8 +363,8 @@ class CostModel:
             base = self.range_cardinality(rexpr.base, depth + 1)
             try:
                 recursive = self.db.constructor(rexpr.constructor).is_recursive()
-            except Exception:
-                recursive = True
+            except NameResolutionError:
+                recursive = True  # unknown constructor: price pessimistically
             return max(1.0, base * (self.RECURSIVE_GROWTH if recursive else 2.0))
         return self.DEFAULT_COMPUTED_ROWS
 
@@ -510,7 +510,7 @@ class CostModel:
             if table is not None and table.row_count > 0:
                 try:
                     pos = schema.index_of(element.attr)
-                except Exception:
+                except SchemaError:
                     pos = None
                 if pos is not None:
                     distinct = table.distinct(pos)
@@ -639,7 +639,7 @@ def _restriction_of(conj: ast.Cmp, schemas: dict, params: dict):
                 continue
             try:
                 value = value_fn({})
-            except Exception:
+            except (KeyError, TypeError, ZeroDivisionError):
                 continue  # e.g. a parameter not bound at compile time
             pos = schemas[attr_side.var].index_of(attr_side.attr)
             return (attr_side.var, pos, op, value)
@@ -1323,7 +1323,7 @@ def estimate_branch(
     """
     try:
         plan = compile_branch(db, branch, params, cost_model=cost_model)
-    except Exception:
+    except DBPLError:
         return (float("inf"), CostModel.DEFAULT_COMPUTED_ROWS)
     return (plan.est_cost or 0.0, plan.est_out or 0.0)
 

@@ -59,6 +59,7 @@ from dataclasses import dataclass, replace
 from functools import partial
 
 from ..calculus.analysis import free_tuple_vars
+from ..errors import DBPLError
 from ..relational.indexes import ShardView, partition_rows, partition_views
 from .executors import BatchBackend, register_backend
 from .operators import _batch_len
@@ -392,7 +393,9 @@ class ShardedBackend(BatchBackend):
         lead = steps[0]
         try:
             rows, _provider = lead.source.rows_and_indexable(ctx)
-        except Exception:
+        except DBPLError:
+            # An unresolvable lead range (unknown name, unbound fixpoint
+            # variable, ...): run unsharded and let execution surface it.
             return None
         k = shard_count(_estimated_rows(ctx, lead.source, rows), config)
         if k <= 1:

@@ -16,15 +16,29 @@ from .astnodes import (
 )
 from .lexer import Token, tokenize
 from .parser import Parser, parse_declarations, parse_expression, parse_module
+from .serving import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    DatabaseSnapshot,
+    PlanCache,
+    PreparedPlan,
+    PreparedQuery,
+    parameterize,
+    range_query,
+)
 from .session import Session
 
 __all__ = [
     "ConstructorDecl",
+    "DEFAULT_PLAN_CACHE_SIZE",
+    "DatabaseSnapshot",
     "EnumTypeExpr",
     "FieldGroup",
     "Module",
     "ParamDecl",
     "Parser",
+    "PlanCache",
+    "PreparedPlan",
+    "PreparedQuery",
     "RangeTypeExpr",
     "RecordTypeExpr",
     "RelationTypeExpr",
@@ -34,8 +48,10 @@ __all__ = [
     "TypeDecl",
     "TypeName",
     "VarDecl",
+    "parameterize",
     "parse_declarations",
     "parse_expression",
     "parse_module",
+    "range_query",
     "tokenize",
 ]

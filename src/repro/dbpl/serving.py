@@ -1,0 +1,403 @@
+"""The serving layer: prepared queries, the plan cache, snapshot reads.
+
+Five PRs of planner/executor work (cost-based ordering, columnar
+pipelines, the executor-backend registry, sharding) are only worth
+anything if the front door reaches them — and a served workload repeats
+the *same* queries with *different* constants thousands of times, so it
+must not re-parse, re-bind, and re-optimize per call either.  This
+module is the parse-once/bind-per-message split:
+
+* :func:`parameterize` normalizes a parsed query into a **plan shape**:
+  every constant compared in a predicate is replaced by a positional
+  parameter slot, and the extracted constants ride alongside.  Two
+  textually different queries that differ only in those constants share
+  one shape — and therefore one compiled plan.
+* :class:`PreparedPlan` compiles a shape once (through
+  :func:`repro.compiler.compile_query` and the executor-backend
+  registry) and executes it many times, rebinding the constant slots in
+  place — the generated kernels read parameter values at run time, so a
+  rebind costs a dict update, not a recompilation.
+* :class:`PlanCache` is a bounded LRU over **plan fingerprints**
+  ``(shape, executor, optimizer)`` scoped to the statistics epoch of
+  :meth:`repro.relational.stats.StatsCatalog.epoch`: when the catalog
+  decides the data has drifted enough that the cost model would price
+  plans differently, the epoch moves and every cached plan is dropped
+  (re-optimization on next use).  Small writes do not move the epoch —
+  a cache invalidated per insert would never hit under mixed
+  read/write traffic.
+* :class:`DatabaseSnapshot` pins a version-stamped
+  :class:`~repro.relational.indexes.SnapshotView` of every relation and
+  feeds them to plans through ``ExecutionContext.source_overrides`` —
+  the same mechanism the sharded executor uses for partition views — so
+  a reader's scans and index probes all see one committed state while
+  writers keep committing.
+
+Snapshot scope: relation *scans and join probes* are pinned.  Computed
+sub-ranges (selected ranges, nested queries) and residual predicates
+resolve against the live database — crash-free, because relation
+mutation is copy-on-write, but they read latest-committed.  A snapshot
+execution also forces an unsharded backend: the shard planner
+re-partitions live relations, which would bypass the pinned views.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from ..calculus import ast
+from ..calculus.subst import transform
+from ..compiler import ExecutionContext, compile_query
+from ..compiler.executors import get_backend
+from ..compiler.plans import DEFAULT_EXECUTOR, DEFAULT_OPTIMIZER, PlanStats
+from ..errors import BindingError
+from ..relational import Database
+from ..relational.indexes import SnapshotView
+
+#: Default bound of the session plan cache (entries, LRU-evicted).
+DEFAULT_PLAN_CACHE_SIZE = 128
+
+#: Name prefix of the auto-generated constant slots.  Parser-produced
+#: parameter names are plain identifiers, so the dunder prefix cannot
+#: collide with user parameters.
+_SLOT_PREFIX = "__bind_"
+
+
+# ---------------------------------------------------------------------------
+# Shape normalization
+# ---------------------------------------------------------------------------
+
+
+def parameterize(query: ast.Query) -> tuple[ast.Query, tuple]:
+    """``query`` → (normalized shape, extracted constants).
+
+    Every :class:`~repro.calculus.ast.Const` operand of a comparison is
+    replaced — in deterministic traversal order — by a
+    :class:`~repro.calculus.ast.ParamRef` slot, and its value collected.
+    Comparisons are exactly the positions the compiler consumes constants
+    from (index keys, priced restrictions, cheap filters), so this is
+    where parameterization both enables plan sharing and keeps the plan
+    shape honest.  Constants anywhere else (target lists, selector and
+    constructor arguments, arithmetic sub-terms) stay baked in: they
+    change what the plan *computes*, so they stay part of the shape and
+    queries differing there simply do not share a cache entry.
+    """
+    constants: list = []
+
+    def rule(node):
+        if not isinstance(node, ast.Cmp):
+            return None
+        left, right = node.left, node.right
+        changed = False
+        if isinstance(left, ast.Const):
+            left = ast.ParamRef(f"{_SLOT_PREFIX}{len(constants)}")
+            constants.append(node.left.value)
+            changed = True
+        if isinstance(right, ast.Const):
+            right = ast.ParamRef(f"{_SLOT_PREFIX}{len(constants)}")
+            constants.append(node.right.value)
+            changed = True
+        return ast.Cmp(node.op, left, right) if changed else None
+
+    shape = transform(query, rule)
+    return shape, tuple(constants)
+
+
+def range_query(rexpr: ast.RangeExpr) -> ast.Query:
+    """Desugar a bare range into the one-branch query that scans it.
+
+    ``Infront`` or ``Infront[hidden_by("x")]`` become ``{EACH __row IN
+    <range>: TRUE}``, so the whole session front door — not just set
+    formers — runs through the compiled executor pipeline.
+    """
+    if isinstance(rexpr, ast.QueryRange):
+        return rexpr.query
+    return ast.Query((ast.Branch((ast.Binding("__row", rexpr),), ast.TRUE),))
+
+
+# ---------------------------------------------------------------------------
+# Prepared plans and the user-facing handle
+# ---------------------------------------------------------------------------
+
+
+class PreparedPlan:
+    """One compiled plan shape, executable with rebound constants.
+
+    The compiled kernels capture the parameter dict by reference and read
+    slot values at run time, so executing with different constants is an
+    in-place dict update — no re-lowering, no re-optimization.  The plan
+    was *priced* with the constants seen at compile time (histogram
+    restrictions, index-vs-scan gates); rebinding keeps that join order,
+    the classic prepared-statement trade.
+
+    Executions serialize on a per-plan lock: the slot rebind and the
+    pipeline run must be atomic with respect to other executors of the
+    *same* plan (different plans never contend).
+    """
+
+    __slots__ = (
+        "db",
+        "shape",
+        "param_names",
+        "executor",
+        "optimizer",
+        "epoch",
+        "plan",
+        "executions",
+        "_params",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        db: Database,
+        shape: ast.Query,
+        constants: tuple,
+        executor: str = DEFAULT_EXECUTOR,
+        optimizer: str = DEFAULT_OPTIMIZER,
+        epoch: int | None = None,
+    ) -> None:
+        get_backend(executor)  # validate the name before paying for a compile
+        self.db = db
+        self.shape = shape
+        self.param_names = tuple(
+            f"{_SLOT_PREFIX}{i}" for i in range(len(constants))
+        )
+        self.executor = executor
+        self.optimizer = optimizer
+        self.epoch = epoch
+        self.executions = 0
+        self._params = dict(zip(self.param_names, constants))
+        self._lock = threading.Lock()
+        self.plan = compile_query(
+            db, shape, self._params, optimizer, executor=executor
+        )
+
+    def run(
+        self,
+        constants: tuple,
+        snapshot: "DatabaseSnapshot | None" = None,
+        stats: PlanStats | None = None,
+    ) -> set[tuple]:
+        """Execute with ``constants`` bound into the plan's slots."""
+        if len(constants) != len(self.param_names):
+            raise BindingError(
+                f"prepared query takes {len(self.param_names)} constant(s), "
+                f"got {len(constants)}"
+            )
+        with self._lock:
+            params = self._params
+            for name, value in zip(self.param_names, constants):
+                params[name] = value
+            ctx = ExecutionContext(self.db, params, stats=stats)
+            executor = self.executor
+            if snapshot is not None:
+                ctx.source_overrides = snapshot.overrides_for(self.plan)
+                if executor == "sharded":
+                    executor = "batch"  # shard planning repartitions live rows
+            self.executions += 1
+            return self.plan.execute(ctx, executor=executor)
+
+    def explain(self) -> str:
+        return self.plan.explain()
+
+
+class PreparedQuery:
+    """The ``Session.prepare()`` handle: a plan plus its bound constants.
+
+    Handles are cheap — many handles (one per client, say) can share one
+    cached :class:`PreparedPlan`.  ``execute()`` runs with the constants
+    extracted from the prepared source text; ``execute(*constants)``
+    rebinds the slots positionally, in the order the constants appeared
+    in the query text.
+    """
+
+    __slots__ = ("source", "_plan", "_constants")
+
+    def __init__(
+        self, plan: PreparedPlan, constants: tuple, source: str | None = None
+    ) -> None:
+        self._plan = plan
+        self._constants = constants
+        self.source = source
+
+    @property
+    def param_count(self) -> int:
+        return len(self._plan.param_names)
+
+    @property
+    def constants(self) -> tuple:
+        return self._constants
+
+    @property
+    def plan(self) -> PreparedPlan:
+        return self._plan
+
+    @property
+    def executions(self) -> int:
+        return self._plan.executions
+
+    def execute(
+        self,
+        *constants,
+        snapshot: "DatabaseSnapshot | None" = None,
+        stats: PlanStats | None = None,
+    ) -> set[tuple]:
+        """Run the prepared plan; positional ``constants`` rebind slots."""
+        bound = constants if constants else self._constants
+        return self._plan.run(tuple(bound), snapshot=snapshot, stats=stats)
+
+    def bind(self, *constants) -> "PreparedQuery":
+        """A new handle over the same plan with different default constants."""
+        if len(constants) != self.param_count:
+            raise BindingError(
+                f"prepared query takes {self.param_count} constant(s), "
+                f"got {len(constants)}"
+            )
+        return PreparedQuery(self._plan, tuple(constants), self.source)
+
+    def explain(self) -> str:
+        return self._plan.explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return (
+            f"<PreparedQuery slots={self.param_count} "
+            f"executor={self._plan.executor!r} runs={self._plan.executions}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The plan cache
+# ---------------------------------------------------------------------------
+
+
+class PlanCache:
+    """A bounded LRU of :class:`PreparedPlan` keyed by plan fingerprint.
+
+    The fingerprint is ``(shape, executor, optimizer)`` — the normalized
+    query with constants abstracted away, plus everything else that
+    changes what ``compile_query`` would produce.  Entries are scoped to
+    one statistics epoch: when :meth:`StatsCatalog.epoch` moves, the
+    whole cache is invalidated at the next touch (the cost model would
+    price the plans differently now, so they must all re-optimize).
+
+    ``capacity <= 0`` disables caching entirely (every lookup misses and
+    nothing is stored) — the compile-per-call baseline of benchmark E19.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._entries: OrderedDict[tuple, PreparedPlan] = OrderedDict()
+        self._epoch: int | None = None
+        self._lock = threading.Lock()
+
+    def _sync_epoch(self, epoch: int) -> None:
+        if self._epoch != epoch:
+            self.invalidations += len(self._entries)
+            self._entries.clear()
+            self._epoch = epoch
+
+    def get(self, key: tuple, epoch: int) -> PreparedPlan | None:
+        with self._lock:
+            self._sync_epoch(epoch)
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(self, key: tuple, plan: PreparedPlan, epoch: int) -> PreparedPlan:
+        """Install ``plan``; returns the winning entry (first store wins,
+        so two racing compilations converge on one shared plan)."""
+        with self._lock:
+            self._sync_epoch(epoch)
+            if self.capacity <= 0:
+                return plan
+            existing = self._entries.get(key)
+            if existing is not None:
+                return existing
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return plan
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> list[tuple]:
+        """Fingerprints currently cached, LRU-first (for tests)."""
+        with self._lock:
+            return list(self._entries.keys())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def info(self) -> dict[str, float]:
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+class DatabaseSnapshot:
+    """Version-stamped pinned views of every relation, taken atomically
+    enough: each view pins exactly one committed state of its relation
+    (copy-on-write guarantees per-relation consistency; the snapshot is
+    taken relation-by-relation without a global write freeze).
+
+    ``overrides_for(plan)`` produces the ``ExecutionContext.
+    source_overrides`` map that makes a compiled plan's relation scans
+    and index probes read the pinned views instead of the live data.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.views: dict[str, SnapshotView] = {
+            name: rel.snapshot_view() for name, rel in db.relations.items()
+        }
+
+    def rows(self, name: str) -> list[tuple]:
+        return self.views[name].rows
+
+    def version(self, name: str) -> int:
+        return self.views[name].version
+
+    def overrides_for(self, plan) -> dict[int, tuple]:
+        overrides: dict[int, tuple] = {}
+        for branch in plan.branches:
+            for step in branch.steps:
+                source = step.source
+                if source.kind == "relation":
+                    view = self.views.get(source.name)
+                    if view is not None:
+                        overrides[id(source)] = (view.rows, view.index_on)
+        return overrides
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        stamps = ", ".join(
+            f"{name}@v{view.version}" for name, view in sorted(self.views.items())
+        )
+        return f"<DatabaseSnapshot {stamps}>"

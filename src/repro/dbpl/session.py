@@ -9,15 +9,41 @@ former or a selected/constructed range — and returns the raw rows;
 
 This is the programmer-facing surface of the reproduction: the paper's
 examples run verbatim (see ``examples/dbpl_tour.py``).
+
+Queries run through the compiled executor pipeline
+(:func:`repro.compiler.compile_query` + the executor-backend registry),
+behind a per-session :class:`~repro.dbpl.serving.PlanCache`: repeated
+queries that differ only in compared constants share one compiled plan,
+rebinding constants per call.  Recursive ``Rel{con(args)}`` ranges run
+the compiled fixpoint engine.  The knobs:
+
+* ``query(..., mode="interpreted")`` forces the reference tuple-at-a-time
+  evaluator (the semantic baseline every backend is tested against);
+  ``mode="naive"``/``"seminaive"`` pick an interpreted fixpoint engine
+  for constructed ranges.
+* ``query(..., executor=...)`` / ``Session(executor=...)`` select a
+  registered backend (``batch``, ``rowbatch``, ``tuple``, ``sharded``).
+* ``prepare(source)`` compiles once and returns a
+  :class:`~repro.dbpl.serving.PreparedQuery` handle for repeated
+  execution with rebound constants.
+* ``snapshot()`` pins the current committed state of every relation;
+  pass it to ``query``/``execute`` for repeatable reads under
+  concurrent writers.
+
+Query shapes the compiler cannot translate fall back to the interpreted
+evaluator transparently (compile-time errors only — runtime errors
+propagate).
 """
 
 from __future__ import annotations
 
 from ..calculus import ast
 from ..calculus.evaluator import Evaluator
+from ..compiler import construct_compiled
+from ..compiler.plans import DEFAULT_EXECUTOR, DEFAULT_OPTIMIZER
 from ..constructors import construct
 from ..constructors.definition import Constructor
-from ..errors import BindingError
+from ..errors import BindingError, DBPLError, EvaluationError, TranslationError
 from ..relational import Database
 from ..selectors import Parameter, SelectedRelation, Selector
 from ..types import (
@@ -42,14 +68,31 @@ from .astnodes import (
     VarDecl,
 )
 from .parser import parse_expression, parse_module
+from .serving import (
+    DEFAULT_PLAN_CACHE_SIZE,
+    DatabaseSnapshot,
+    PlanCache,
+    PreparedPlan,
+    PreparedQuery,
+    parameterize,
+    range_query,
+)
 
 
 class Session:
     """An interactive DBPL scope over one database."""
 
-    def __init__(self, db: Database | None = None, name: str = "session") -> None:
+    def __init__(
+        self,
+        db: Database | None = None,
+        name: str = "session",
+        executor: str | None = None,
+        plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+    ) -> None:
         self.db = db if db is not None else Database(name)
         self.types: dict[str, Type] = dict(ATOMIC_TYPES)
+        self.executor = executor
+        self.plan_cache = PlanCache(plan_cache_size)
         self._anon = 0
 
     # -- declarations ---------------------------------------------------------
@@ -155,17 +198,109 @@ class Session:
 
     # -- queries and statements ------------------------------------------------------
 
-    def query(self, source: str, mode: str = "auto") -> set[tuple]:
-        """Evaluate a query expression; returns the raw row set."""
+    def query(
+        self,
+        source: str,
+        mode: str = "auto",
+        executor: str | None = None,
+        snapshot: DatabaseSnapshot | None = None,
+    ) -> set[tuple]:
+        """Evaluate a query expression; returns the raw row set.
+
+        The default path compiles the query (through the session plan
+        cache) and runs it on a registered executor backend;
+        ``mode="interpreted"`` forces the reference evaluator instead,
+        and ``mode="naive"``/``"seminaive"`` pick an interpreted
+        fixpoint engine for constructed ranges.  ``snapshot`` pins the
+        relation state compiled set formers read (see
+        :meth:`snapshot`); it does not apply to constructed ranges or
+        interpreted fallbacks.
+        """
         node = parse_expression(source)
+        if mode == "interpreted":
+            return self._query_interpreted(node, source)
+        if isinstance(node, ast.Constructed):
+            if mode in ("naive", "seminaive"):
+                return set(construct(self.db, node, mode=mode).rows)
+            chosen = executor or self.executor or DEFAULT_EXECUTOR
+            try:
+                return set(
+                    construct_compiled(self.db, node, executor=chosen).rows
+                )
+            except (TranslationError, EvaluationError):
+                return set(construct(self.db, node, mode=mode).rows)
+        if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
+            node = range_query(node)
+        if isinstance(node, ast.Query):
+            try:
+                plan, constants = self._prepared_plan(node, executor)
+            except DBPLError:
+                # Untranslatable shape (compile-time only): reference
+                # evaluator gives the same answers, one tuple at a time.
+                return Evaluator(self.db).eval_query(node)
+            return plan.run(constants, snapshot=snapshot)
+        raise BindingError(f"not a query expression: {source!r}")
+
+    def _query_interpreted(self, node, source: str) -> set[tuple]:
+        """The reference path: tuple-at-a-time, no compiler involved."""
         if isinstance(node, ast.Query):
             return Evaluator(self.db).eval_query(node)
         if isinstance(node, ast.Constructed):
-            return set(construct(self.db, node, mode=mode).rows)
+            return set(construct(self.db, node).rows)
         if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
             value = Evaluator(self.db).resolve_range(node, {})
             return set(value.rows)
         raise BindingError(f"not a query expression: {source!r}")
+
+    def _prepared_plan(
+        self, node: ast.Query, executor: str | None = None
+    ) -> tuple[PreparedPlan, tuple]:
+        """Fetch-or-compile the cached plan for ``node``'s shape."""
+        chosen = executor or self.executor or DEFAULT_EXECUTOR
+        shape, constants = parameterize(node)
+        epoch = self.db.stats.epoch()
+        key = (shape, chosen, DEFAULT_OPTIMIZER)
+        plan = self.plan_cache.get(key, epoch)
+        if plan is None:
+            plan = PreparedPlan(
+                self.db, shape, constants, executor=chosen, epoch=epoch
+            )
+            plan = self.plan_cache.put(key, plan, epoch)
+        return plan, constants
+
+    def prepare(self, source: str, executor: str | None = None) -> PreparedQuery:
+        """Compile ``source`` once for repeated parameterized execution.
+
+        Constants compared in predicates become rebindable slots:
+        ``prepare('{EACH r IN R: r.x = "a"}').execute("b")`` runs the
+        same plan with ``"b"`` bound.  Plans come from (and populate)
+        the session plan cache, so preparing an already-hot shape is
+        free.  Constructed (fixpoint) ranges cannot be prepared — their
+        result is recomputed state, not a parameterized scan; evaluate
+        them with :meth:`query`.
+        """
+        node = parse_expression(source)
+        if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
+            node = range_query(node)
+        if isinstance(node, ast.Constructed):
+            raise BindingError(
+                f"constructed range {source!r} cannot be prepared; "
+                "query() runs the compiled fixpoint engine directly"
+            )
+        if not isinstance(node, ast.Query):
+            raise BindingError(f"not a query expression: {source!r}")
+        plan, constants = self._prepared_plan(node, executor)
+        return PreparedQuery(plan, constants, source)
+
+    def snapshot(self) -> DatabaseSnapshot:
+        """Pin the current committed state of every relation.
+
+        Pass the returned snapshot to :meth:`query` or
+        ``PreparedQuery.execute`` for repeatable reads: compiled scans
+        and index probes see exactly the pinned versions, regardless of
+        concurrent writers.
+        """
+        return DatabaseSnapshot(self.db)
 
     def assign(self, target: str, rows) -> None:
         """``Target := rows`` or ``Target[sel(args)] := rows``."""

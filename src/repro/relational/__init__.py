@@ -17,6 +17,7 @@ from .indexes import (
     IndexCache,
     PartitionCache,
     ShardView,
+    SnapshotView,
     partition_rows,
     partition_views,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "Relation",
     "Row",
     "ShardView",
+    "SnapshotView",
     "StatsCatalog",
     "TableStats",
     "antijoin",

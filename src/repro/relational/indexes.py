@@ -128,6 +128,29 @@ class ShardView:
         return len(self.rows)
 
 
+class SnapshotView(ShardView):
+    """A version-stamped pinned view of a whole relation.
+
+    The serving layer's snapshot reads hand plans ``(rows, index_on)``
+    pairs through ``ExecutionContext.source_overrides`` — exactly the
+    contract :class:`ShardView` already implements for partitions — so a
+    reader keeps scanning (and index-probing) the rows that existed when
+    the snapshot was taken, no matter how many writers commit meanwhile.
+    The pinned list is the relation's copy-on-write row list: it is never
+    mutated in place, only replaced, so the view stays valid forever.
+    """
+
+    __slots__ = ("name", "version")
+
+    def __init__(self, rows: list[tuple], name: str, version: int) -> None:
+        super().__init__(rows)
+        self.name = name
+        self.version = version
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<SnapshotView {self.name}@v{self.version}: {len(self.rows)} rows>"
+
+
 def partition_rows(
     rows: Iterable[tuple], positions: tuple[int, ...], k: int
 ) -> list[list[tuple]]:
@@ -169,13 +192,17 @@ class PartitionCache:
     on every execution — and on every fixpoint iteration — so the
     partition pass (and each shard's local indexes) must be paid once
     per relation version, exactly like :class:`IndexCache`.
+
+    The cache entry is one ``(version, dict)`` tuple swapped atomically,
+    never a dict cleared in place: a reader that raced a version move
+    keeps filling its own (orphaned) generation instead of writing a
+    stale split into the new one.
     """
 
-    __slots__ = ("_version", "_partitions")
+    __slots__ = ("_entry",)
 
     def __init__(self) -> None:
-        self._version = -1
-        self._partitions: dict[tuple, tuple[ShardView, ...]] = {}
+        self._entry: tuple[int, dict[tuple, tuple[ShardView, ...]]] = (-1, {})
 
     def get(
         self,
@@ -184,25 +211,32 @@ class PartitionCache:
         k: int,
         rows: Iterable[tuple],
     ) -> tuple[ShardView, ...]:
-        if version != self._version:
-            self._partitions.clear()
-            self._version = version
+        entry = self._entry
+        if entry[0] != version:
+            entry = (version, {})
+            self._entry = entry
+        partitions = entry[1]
         key = (positions, k)
-        views = self._partitions.get(key)
+        views = partitions.get(key)
         if views is None:
             views = partition_views(rows, positions, k)
-            self._partitions[key] = views
+            partitions[key] = views
         return views
 
 
 class IndexCache:
-    """Per-relation cache of hash indexes, invalidated by version stamps."""
+    """Per-relation cache of hash indexes, invalidated by version stamps.
 
-    __slots__ = ("_version", "_indexes")
+    Like :class:`PartitionCache`, the whole generation is one
+    ``(version, dict)`` tuple replaced atomically, so concurrent readers
+    racing a writer's version bump can never install an index built over
+    one version's rows into another version's cache.
+    """
+
+    __slots__ = ("_entry",)
 
     def __init__(self) -> None:
-        self._version = -1
-        self._indexes: dict[tuple[int, ...], HashIndex] = {}
+        self._entry: tuple[int, dict[tuple[int, ...], HashIndex]] = (-1, {})
 
     def get(
         self,
@@ -211,13 +245,15 @@ class IndexCache:
         rows: Iterable[tuple],
     ) -> HashIndex:
         """Return (building if necessary) the index for ``positions``."""
-        if version != self._version:
-            self._indexes.clear()
-            self._version = version
-        index = self._indexes.get(positions)
+        entry = self._entry
+        if entry[0] != version:
+            entry = (version, {})
+            self._entry = entry
+        indexes = entry[1]
+        index = indexes.get(positions)
         if index is None:
             index = HashIndex(positions, rows)
-            self._indexes[positions] = index
+            indexes[positions] = index
         return index
 
     def peek(self, version: int, positions: tuple[int, ...]) -> HashIndex | None:
@@ -226,6 +262,7 @@ class IndexCache:
         Lets the cost model consult measured index selectivities for free
         without forcing index construction during planning.
         """
-        if version != self._version:
+        entry = self._entry
+        if entry[0] != version:
             return None
-        return self._indexes.get(positions)
+        return entry[1].get(positions)

@@ -7,17 +7,31 @@ dependency are verified before the variable's value changes, otherwise
 a :class:`~repro.errors.KeyConstraintError` or
 :class:`~repro.errors.TypeMismatchError` is raised and the old value is
 kept (the paper's ``ELSE <exception>``).
+
+Concurrency discipline (the serving layer's contract): mutations are
+**copy-on-write** — every insert/delete/assign builds a *new* row set and
+swaps the reference, never mutating the set a concurrent reader may be
+iterating — and writers serialize on a per-relation lock.  Readers run
+lock-free: any set or cached row list they obtained stays internally
+consistent forever (it corresponds to exactly one committed state), so a
+query pipeline can never crash on a resized set or observe a torn,
+half-applied mutation.  :meth:`snapshot_view` pins one committed state
+as a version-stamped view for multi-scan snapshot reads.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Iterable, Iterator
 
 from ..errors import TypeMismatchError
 from ..types import RelationType, check_relation_assignment
-from .indexes import HashIndex, IndexCache, PartitionCache, ShardView
+from .indexes import HashIndex, IndexCache, PartitionCache, ShardView, SnapshotView
 from .rows import Row
 from .stats import TableStats
+
+#: Sentinel row-list cache entry: (version, list) — replaced atomically.
+_NO_RAW: tuple[int, list[tuple]] = (-1, [])
 
 
 class Relation:
@@ -31,8 +45,8 @@ class Relation:
         "_index_cache",
         "_partition_cache",
         "_stats",
-        "_raw_list",
-        "_raw_list_version",
+        "_raw_entry",
+        "_write_lock",
     )
 
     def __init__(
@@ -48,8 +62,11 @@ class Relation:
         self._index_cache = IndexCache()
         self._partition_cache = PartitionCache()
         self._stats: TableStats | None = None
-        self._raw_list: list[tuple] = []
-        self._raw_list_version = -1
+        #: (version, rows-as-list), one tuple swapped atomically so the
+        #: stamp can never be paired with another version's list.
+        self._raw_entry: tuple[int, list[tuple]] = _NO_RAW
+        #: Writers serialize here; readers never take it.
+        self._write_lock = threading.Lock()
         rows = tuple(rows)
         if rows:
             self.assign(rows)
@@ -65,7 +82,13 @@ class Relation:
         return frozenset(self._rows)
 
     def raw(self) -> set[tuple]:
-        """The live underlying set; callers must not mutate it."""
+        """The committed row set; callers must not mutate it.
+
+        Copy-on-write mutation means the returned set object never
+        changes after the reference is obtained — concurrent writers
+        swap in *new* sets, they never resize this one under a reader's
+        iteration.
+        """
         return self._rows
 
     def raw_list(self) -> list[tuple]:
@@ -76,12 +99,27 @@ class Relation:
         stable sequence; materializing it once per relation version means
         repeated executions — fixpoint iterations especially — share one
         list instead of re-listing the set per scan.  Callers must not
-        mutate it.
+        mutate it; writers never do (they replace, see
+        :meth:`_commit`), so a list handed out once stays a consistent
+        snapshot of one committed state.
         """
-        if self._raw_list_version != self._version:
-            self._raw_list = list(self._rows)
-            self._raw_list_version = self._version
-        return self._raw_list
+        return self._raw_pair()[1]
+
+    def _raw_pair(self) -> tuple[int, list[tuple]]:
+        """One consistent ``(version, rows-as-list)`` pair.
+
+        The cached entry is a single tuple replaced atomically.  Racing
+        a concurrent commit can at worst label a *newer* committed list
+        with an older stamp (the next probe rebuilds); the list itself
+        always materializes exactly one committed set object, because
+        committed sets are never mutated in place.
+        """
+        entry = self._raw_entry
+        version = self._version
+        if entry[0] != version:
+            entry = (version, list(self._rows))
+            self._raw_entry = entry
+        return entry
 
     @property
     def version(self) -> int:
@@ -110,6 +148,17 @@ class Relation:
 
     # -- checked mutation ----------------------------------------------------
 
+    def _commit(self, new_rows: set[tuple]) -> None:
+        """Swap in a new committed row set (copy-on-write commit point).
+
+        The set reference is replaced *before* the version bump: a racing
+        reader can at worst pair new rows with the old stamp — which only
+        makes a cache rebuild on the next probe — never the reverse
+        (a stale list vouched for by a fresh version).
+        """
+        self._rows = new_rows
+        self._version += 1
+
     def assign(self, rows: Iterable[object]) -> None:
         """``rel := rex`` with full type and key checking.
 
@@ -120,11 +169,12 @@ class Relation:
         """
         raw = tuple(self._coerce(r) for r in rows)
         checked = check_relation_assignment(self.rtype, raw)
-        self._rows = set(checked)
-        self._version += 1
-        stats = TableStats(len(self.rtype.element.attribute_names))
-        stats.add_rows_batch(self._rows)
-        self._stats = stats
+        with self._write_lock:
+            new_rows = set(checked)
+            stats = TableStats(len(self.rtype.element.attribute_names))
+            stats.add_rows_batch(new_rows)
+            self._stats = stats
+            self._commit(new_rows)
 
     def insert(self, rows: Iterable[object]) -> None:
         """``rel :+ rex`` — add tuples, keeping typing and key integrity.
@@ -132,7 +182,9 @@ class Relation:
         One type sweep, one key check, and one *batched* statistics
         absorption for the whole argument (distinct multisets,
         heavy-hitter counts, and histograms are updated once per call,
-        not once per row).
+        not once per row).  The new value is built as a copy and swapped
+        in whole, so concurrent readers keep iterating the previous
+        committed set untouched.
         """
         raw = [self._coerce(r) for r in rows]
         element = self.rtype.element
@@ -142,11 +194,14 @@ class Relation:
                     f"tuple {row!r} is not of element type {element.name} "
                     f"(insert into {self.name})"
                 )
-        self.rtype.check_key(list(self._rows) + raw)
-        if self._stats is not None:
-            self._stats.add_rows_batch(set(raw) - self._rows)
-        self._rows.update(raw)
-        self._version += 1
+        with self._write_lock:
+            old_rows = self._rows
+            self.rtype.check_key(list(old_rows) + raw)
+            new_rows = set(old_rows)
+            new_rows.update(raw)
+            if self._stats is not None:
+                self._stats.add_rows_batch(set(raw) - old_rows)
+            self._commit(new_rows)
 
     def insert_many(self, rows: Iterable[object]) -> None:
         """Bulk ``rel :+ rex``: the explicit batch-load entry point.
@@ -160,15 +215,16 @@ class Relation:
     def delete(self, rows: Iterable[object]) -> None:
         """``rel :- rex`` — remove tuples (absent tuples are ignored)."""
         raw = {self._coerce(r) for r in rows}
-        if self._stats is not None:
-            self._stats.remove_rows(raw & self._rows)
-        self._rows.difference_update(raw)
-        self._version += 1
+        with self._write_lock:
+            old_rows = self._rows
+            if self._stats is not None:
+                self._stats.remove_rows(raw & old_rows)
+            self._commit(old_rows - raw)
 
     def clear(self) -> None:
-        self._rows.clear()
-        self._version += 1
-        self._stats = None
+        with self._write_lock:
+            self._stats = None
+            self._commit(set())
 
     @staticmethod
     def _coerce(item: object) -> tuple:
@@ -231,6 +287,18 @@ class Relation:
         copy._rows = set(self._rows)
         copy._version = 1
         return copy
+
+    def snapshot_view(self) -> SnapshotView:
+        """A version-stamped pinned view of the current committed state.
+
+        The view holds the copy-on-write row list (never mutated, only
+        ever replaced on the relation) plus its own lazy local indexes,
+        so a reader pipeline can keep scanning and probing one committed
+        state while writers move the relation forward — the serving
+        layer's snapshot-read primitive (see ``repro.dbpl.serving``).
+        """
+        version, rows = self._raw_pair()
+        return SnapshotView(rows, self.name, version)
 
     def __repr__(self) -> str:  # pragma: no cover - display only
         return f"<Relation {self.name}: {len(self._rows)} x {self.rtype.element.name}>"

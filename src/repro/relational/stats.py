@@ -45,6 +45,14 @@ HISTOGRAM_BUCKETS = 16
 HISTOGRAM_STALENESS = 0.25
 HISTOGRAM_STALENESS_FLOOR = 32
 
+#: The plan epoch (see :meth:`StatsCatalog.epoch`) moves once some
+#: relation's cardinality has drifted by more than this fraction of the
+#: row count it had when the epoch was last stamped...
+PLAN_EPOCH_STALENESS = 0.25
+#: ...with a small absolute floor so tiny tables don't thrash the
+#: serving layer's plan cache on every insert.
+PLAN_EPOCH_FLOOR = 32
+
 
 class Histogram:
     """An equi-depth histogram over one column's orderable values.
@@ -72,10 +80,17 @@ class Histogram:
         """Build from an exact value multiset; None when unorderable."""
         if not counts:
             return None
-        try:
-            items = sorted(counts.items())
-        except TypeError:
-            return None  # mixed/unorderable value domain
+        items = None
+        for _ in range(4):
+            try:
+                items = sorted(counts.items())
+                break
+            except TypeError:
+                return None  # mixed/unorderable value domain
+            except RuntimeError:
+                continue  # a concurrent writer resized the multiset; retry
+        if items is None:
+            return None
         total = sum(counts.values())
         target = max(1, total // max(1, buckets))
         lo = items[0][0]
@@ -215,9 +230,14 @@ class ColumnStats:
     def max_count(self) -> int:
         """Rows carrying the most frequent value (cached, see above)."""
         if self._max_dirty:
-            self._max_count = max(self.counts.values(), default=0)
-            self._max_dirty = False
-            self.mcv_rescans += 1
+            for _ in range(4):
+                try:
+                    self._max_count = max(self.counts.values(), default=0)
+                    self._max_dirty = False
+                    self.mcv_rescans += 1
+                    break
+                except RuntimeError:
+                    continue  # concurrent writer resized the multiset; retry
         return self._max_count
 
     def most_common_fraction(self, total_rows: int) -> float:
@@ -504,11 +524,59 @@ class StatsCatalog:
     def __init__(self, db) -> None:
         self._db = db
         self._observations: dict[object, FixpointObservation] = {}
+        self._epoch = 0
+        #: Per-relation row counts at the last epoch stamp (plus the
+        #: relation name set itself — declaring a variable moves the
+        #: epoch too, since plans compiled before it can't reference it).
+        self._epoch_marks: dict[str, int] | None = None
 
     # -- base tables ---------------------------------------------------------
 
     def table(self, name: str) -> TableStats:
         return self._db.relation(name).stats()
+
+    # -- plan epoch ----------------------------------------------------------
+
+    def epoch(self) -> int:
+        """The statistics epoch the serving layer fingerprints plans with.
+
+        A monotone counter that moves when the catalog's view of the data
+        has drifted enough to make previously compiled plans *materially*
+        stale: some relation's cardinality changed by more than
+        :data:`PLAN_EPOCH_STALENESS` of its row count at the last stamp
+        (floored at :data:`PLAN_EPOCH_FLOOR` rows), or the set of
+        declared relations changed.  Small writes deliberately do **not**
+        move it — cardinality drift below the histogram-staleness scale
+        does not change join orders, and a plan cache invalidated on
+        every insert would never hit under a mixed read/write workload.
+
+        Deliberately the same staleness shape as histogram rebuilds: the
+        epoch answers "would the cost model price this differently now?",
+        not "did anything change?".
+        """
+        relations = self._db.relations
+        marks = self._epoch_marks
+        moved = marks is None or marks.keys() != relations.keys()
+        if not moved:
+            for name, base in marks.items():
+                drift = abs(len(relations[name]) - base)
+                if drift > max(PLAN_EPOCH_FLOOR, PLAN_EPOCH_STALENESS * base):
+                    moved = True
+                    break
+        if moved:
+            self._epoch += 1
+            self._epoch_marks = {
+                name: len(rel) for name, rel in relations.items()
+            }
+        return self._epoch
+
+    def bump_epoch(self) -> int:
+        """Force the plan epoch forward (drops every cached plan)."""
+        self._epoch += 1
+        self._epoch_marks = {
+            name: len(rel) for name, rel in self._db.relations.items()
+        }
+        return self._epoch
 
     def analyze(self) -> dict[str, TableStats]:
         """Force statistics for every declared relation (ANALYZE)."""
