@@ -1,0 +1,68 @@
+"""Static semantic analysis for DBPL / Datalog / constructor programs.
+
+Layout:
+
+* :mod:`.diagnostics` — ``Span`` / ``Diagnostic`` / ``Diagnostics``, the
+  engine every check reports through (imported eagerly; the DBPL parser
+  depends on it for span attachment).
+* :mod:`.typeflow` — term typing and tri-state predicate folding over
+  the calculus AST.
+* :mod:`.checks` — the DBPL-surface check registry (``analyze_query``,
+  ``analyze_module``) plus the structured positivity pass.
+* :mod:`.rules` — Datalog program analysis: range-restriction safety,
+  stratification, unsafe negation, arity consistency.
+
+``checks``/``typeflow``/``rules`` are loaded lazily (PEP 562): the DBPL
+parser imports this package while those modules import the parser's AST,
+and laziness breaks the cycle.
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError, DatalogAnalysisError
+from .diagnostics import (
+    SEVERITIES,
+    Diagnostic,
+    Diagnostics,
+    Span,
+    copy_span,
+    set_span,
+    span_of,
+)
+
+__all__ = [
+    "SEVERITIES",
+    "AnalysisError",
+    "AnalysisResult",
+    "DatalogAnalysisError",
+    "Diagnostic",
+    "Diagnostics",
+    "Scope",
+    "Span",
+    "analyze_datalog",
+    "analyze_module",
+    "analyze_query",
+    "copy_span",
+    "set_span",
+    "span_of",
+]
+
+_LAZY = {
+    "AnalysisResult": ".checks",
+    "Scope": ".checks",
+    "analyze_module": ".checks",
+    "analyze_query": ".checks",
+    "analyze_datalog": ".rules",
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(target, __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

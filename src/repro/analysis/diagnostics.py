@@ -1,0 +1,242 @@
+"""The diagnostics engine: rule-coded findings with source spans.
+
+Every verdict the static analyzer produces is a :class:`Diagnostic` — a
+stable rule code (``DBPL010``-style, see the README catalog), a severity
+(``error`` / ``warning`` / ``hint``), a human message, and the
+:class:`Span` of the offending source text.  A :class:`Diagnostics`
+collector accumulates them during a pass and provides the render /
+filter / assert helpers the front door (``Session.check``,
+``Session.query``) and the test suite build on.
+
+Spans are attached to AST nodes by the parsers as a *non-field*
+attribute (``_span``): the calculus and Datalog ASTs are frozen,
+hashable dataclasses whose equality the compiler exploits for
+canonicalization, so location data must stay out of ``__eq__`` /
+``__hash__`` — two occurrences of the same subexpression are still the
+same plan shape.  :func:`set_span` / :func:`span_of` are the one
+sanctioned way to touch that attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+
+#: Severity levels, most severe first.
+SEVERITIES = ("error", "warning", "hint")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+# ---------------------------------------------------------------------------
+# Source spans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open region of source text, 1-based lines and columns."""
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.end_line:
+            object.__setattr__(self, "end_line", self.line)
+        if not self.end_column:
+            object.__setattr__(self, "end_column", self.column)
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the placeholder span of location-free nodes."""
+        return self.line <= 0
+
+    def shifted(self, line_offset: int, column_offset: int = 0) -> "Span":
+        """The same region relative to an enclosing document.
+
+        ``column_offset`` applies to first-line positions only — lines
+        after the first keep their own columns (the embedded source is
+        shifted down, not right).
+        """
+        first_col = self.column + (column_offset if self.line == 1 else 0)
+        end_col = self.end_column + (column_offset if self.end_line == 1 else 0)
+        return Span(
+            self.line + line_offset, first_col, self.end_line + line_offset, end_col
+        )
+
+    def __str__(self) -> str:
+        if self.end_line != self.line:
+            return f"{self.line}:{self.column}-{self.end_line}:{self.end_column}"
+        if self.end_column > self.column:
+            return f"{self.line}:{self.column}-{self.end_column}"
+        return f"{self.line}:{self.column}"
+
+
+#: Span attribute name on AST nodes (kept out of dataclass fields — see
+#: the module docstring).
+_SPAN_ATTR = "_span"
+
+
+def set_span(node: object, span: Span | None) -> object:
+    """Attach ``span`` to an AST node (frozen dataclasses included)."""
+    if span is not None:
+        object.__setattr__(node, _SPAN_ATTR, span)
+    return node
+
+
+def span_of(node: object) -> Span | None:
+    """The span a parser attached to ``node``, or None for built nodes."""
+    return getattr(node, _SPAN_ATTR, None)
+
+
+def copy_span(dst: object, src: object) -> object:
+    """Propagate ``src``'s span onto a node derived from it."""
+    return set_span(dst, span_of(src))
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: str
+    message: str
+    span: Span | None = None
+    #: Optional machine-readable payload (e.g. the dead branch index).
+    data: object = field(default=None, compare=False, repr=False)
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == "error"
+
+    def render(self) -> str:
+        where = f" at {self.span}" if self.span and not self.span.is_zero else ""
+        return f"{self.code} {self.severity}{where}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+class Diagnostics:
+    """An ordered collector of :class:`Diagnostic` records."""
+
+    def __init__(self, items: list[Diagnostic] | None = None) -> None:
+        self._items: list[Diagnostic] = list(items or ())
+
+    # -- collection ---------------------------------------------------------
+
+    def add(
+        self,
+        code: str,
+        severity: str,
+        message: str,
+        span: Span | None = None,
+        node: object = None,
+        data: object = None,
+    ) -> Diagnostic:
+        """Record a finding; ``node`` supplies the span when given."""
+        if severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {severity!r}")
+        if span is None and node is not None:
+            span = span_of(node)
+        diag = Diagnostic(code, severity, message, span, data)
+        self._items.append(diag)
+        return diag
+
+    def error(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.add(code, "error", message, **kwargs)
+
+    def warning(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.add(code, "warning", message, **kwargs)
+
+    def hint(self, code: str, message: str, **kwargs) -> Diagnostic:
+        return self.add(code, "hint", message, **kwargs)
+
+    def extend(self, other: "Diagnostics") -> None:
+        self._items.extend(other._items)
+
+    # -- access -------------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __getitem__(self, index: int) -> Diagnostic:
+        return self._items[index]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "warning"]
+
+    @property
+    def hints(self) -> list[Diagnostic]:
+        return [d for d in self._items if d.severity == "hint"]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == "error" for d in self._items)
+
+    def codes(self) -> list[str]:
+        return [d.code for d in self._items]
+
+    def filter(
+        self, code: str | None = None, severity: str | None = None
+    ) -> "Diagnostics":
+        """A new collector restricted to one code and/or severity."""
+        return Diagnostics(
+            [
+                d
+                for d in self._items
+                if (code is None or d.code == code)
+                and (severity is None or d.severity == severity)
+            ]
+        )
+
+    def sorted(self) -> "Diagnostics":
+        """Most severe first, then document order (stable)."""
+        return Diagnostics(
+            sorted(self._items, key=lambda d: _SEVERITY_RANK[d.severity])
+        )
+
+    # -- rendering and gating -----------------------------------------------
+
+    def render(self) -> str:
+        if not self._items:
+            return "no diagnostics"
+        return "\n".join(d.render() for d in self._items)
+
+    def raise_if_errors(self, context: str = "", cls: type = AnalysisError) -> None:
+        """Raise ``cls`` (default :class:`AnalysisError`) when any finding
+        is error-severity; the exception carries the full collection."""
+        errors = self.errors
+        if not errors:
+            return
+        head = errors[0]
+        prefix = f"{context}: " if context else ""
+        suffix = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        raise cls(f"{prefix}{head.render()}{suffix}", diagnostics=self, span=head.span)
+
+    def assert_clean(self, max_severity: str = "error") -> None:
+        """Assert no finding at or above ``max_severity`` (for tests/CI)."""
+        limit = _SEVERITY_RANK[max_severity]
+        bad = [d for d in self._items if _SEVERITY_RANK[d.severity] <= limit]
+        assert not bad, "unexpected diagnostics:\n" + "\n".join(
+            d.render() for d in bad
+        )

@@ -1,0 +1,211 @@
+"""Static analysis of Datalog programs: safety, stratification, negation.
+
+The bottom-up engines evaluate the *positive* fragment of section 3.4;
+this module is their front gate, and the analyzer's second surface.  It
+runs over a parsed :class:`~repro.datalog.ast.Program` (spans attached
+by the parser) and reports:
+
+=========  ========  ====================================================
+code       severity  meaning
+=========  ========  ====================================================
+DBPL101    error     rule is not range-restricted (unsafe head variable)
+DBPL102    warning   comparison variable not bound by a positive atom
+DBPL103    warning   body predicate never defined (IDB/EDB/facts unknown)
+DBPL104    warning   predicate used with inconsistent arities
+DBPL105    error     negation outside the positive fragment (engine gate)
+DBPL106    error     program is not stratifiable (negation in a cycle)
+DBPL107    error     unsafe negation: negated atom has unbound variables
+DBPL108    hint      singleton variable (likely a typo)
+=========  ========  ====================================================
+
+``DBPL102`` is warning-severity deliberately: the engines bind
+comparison variables from whatever atoms *have* matched by evaluation
+time, and raise their own runtime error otherwise — a static "possibly
+unbound" verdict must not reject programs the engine accepts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..datalog.ast import Atom, Comparison, Program, Rule
+from .diagnostics import Diagnostics
+
+
+def analyze_datalog(
+    program: Program,
+    edb_predicates: set[str] | None = None,
+    positive_only: bool = False,
+) -> Diagnostics:
+    """Analyze a Datalog program; see the module table for rule codes.
+
+    ``edb_predicates`` — extensional predicates known to the caller
+    (engine EDB keys); without it the undefined-predicate check
+    (DBPL103) is skipped, since any body predicate might be extensional.
+    ``positive_only`` — the engine gate: negated atoms become DBPL105
+    errors (the bottom-up engines implement the positive fragment).
+    """
+    diags = Diagnostics()
+    arities: dict[str, int] = {}
+    for rule in program.rules:
+        _check_rule(rule, diags, positive_only)
+        for atom in _atoms_of(rule):
+            known = arities.setdefault(atom.pred, atom.arity)
+            if known != atom.arity:
+                diags.warning(
+                    "DBPL104",
+                    f"predicate {atom.pred}/{atom.arity} also used with "
+                    f"arity {known}",
+                    node=atom,
+                )
+    if edb_predicates is not None:
+        defined = program.predicates() | set(edb_predicates)
+        for rule in program.rules:
+            for lit in rule.body:
+                if isinstance(lit, Atom) and lit.pred not in defined:
+                    diags.warning(
+                        "DBPL103",
+                        f"predicate {lit.pred!r} is never defined "
+                        "(no rule, fact, or extensional relation)",
+                        node=lit,
+                    )
+    _check_stratification(program, diags)
+    return diags
+
+
+def _atoms_of(rule: Rule):
+    yield rule.head
+    for lit in rule.body:
+        if isinstance(lit, Atom):
+            yield lit
+
+
+def _check_rule(rule: Rule, diags: Diagnostics, positive_only: bool) -> None:
+    bound = rule.positive_body_variables()
+    if not rule.is_range_restricted():
+        unsafe = sorted(
+            rule.head.variables() - bound if not rule.is_fact
+            else rule.head.variables()
+        )
+        diags.error(
+            "DBPL101",
+            f"rule is not range-restricted: {rule} "
+            f"(variable(s) {', '.join(unsafe)} not bound by a positive body atom)",
+            node=rule,
+        )
+    occurrences: Counter[str] = Counter()
+    for lit in rule.body:
+        if isinstance(lit, Comparison):
+            for var in sorted(lit.variables() - bound):
+                diags.warning(
+                    "DBPL102",
+                    f"comparison {lit} uses {var!r}, which no positive "
+                    "body atom binds",
+                    node=lit,
+                )
+        elif lit.negated:
+            if positive_only:
+                diags.error(
+                    "DBPL105",
+                    f"negated atom {lit} is outside the positive fragment "
+                    "this engine implements (section 3.4)",
+                    node=lit,
+                )
+            for var in sorted(lit.variables() - bound):
+                diags.error(
+                    "DBPL107",
+                    f"unsafe negation: {lit} uses {var!r}, which no "
+                    "positive body atom binds",
+                    node=lit,
+                )
+        occurrences.update(lit.variables())
+    occurrences.update(rule.head.variables())
+    for var, count in sorted(occurrences.items()):
+        if count == 1 and not var.startswith("_"):
+            diags.hint(
+                "DBPL108",
+                f"variable {var!r} occurs only once in {rule.head.pred}/"
+                f"{rule.head.arity} (use _{var} to silence)",
+                node=rule,
+            )
+
+
+def _check_stratification(program: Program, diags: Diagnostics) -> None:
+    """DBPL106: negation through a dependency cycle has no stratification."""
+    neg_edges: list[tuple[str, str, Atom]] = []
+    graph: dict[str, set[str]] = {}
+    for rule in program.rules:
+        deps = graph.setdefault(rule.head.pred, set())
+        for lit in rule.body:
+            if isinstance(lit, Atom):
+                deps.add(lit.pred)
+                if lit.negated:
+                    neg_edges.append((rule.head.pred, lit.pred, lit))
+    if not neg_edges:
+        return
+    component = _sccs(graph)
+    for head, dep, atom in neg_edges:
+        if component.get(head) is not None and component.get(head) == component.get(dep):
+            diags.error(
+                "DBPL106",
+                f"{head!r} depends negatively on {dep!r} inside a recursive "
+                "cycle; the program has no stratification",
+                node=atom,
+            )
+
+
+def _sccs(graph: dict[str, set[str]]) -> dict[str, int]:
+    """Map each node to its strongly-connected-component id (iterative
+    Tarjan — no recursion limits on deep rule chains)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    component: dict[str, int] = {}
+    counter = [0]
+    comp_id = [0]
+
+    for root in graph:
+        if root in index:
+            continue
+        work: list[tuple[str, list[str], int]] = [(root, sorted(graph.get(root, ())), 0)]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, children, i = work.pop()
+            advanced = False
+            while i < len(children):
+                child = children[i]
+                i += 1
+                if child not in graph:
+                    continue  # pure-EDB dependency: no outgoing edges
+                if child not in index:
+                    work.append((node, children, i))
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, sorted(graph.get(child, ())), 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            if lowlink[node] == index[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = comp_id[0]
+                    if member == node:
+                        break
+                comp_id[0] += 1
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return component
+
+
+__all__ = ["analyze_datalog"]

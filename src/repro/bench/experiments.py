@@ -40,7 +40,7 @@ from ..constructors import (
 )
 from ..datalog import DatalogEngine, parse_atom, parse_program, system_to_program
 from ..dbpl import Session
-from ..errors import ConvergenceError, PositivityError
+from ..errors import ConvergenceError, DBPLError, IntegrityError, PositivityError
 from ..prolog import DepthLimitExceeded, KnowledgeBase, SLDEngine, TabledEngine
 from ..relational import Database
 from ..selectors import selected
@@ -102,7 +102,7 @@ def e01_selectors(sizes=(2, 8, 16)) -> Table:
         def rejected():
             try:
                 refint.assign(bad)
-            except Exception:
+            except IntegrityError:
                 return True
             return False
 
@@ -500,12 +500,16 @@ def e11_access_paths(query_counts=(1, 2, 8, 32)) -> Table:
     node = d.constructed("Infront", "ahead")
     for count in query_counts:
         plain = LogicalAccessPath(db, node, "head", allow_specialization=False)
-        _, t_plain = measure(lambda: [plain.lookup(c) for c in constants[:count]])
+        _, t_plain = measure(
+            lambda p=plain, n=count: [p.lookup(c) for c in constants[:n]]
+        )
         seeded = LogicalAccessPath(db, node, "head")
-        _, t_seeded = measure(lambda: [seeded.lookup(c) for c in constants[:count]])
+        _, t_seeded = measure(
+            lambda p=seeded, n=count: [p.lookup(c) for c in constants[:n]]
+        )
         physical = PhysicalAccessPath(db, node, "head")
         _, t_physical = measure(
-            lambda: [physical.lookup(c) for c in constants[:count]]
+            lambda p=physical, n=count: [p.lookup(c) for c in constants[:n]]
         )
         best = min(
             ("logical recompute", t_plain),
@@ -663,10 +667,16 @@ def e14_planner() -> Table:
         plan_cost = compile_query(db, query, optimizer="cost")
         stats_syn, stats_cost = PlanStats(), PlanStats()
         rows_syn, t_syn = measure(
-            lambda: plan_syn.execute(ExecutionContext(db, stats=stats_syn)), repeat=5
+            lambda p=plan_syn, d_=db, s=stats_syn: p.execute(
+                ExecutionContext(d_, stats=s)
+            ),
+            repeat=5,
         )
         rows_cost, t_cost = measure(
-            lambda: plan_cost.execute(ExecutionContext(db, stats=stats_cost)), repeat=5
+            lambda p=plan_cost, d_=db, s=stats_cost: p.execute(
+                ExecutionContext(d_, stats=s)
+            ),
+            repeat=5,
         )
         table.add(name, len(rows_cost), t_syn, t_cost, stats_syn.rows_scanned // 5,
                   stats_cost.rows_scanned // 5, f"{ratio(t_syn, t_cost):.1f}x",
@@ -1320,7 +1330,7 @@ def _e19_serve(session, clients, ops, prepared: bool,
                 else:
                     session.query(E19_JOIN % bound)
                 lats.append(_time.perf_counter() - start)
-        except Exception as exc:  # pragma: no cover - surfaced by caller
+        except DBPLError as exc:  # pragma: no cover - surfaced by caller
             errors.append(exc)
 
     threads = [_threading.Thread(target=worker, args=(c,)) for c in range(clients)]

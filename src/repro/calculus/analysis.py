@@ -23,7 +23,7 @@ analysis serves raw bodies and instantiated fixpoint systems.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from . import ast
 
@@ -38,6 +38,9 @@ class Occurrence:
     name: Name
     nots: int
     alls: int
+    #: The AST node of the occurrence (span carrier for diagnostics);
+    #: excluded from equality so occurrence sets still compare by content.
+    node: object = field(default=None, compare=False, repr=False)
 
     @property
     def total(self) -> int:
@@ -70,7 +73,7 @@ def range_occurrences(node: ast.Node) -> list[Occurrence]:
 
     def visit_range(rng: ast.RangeExpr, nots: int, alls: int) -> None:
         for name in _range_names(rng):
-            out.append(Occurrence(name, nots, alls))
+            out.append(Occurrence(name, nots, alls, rng))
         if isinstance(rng, (ast.Selected, ast.Constructed)):
             visit_range(rng.base, nots, alls)
             for arg in rng.args:

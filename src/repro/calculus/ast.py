@@ -276,6 +276,16 @@ def is_node(obj: object) -> bool:
     return isinstance(obj, _NODE_TYPES)
 
 
+def node_span(node: object):
+    """The source :class:`~repro.analysis.diagnostics.Span` the parser
+    attached to ``node``, or None for programmatically built nodes.
+
+    Spans live outside the dataclass fields so node equality/hashing —
+    which the compiler uses for canonicalization — is unaffected.
+    """
+    return getattr(node, "_span", None)
+
+
 def iter_children(node: Node) -> Iterator[Node]:
     """Yield the direct AST children of ``node`` in field order."""
     for field in dataclasses.fields(node):

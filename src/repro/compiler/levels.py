@@ -132,7 +132,7 @@ class CompiledStatement:
     def run(self, params: dict | None = None) -> set[tuple]:
         """Execute: fixpoints first (bottom-up), then the top plan."""
         apply_values: dict[object, set] = {}
-        for key, program in self.fixpoints.items():
+        for _key, program in self.fixpoints.items():
             values = program.run()
             for app_key, rows in values.items():
                 apply_values[app_key] = set(rows)

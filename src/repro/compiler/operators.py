@@ -889,7 +889,7 @@ def lower_branch(
     tail_ops: list[Operator] = []
     prev_pos: dict = {}
     current: list[Operator] = []
-    for (kind, payload), items in zip(entries, entry_items):
+    for (kind, payload), _items in zip(entries, entry_items):
         if kind == "access":
             step = payload
             s = bound_rank[step.var]

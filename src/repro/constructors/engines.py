@@ -215,7 +215,7 @@ def _differential_branches(branch: ast.Branch, positions: list[int]) -> list[ast
     to the *old* full value — the standard non-linear differential.
     """
     variants: list[ast.Branch] = []
-    for i, pos_i in enumerate(positions):
+    for i, _pos_i in enumerate(positions):
         new_bindings = list(branch.bindings)
         for j, pos_j in enumerate(positions):
             binding = branch.bindings[pos_j]

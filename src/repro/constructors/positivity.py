@@ -41,7 +41,7 @@ def _constructed_occurrences(node: ast.Node) -> list[Occurrence]:
 
     def visit_range(rng: ast.RangeExpr, nots: int, alls: int) -> None:
         if isinstance(rng, ast.Constructed):
-            out.append(Occurrence(rng.constructor, nots, alls))
+            out.append(Occurrence(rng.constructor, nots, alls, rng))
             visit_range(rng.base, nots, alls)
             for arg in rng.args:
                 if isinstance(arg, (ast.RelRef, ast.Selected, ast.Constructed, ast.QueryRange)):

@@ -44,10 +44,17 @@ Term = Union[Var, Const]
 
 @dataclass(frozen=True)
 class Atom:
-    """``pred(t1, ..., tn)``."""
+    """``pred(t1, ..., tn)``, or its negation ``\\+ pred(t1, ..., tn)``.
+
+    Negated atoms are parsed (PROLOG ``\\+`` spelling) so the static
+    analyzer can check stratification and negation safety; the positive
+    bottom-up engines reject them at their analysis gate (section 3.4
+    covers the *positive* fragment only).
+    """
 
     pred: str
     terms: tuple[Term, ...]
+    negated: bool = False
 
     @property
     def arity(self) -> int:
@@ -60,7 +67,8 @@ class Atom:
         return all(isinstance(t, Const) for t in self.terms)
 
     def __str__(self) -> str:
-        return f"{self.pred}({', '.join(str(t) for t in self.terms)})"
+        text = f"{self.pred}({', '.join(str(t) for t in self.terms)})"
+        return f"\\+ {text}" if self.negated else text
 
 
 @dataclass(frozen=True)
@@ -106,15 +114,19 @@ class Rule:
             out |= lit.variables()
         return out
 
-    def is_range_restricted(self) -> bool:
-        """Every head variable appears in a body atom (safety)."""
-        if self.is_fact:
-            return self.head.is_ground()
+    def positive_body_variables(self) -> set[str]:
+        """Variables bound by a positive body atom (the safe binders)."""
         bound: set[str] = set()
         for lit in self.body:
-            if isinstance(lit, Atom):
+            if isinstance(lit, Atom) and not lit.negated:
                 bound |= lit.variables()
-        return self.head.variables() <= bound
+        return bound
+
+    def is_range_restricted(self) -> bool:
+        """Every head variable appears in a positive body atom (safety)."""
+        if self.is_fact:
+            return self.head.is_ground()
+        return self.head.variables() <= self.positive_body_variables()
 
     def __str__(self) -> str:
         if self.is_fact:

@@ -23,7 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import TranslationError
+from ..analysis.diagnostics import Diagnostics
+from ..errors import DatalogAnalysisError, TranslationError
 from .ast import Atom, Comparison, Const, Program, Rule
 
 Bindings = dict[str, object]
@@ -51,10 +52,22 @@ _CMP = {
 }
 
 
-def _check_safety(program: Program) -> None:
-    for rule in program.rules:
-        if not rule.is_range_restricted():
-            raise TranslationError(f"rule is not range-restricted: {rule}")
+def _analysis_gate(program: Program) -> Diagnostics:
+    """Run the static analyzer over ``program`` and reject on errors.
+
+    Errors (unsafe rules, negation outside the positive fragment,
+    non-stratifiable programs) raise :class:`DatalogAnalysisError`, a
+    span-carrying subclass of :class:`TranslationError`, so existing
+    callers that catch the latter are unaffected.  Warnings and hints
+    are returned for the engine to keep on ``self.diagnostics``.
+    """
+    # Imported here: repro.analysis.rules walks the Datalog AST, so a
+    # module-level import would be circular through the package __init__.
+    from ..analysis.rules import analyze_datalog
+
+    diags = analyze_datalog(program, positive_only=True)
+    diags.raise_if_errors("datalog program rejected", cls=DatalogAnalysisError)
+    return diags
 
 
 def _match_atom(
@@ -86,7 +99,7 @@ class DatalogEngine:
     """Evaluates a positive Datalog program over extensional facts."""
 
     def __init__(self, program: Program, edb: Facts | None = None) -> None:
-        _check_safety(program)
+        self.diagnostics = _analysis_gate(program)
         self.program = program
         self.edb: Facts = {p: set(rows) for p, rows in (edb or {}).items()}
         # Facts written inline in the program join the EDB.
@@ -222,7 +235,7 @@ class DatalogEngine:
                 rec_positions = [
                     i for i, a in enumerate(atoms) if a.pred in self.idb_preds
                 ]
-                for k, rec_pos in enumerate(rec_positions):
+                for _k, rec_pos in enumerate(rec_positions):
                     overrides: list[dict[str, set[tuple]] | None] = []
                     for i, atom in enumerate(atoms):
                         if atom.pred not in self.idb_preds:

@@ -144,7 +144,7 @@ def datalog_to_database(
             facts.setdefault(rule.head.pred, set()).add(
                 tuple(t.value for t in rule.head.terms)  # type: ignore[union-attr]
             )
-    for pred, arity in arities.items():
+    for pred, _arity in arities.items():
         if pred in idb:
             db.declare(f"{pred}__base", rel_types[pred], ())
             if pred in facts and facts[pred]:

@@ -30,9 +30,18 @@ class Token:
     text: str
     line: int
     column: int
+    end_line: int = 0  # position one past the token's raw text
+    end_column: int = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Token({self.kind!r}, {self.text!r} @{self.line}:{self.column})"
+
+
+def _end_of(line: int, col: int, raw: str) -> tuple[int, int]:
+    newlines = raw.count("\n")
+    if newlines:
+        return line + newlines, len(raw) - raw.rfind("\n")
+    return line, col + len(raw)
 
 
 def tokenize(source: str) -> list[Token]:
@@ -41,6 +50,10 @@ def tokenize(source: str) -> list[Token]:
     line = 1
     col = 1
     length = len(source)
+
+    def emit(kind: str, text: str, raw: str) -> None:
+        end_line, end_col = _end_of(line, col, raw)
+        tokens.append(Token(kind, text, line, col, end_line, end_col))
 
     def advance(text: str) -> None:
         nonlocal line, col
@@ -85,7 +98,7 @@ def tokenize(source: str) -> list[Token]:
             if end < 0:
                 raise DBPLSyntaxError("unterminated string literal", line, col)
             text = source[pos : end + 1]
-            tokens.append(Token("string", text[1:-1], line, col))
+            emit("string", text[1:-1], text)
             advance(text)
             pos = end + 1
             continue
@@ -95,7 +108,7 @@ def tokenize(source: str) -> list[Token]:
             while end < length and source[end].isdigit():
                 end += 1
             # do not swallow the '..' of RANGE bounds
-            tokens.append(Token("int", source[pos:end], line, col))
+            emit("int", source[pos:end], source[pos:end])
             advance(source[pos:end])
             pos = end
             continue
@@ -106,18 +119,18 @@ def tokenize(source: str) -> list[Token]:
                 end += 1
             word = source[pos:end]
             kind = word if word in KEYWORDS else "ident"
-            tokens.append(Token(kind, word, line, col))
+            emit(kind, word, word)
             advance(word)
             pos = end
             continue
         # symbols (longest first)
         for symbol in SYMBOLS:
             if source.startswith(symbol, pos):
-                tokens.append(Token(symbol, symbol, line, col))
+                emit(symbol, symbol, symbol)
                 advance(symbol)
                 pos += len(symbol)
                 break
         else:
             raise DBPLSyntaxError(f"unexpected character {ch!r}", line, col)
-    tokens.append(Token("eof", "", line, col))
+    tokens.append(Token("eof", "", line, col, line, col))
     return tokens

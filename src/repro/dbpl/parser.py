@@ -25,6 +25,7 @@ binder rewrites those naming scalar formals into ParamRefs.
 
 from __future__ import annotations
 
+from ..analysis.diagnostics import Span, set_span
 from ..calculus import ast
 from ..errors import DBPLSyntaxError
 from .astnodes import (
@@ -81,6 +82,25 @@ class Parser:
         token = self.peek()
         return DBPLSyntaxError(message + f" (at {token.text!r})", token.line, token.column)
 
+    def _mark(self, start: Token, node):
+        """Attach the source span ``start`` .. last-consumed-token to ``node``.
+
+        ``ast.TRUE`` is a shared singleton and must never carry a span.
+        """
+        if node is ast.TRUE:
+            return node
+        end = self.tokens[self.index - 1] if self.index else start
+        set_span(
+            node,
+            Span(
+                start.line,
+                start.column,
+                end.end_line or end.line,
+                end.end_column or end.column,
+            ),
+        )
+        return node
+
     # -- variable scopes ----------------------------------------------------------
 
     def _push_scope(self, names: set[str]) -> None:
@@ -126,25 +146,27 @@ class Parser:
         return decls
 
     def parse_type_decl(self) -> TypeDecl:
+        start = self.peek()
         name = self.expect("ident").text
         if not (self.accept("=") or self.accept("IS")):
             raise self.error("expected '=' in type declaration")
         texpr = self.parse_type_expr()
         self.expect(";")
-        return TypeDecl(name, texpr)
+        return self._mark(start, TypeDecl(name, texpr))
 
     def parse_type_expr(self):
+        start = self.peek()
         if self.accept("RANGE"):
             lo = int(self.expect("int").text)
             self.expect("..")
             hi = int(self.expect("int").text)
-            return RangeTypeExpr(lo, hi)
+            return self._mark(start, RangeTypeExpr(lo, hi))
         if self.accept("("):
             labels = [self.expect("ident").text]
             while self.accept(","):
                 labels.append(self.expect("ident").text)
             self.expect(")")
-            return EnumTypeExpr(tuple(labels))
+            return self._mark(start, EnumTypeExpr(tuple(labels)))
         if self.accept("RECORD"):
             groups = [self.parse_field_group()]
             while self.accept(";"):
@@ -152,7 +174,7 @@ class Parser:
                     break
                 groups.append(self.parse_field_group())
             self.expect("END")
-            return RecordTypeExpr(tuple(groups))
+            return self._mark(start, RecordTypeExpr(tuple(groups)))
         if self.accept("RELATION"):
             key: list[str] = []
             if self.accept(".."):
@@ -164,40 +186,48 @@ class Parser:
                     key.append(self.expect("ident").text)
             self.expect("OF")
             element = self.parse_type_expr()
-            return RelationTypeExpr(tuple(key), element)
+            return self._mark(start, RelationTypeExpr(tuple(key), element))
         name = self.expect("ident").text
-        return TypeName(name)
+        return self._mark(start, TypeName(name))
 
     def parse_field_group(self) -> FieldGroup:
+        start = self.peek()
         names = [self.expect("ident").text]
         while self.accept(","):
             names.append(self.expect("ident").text)
         self.expect(":")
-        return FieldGroup(tuple(names), self.parse_type_expr())
+        return self._mark(start, FieldGroup(tuple(names), self.parse_type_expr()))
 
     def parse_var_decl(self) -> VarDecl:
+        start = self.peek()
         names = [self.expect("ident").text]
         while self.accept(","):
             names.append(self.expect("ident").text)
         self.expect(":")
+        tstart = self.peek()
         tname = self.expect("ident").text
+        type_name = self._mark(tstart, TypeName(tname))
         self.expect(";")
-        return VarDecl(tuple(names), TypeName(tname))
+        return self._mark(start, VarDecl(tuple(names), type_name))
 
     def parse_params(self) -> tuple[ParamDecl, ...]:
         params: list[ParamDecl] = []
         if self.accept("("):
             while not self.accept(")"):
+                pstart = self.peek()
                 name = self.expect("ident").text
                 self.expect(":")
+                tstart = self.peek()
                 tname = self.expect("ident").text
-                params.append(ParamDecl(name, TypeName(tname)))
+                type_name = self._mark(tstart, TypeName(tname))
+                params.append(self._mark(pstart, ParamDecl(name, type_name)))
                 if not self.at(")"):
                     if not (self.accept(";") or self.accept(",")):
                         raise self.error("expected ';' or ',' between parameters")
         return tuple(params)
 
     def parse_selector_decl(self) -> SelectorDecl:
+        start = self.peek()
         self.expect("SELECTOR")
         name = self.expect("ident").text
         params = self.parse_params()
@@ -226,9 +256,12 @@ class Parser:
         if end_name != name:
             raise self.error(f"END {end_name} does not match SELECTOR {name}")
         self.expect(";")
-        return SelectorDecl(name, params, formal, TypeName(rel_type), var, pred)
+        return self._mark(
+            start, SelectorDecl(name, params, formal, TypeName(rel_type), var, pred)
+        )
 
     def parse_constructor_decl(self) -> ConstructorDecl:
+        start = self.peek()
         self.expect("CONSTRUCTOR")
         name = self.expect("ident").text
         self.expect("FOR")
@@ -248,9 +281,12 @@ class Parser:
         if end_name != name:
             raise self.error(f"END {end_name} does not match CONSTRUCTOR {name}")
         self.expect(";")
-        return ConstructorDecl(
-            name, formal, TypeName(rel_type), params, TypeName(result_type),
-            ast.Query(tuple(branches)),
+        return self._mark(
+            start,
+            ConstructorDecl(
+                name, formal, TypeName(rel_type), params, TypeName(result_type),
+                ast.Query(tuple(branches)),
+            ),
         )
 
     # ======================================================================
@@ -258,6 +294,7 @@ class Parser:
     # ======================================================================
 
     def parse_branch(self) -> ast.Branch:
+        start = self.peek()
         targets: list[ast.Term] | None = None
         target_tokens: int | None = None
         if self.accept("<"):
@@ -295,19 +332,26 @@ class Parser:
             self.index = saved
         pred = self.parse_pred()
         self._pop_scope()
-        return ast.Branch(tuple(bindings), pred, tuple(targets) if targets else None)
+        return self._mark(
+            start, ast.Branch(tuple(bindings), pred, tuple(targets) if targets else None)
+        )
 
     def parse_each_group(self) -> list[ast.Binding]:
-        self.expect("EACH")
+        starts = [self.expect("EACH")]
         names = [self.expect("ident").text]
         while self.at(",") and self.peek(1).kind == "ident" and self.peek(2).kind in (",", "IN"):
             self.next()
+            starts.append(self.peek())
             names.append(self.expect("ident").text)
         self.expect("IN")
         rng = self.parse_range()
-        return [ast.Binding(n, rng) for n in names]
+        # The first binding's span opens at EACH; extra names at themselves.
+        return [
+            self._mark(starts[i], ast.Binding(n, rng)) for i, n in enumerate(names)
+        ]
 
     def parse_range(self) -> ast.RangeExpr:
+        start = self.peek()
         if self.at("{"):
             # inline set expression
             self.expect("{")
@@ -315,22 +359,24 @@ class Parser:
             while self.accept(","):
                 branches.append(self.parse_branch())
             self.expect("}")
-            rng: ast.RangeExpr = ast.QueryRange(ast.Query(tuple(branches)))
+            rng: ast.RangeExpr = self._mark(
+                start, ast.QueryRange(self._mark(start, ast.Query(tuple(branches))))
+            )
         else:
             name = self.expect("ident").text
-            rng = ast.RelRef(name)
+            rng = self._mark(start, ast.RelRef(name))
         while self.at("[") or self.at("{"):
             if self.accept("["):
                 sel = self.expect("ident").text
                 args = self.parse_application_args()
                 self.expect("]")
-                rng = ast.Selected(rng, sel, args)
+                rng = self._mark(start, ast.Selected(rng, sel, args))
             else:
                 self.expect("{")
                 con = self.expect("ident").text
                 args = self.parse_application_args()
                 self.expect("}")
-                rng = ast.Constructed(rng, con, args)
+                rng = self._mark(start, ast.Constructed(rng, con, args))
         return rng
 
     def parse_application_args(self) -> tuple[ast.Argument, ...]:
@@ -351,9 +397,9 @@ class Parser:
                 return self.parse_add_expr()  # correlated attribute argument
             name = self.next().text
             if self._is_bound(name):
-                return ast.VarRef(name)
+                return self._mark(token, ast.VarRef(name))
             # Bare name: relation or scalar formal; the binder decides.
-            return ast.RelRef(name)
+            return self._mark(token, ast.RelRef(name))
         return self.parse_add_expr()
 
     # ======================================================================
@@ -361,28 +407,31 @@ class Parser:
     # ======================================================================
 
     def parse_pred(self) -> ast.Pred:
+        start = self.peek()
         parts = [self.parse_conjunction()]
         while self.accept("OR"):
             parts.append(self.parse_conjunction())
         if len(parts) == 1:
             return parts[0]
-        return ast.Or(tuple(parts))
+        return self._mark(start, ast.Or(tuple(parts)))
 
     def parse_conjunction(self) -> ast.Pred:
+        start = self.peek()
         parts = [self.parse_factor()]
         while self.accept("AND"):
             parts.append(self.parse_factor())
         if len(parts) == 1:
             return parts[0]
-        return ast.And(tuple(parts))
+        return self._mark(start, ast.And(tuple(parts)))
 
     def parse_factor(self) -> ast.Pred:
+        start = self.peek()
         if self.accept("NOT"):
-            return ast.Not(self.parse_factor())
+            return self._mark(start, ast.Not(self.parse_factor()))
         if self.accept("TRUE"):
             return ast.TRUE
         if self.accept("FALSE"):
-            return ast.Not(ast.TRUE)
+            return self._mark(start, ast.Not(ast.TRUE))
         if self.at("SOME") or self.at("ALL"):
             existential = self.next().kind == "SOME"
             names = [self.expect("ident").text]
@@ -396,7 +445,7 @@ class Parser:
             self._pop_scope()
             self.expect(")")
             node = ast.Some if existential else ast.All
-            return node(tuple(names), rng, inner)
+            return self._mark(start, node(tuple(names), rng, inner))
         if self.at("("):
             # Could be a parenthesized predicate or a parenthesized term;
             # try the predicate reading first and backtrack on failure.
@@ -411,15 +460,16 @@ class Parser:
         return self.parse_comparison()
 
     def parse_comparison(self) -> ast.Pred:
+        start = self.peek()
         left = self.parse_add_expr()
         if self.accept("IN"):
             rng = self.parse_range()
-            return ast.InRel(left, rng)
+            return self._mark(start, ast.InRel(left, rng))
         token = self.peek()
         if token.kind in ("=", "<>", "<", "<=", ">", ">="):
             op = self.next().kind
             right = self.parse_add_expr()
-            return ast.Cmp(op, left, right)
+            return self._mark(start, ast.Cmp(op, left, right))
         raise self.error("expected a comparison operator or IN")
 
     # ======================================================================
@@ -427,39 +477,41 @@ class Parser:
     # ======================================================================
 
     def parse_add_expr(self) -> ast.Term:
+        start = self.peek()
         left = self.parse_mul_expr()
         while self.at("+") or self.at("-"):
             op = self.next().kind
             right = self.parse_mul_expr()
-            left = ast.Arith(op, left, right)
+            left = self._mark(start, ast.Arith(op, left, right))
         return left
 
     def parse_mul_expr(self) -> ast.Term:
+        start = self.peek()
         left = self.parse_unary()
         while self.at("*") or self.at("DIV") or self.at("MOD"):
             op = self.next().kind
             right = self.parse_unary()
-            left = ast.Arith(op, left, right)
+            left = self._mark(start, ast.Arith(op, left, right))
         return left
 
     def parse_unary(self) -> ast.Term:
         token = self.peek()
         if token.kind == "int":
             self.next()
-            return ast.Const(int(token.text))
+            return self._mark(token, ast.Const(int(token.text)))
         if token.kind == "string":
             self.next()
-            return ast.Const(token.text)
+            return self._mark(token, ast.Const(token.text))
         if token.kind == "TRUE":
             self.next()
-            return ast.Const(True)
+            return self._mark(token, ast.Const(True))
         if token.kind == "FALSE":
             self.next()
-            return ast.Const(False)
+            return self._mark(token, ast.Const(False))
         if token.kind == "-":
             self.next()
             inner = self.parse_unary()
-            return ast.Arith("-", ast.Const(0), inner)
+            return self._mark(token, ast.Arith("-", ast.Const(0), inner))
         if token.kind == "(":
             self.next()
             inner = self.parse_add_expr()
@@ -471,15 +523,15 @@ class Parser:
             while self.accept(","):
                 items.append(self.parse_add_expr())
             self.expect(">")
-            return ast.TupleCons(tuple(items))
+            return self._mark(token, ast.TupleCons(tuple(items)))
         if token.kind == "ident":
             name = self.next().text
             if self.accept("."):
                 attr = self.expect("ident").text
-                return ast.AttrRef(name, attr)
+                return self._mark(token, ast.AttrRef(name, attr))
             if self._is_bound(name):
-                return ast.VarRef(name)
-            return ast.ParamRef(name)
+                return self._mark(token, ast.VarRef(name))
+            return self._mark(token, ast.ParamRef(name))
         raise self.error("expected a term")
 
     # ======================================================================
@@ -488,28 +540,29 @@ class Parser:
 
     def parse_expression(self):
         """A query expression: set former, or a (suffixed) range."""
+        start = self.peek()
         if self.at("{"):
             self.expect("{")
             branches = [self.parse_branch()]
             while self.accept(","):
                 branches.append(self.parse_branch())
             self.expect("}")
-            node: object = ast.Query(tuple(branches))
+            node: object = self._mark(start, ast.Query(tuple(branches)))
             # allow suffixes after a set former, e.g. {...}{ahead}
             if self.at("[") or self.at("{"):
-                rng: ast.RangeExpr = ast.QueryRange(node)  # type: ignore[arg-type]
+                rng: ast.RangeExpr = self._mark(start, ast.QueryRange(node))  # type: ignore[arg-type]
                 while self.at("[") or self.at("{"):
                     if self.accept("["):
                         sel = self.expect("ident").text
                         args = self.parse_application_args()
                         self.expect("]")
-                        rng = ast.Selected(rng, sel, args)
+                        rng = self._mark(start, ast.Selected(rng, sel, args))
                     else:
                         self.expect("{")
                         con = self.expect("ident").text
                         args = self.parse_application_args()
                         self.expect("}")
-                        rng = ast.Constructed(rng, con, args)
+                        rng = self._mark(start, ast.Constructed(rng, con, args))
                 return rng
             return node
         return self.parse_range()

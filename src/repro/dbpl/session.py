@@ -33,17 +33,39 @@ the compiled fixpoint engine.  The knobs:
 Query shapes the compiler cannot translate fall back to the interpreted
 evaluator transparently (compile-time errors only — runtime errors
 propagate).
+
+Every query and declaration also passes through the static analyzer
+(:mod:`repro.analysis`) before touching the planner.  ``Session.check``
+returns the diagnostics for a source string without executing it; the
+``analysis`` knob picks the gate policy (``"strict"`` rejects
+error-level diagnostics with a span-carrying
+:class:`~repro.errors.AnalysisError`, ``"lint"`` reports without
+rejecting, ``"off"`` skips analysis); ``on_diagnostic`` observes every
+non-fatal diagnostic; ``last_diagnostics`` keeps the most recent batch.
+Branches the analyzer proves empty (contradictory or type-dead
+predicates) are pruned before the planner costs them.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
+from ..analysis.checks import AnalysisResult, Scope, analyze_module, analyze_query
+from ..analysis.diagnostics import Diagnostics, Span
 from ..calculus import ast
 from ..calculus.evaluator import Evaluator
 from ..compiler import construct_compiled
 from ..compiler.plans import DEFAULT_EXECUTOR, DEFAULT_OPTIMIZER
 from ..constructors import construct
 from ..constructors.definition import Constructor
-from ..errors import BindingError, DBPLError, EvaluationError, TranslationError
+from ..errors import (
+    AnalysisError,
+    BindingError,
+    DBPLError,
+    DBPLSyntaxError,
+    EvaluationError,
+    TranslationError,
+)
 from ..relational import Database
 from ..selectors import Parameter, SelectedRelation, Selector
 from ..types import (
@@ -79,6 +101,15 @@ from .serving import (
 )
 
 
+#: Declarations start with one of these; used by :meth:`Session.check` to
+#: decide between the module and expression grammars.
+_DECL_KEYWORDS = ("MODULE", "TYPE", "VAR", "SELECTOR", "CONSTRUCTOR")
+
+ANALYSIS_MODES = ("strict", "lint", "off")
+
+_ANALYSIS_CACHE_SIZE = 256
+
+
 class Session:
     """An interactive DBPL scope over one database."""
 
@@ -88,18 +119,107 @@ class Session:
         name: str = "session",
         executor: str | None = None,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
+        analysis: str = "strict",
+        on_diagnostic=None,
     ) -> None:
+        if analysis not in ANALYSIS_MODES:
+            raise ValueError(
+                f"analysis must be one of {ANALYSIS_MODES}, got {analysis!r}"
+            )
         self.db = db if db is not None else Database(name)
         self.types: dict[str, Type] = dict(ATOMIC_TYPES)
         self.executor = executor
         self.plan_cache = PlanCache(plan_cache_size)
+        self.analysis = analysis
+        self.on_diagnostic = on_diagnostic
+        self.last_diagnostics = Diagnostics()
+        self._analysis_cache: OrderedDict[tuple, AnalysisResult] = OrderedDict()
         self._anon = 0
+
+    # -- static analysis ------------------------------------------------------
+
+    def check(self, source: str) -> Diagnostics:
+        """Statically analyze ``source`` without executing it.
+
+        Accepts either DBPL declarations (module grammar) or a query
+        expression; syntax errors come back as ``DBPL000`` diagnostics
+        rather than raising, so editors and CI can report everything in
+        one pass.  The result is also stored on ``last_diagnostics``.
+        """
+        try:
+            if source.lstrip().startswith(_DECL_KEYWORDS):
+                module = parse_module(source)
+                diags = analyze_module(module, Scope.from_session(self)).diagnostics
+            else:
+                node = parse_expression(source)
+                diags = self._analysis_result(node, source).diagnostics
+        except DBPLSyntaxError as exc:
+            diags = Diagnostics()
+            diags.error(
+                "DBPL000",
+                f"syntax error: {exc}",
+                span=Span(exc.line, exc.column),
+            )
+        self.last_diagnostics = diags
+        return diags
+
+    def _analysis_result(self, node, source: str) -> AnalysisResult:
+        """Analyze a parsed query node through the session analysis cache.
+
+        Keyed by (source, scope stamp): declarations only accumulate, so
+        a stamp match means the same names resolve the same way and the
+        cached result is still valid.
+        """
+        scope = Scope.from_session(self)
+        key = (source, scope.stamp())
+        result = self._analysis_cache.get(key)
+        if result is not None:
+            self._analysis_cache.move_to_end(key)
+            return result
+        result = analyze_query(node, scope)
+        self._analysis_cache[key] = result
+        while len(self._analysis_cache) > _ANALYSIS_CACHE_SIZE:
+            self._analysis_cache.popitem(last=False)
+        return result
+
+    def _gate(self, node, source: str) -> AnalysisResult | None:
+        """The analyzer front gate for :meth:`query` and :meth:`prepare`.
+
+        strict — error diagnostics raise :class:`AnalysisError` (with the
+        first error's span) before any compilation; lint — everything is
+        reported but nothing raises; off — returns None untouched.
+        Diagnostics that do not raise go to the ``on_diagnostic`` hook.
+        """
+        if self.analysis == "off":
+            return None
+        result = self._analysis_result(node, source)
+        self.last_diagnostics = result.diagnostics
+        if self.analysis == "strict":
+            result.diagnostics.raise_if_errors(
+                "query rejected by static analysis", cls=AnalysisError
+            )
+        if self.on_diagnostic is not None:
+            for diag in result.diagnostics:
+                self.on_diagnostic(diag)
+        return result
 
     # -- declarations ---------------------------------------------------------
 
     def execute(self, source: str) -> Module:
-        """Parse and bind DBPL declarations."""
+        """Parse and bind DBPL declarations.
+
+        Declarations are analyzed first (populating ``last_diagnostics``
+        and the ``on_diagnostic`` hook), but the binder's own errors
+        stay authoritative — analysis never rejects a declaration the
+        binder accepts.
+        """
         module = parse_module(source)
+        if self.analysis != "off":
+            diags = analyze_module(module, Scope.from_session(self)).diagnostics
+            self.last_diagnostics = diags
+            if self.on_diagnostic is not None:
+                for diag in diags:
+                    self.on_diagnostic(diag)
         for decl in module.declarations:
             self._bind(decl)
         return module
@@ -217,6 +337,7 @@ class Session:
         interpreted fallbacks.
         """
         node = parse_expression(source)
+        analysis = self._gate(node, source)
         if mode == "interpreted":
             return self._query_interpreted(node, source)
         if isinstance(node, ast.Constructed):
@@ -232,6 +353,11 @@ class Session:
         if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
             node = range_query(node)
         if isinstance(node, ast.Query):
+            if analysis is not None:
+                # Branches the analyzer proved empty never reach the
+                # planner.  Safe here (constants are fixed for this call);
+                # prepare() skips this because rebinding could revive them.
+                node = analysis.prune(node)
             try:
                 plan, constants = self._prepared_plan(node, executor)
             except DBPLError:
@@ -289,6 +415,7 @@ class Session:
             )
         if not isinstance(node, ast.Query):
             raise BindingError(f"not a query expression: {source!r}")
+        self._gate(node, source)
         plan, constants = self._prepared_plan(node, executor)
         return PreparedQuery(plan, constants, source)
 

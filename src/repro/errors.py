@@ -118,3 +118,32 @@ class DBPLSyntaxError(DBPLError):
 
 class BindingError(DBPLError):
     """A parsed DBPL declaration could not be bound to library objects."""
+
+
+# ---------------------------------------------------------------------------
+# Static analysis
+# ---------------------------------------------------------------------------
+
+
+class AnalysisError(DBPLError):
+    """The static analyzer rejected a program before compilation.
+
+    Carries the full :class:`~repro.analysis.diagnostics.Diagnostics`
+    collection (``.diagnostics``) and the span of the first error
+    (``.span``), so callers can point at the offending source text.
+    """
+
+    def __init__(self, message: str, diagnostics=None, span=None) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
+        self.span = span
+        self.line = span.line if span is not None else 0
+        self.column = span.column if span is not None else 0
+
+
+class DatalogAnalysisError(AnalysisError, TranslationError):
+    """Analyzer rejection of a Datalog program at the engine gate.
+
+    Inherits :class:`TranslationError` so existing callers that treat
+    unsafe Datalog as untranslatable keep working.
+    """

@@ -204,6 +204,36 @@ def random_prop_query(rng: random.Random):
     return d.query(*branches)
 
 
+def assert_analyzer_clean(db: Database, query, params: dict | None = None) -> None:
+    """The static analyzer must accept every program the harness runs.
+
+    Generated queries exercise the same front door users do, so an
+    error-level diagnostic on a valid program is an analyzer false
+    positive — caught here across every seed the property suite draws.
+    """
+    from repro.analysis.checks import Scope, analyze_query
+    from repro.types import BOOLEAN
+
+    scope = Scope.from_db(db)
+    for name, value in (params or {}).items():
+        if hasattr(value, "rtype"):
+            ptype = value.rtype
+        elif isinstance(value, bool):
+            ptype = BOOLEAN
+        elif isinstance(value, int):
+            ptype = INTEGER
+        elif isinstance(value, str):
+            ptype = STRING
+        else:
+            ptype = None
+        scope.params[name] = ptype
+    result = analyze_query(query, scope)
+    errors = result.diagnostics.errors
+    assert not errors, "analyzer rejected a valid program:\n" + "\n".join(
+        diag.render() for diag in errors
+    )
+
+
 def assert_plan_accounting(plan, result_size: int) -> None:
     """est/act sanity of a just-executed plan.
 
@@ -241,6 +271,7 @@ def assert_executors_agree(
     """
     from repro.compiler import ExecutionContext, compile_query
 
+    assert_analyzer_clean(db, query, params)
     reference = Evaluator(db, params).eval_query(query)
     if shard_config is None:
         shard_config = forced_shard_config()
@@ -278,6 +309,7 @@ def assert_fixpoint_executors_agree(
     if shard_config is None:
         shard_config = forced_shard_config()
     base_db = db_factory()
+    assert_analyzer_clean(base_db, application)
     base_system = instantiate(base_db, application)
     expected = seminaive_fixpoint(base_db, base_system)[base_system.root]
     for executor in executors:

@@ -298,7 +298,8 @@ class TestBulkLoad:
         rows = [(f"a{i}", f"b{i % 7}") for i in range(100)]
         r1 = db1.declare("X", INFRONTREL)
         r2 = db2.declare("Y", INFRONTREL)
-        r1.stats(), r2.stats()  # force live statistics before loading
+        r1.stats()  # force live statistics before loading
+        r2.stats()
         r1.insert(rows)
         r2.insert_many(rows)
         assert r1.rows() == r2.rows()
