@@ -25,6 +25,11 @@ Built-in backends:
 ``batch``
     The columnar struct-of-arrays pipelines with operator fusion — the
     default everywhere.
+``vector``
+    Dictionary-encoded int-id pipelines over typed column buffers
+    (PR 8), with an optional numpy fast path; falls back per branch to
+    the columnar pipelines for shapes outside the vector coverage rules
+    (residuals, computed ranges, multi-column keys).
 ``sharded``
     Hash-partitioned parallel execution of the columnar pipelines in a
     worker pool (see :mod:`repro.compiler.sharded`), registered when
@@ -33,9 +38,10 @@ Built-in backends:
 
 Fallbacks degrade gracefully and in one direction: ``sharded`` runs
 unsharded (``batch``) when a branch is too small or untranslatable,
-``batch`` falls to ``rowbatch`` when a branch cannot be expressed
-columnar, and both batched modes fall to ``tuple`` when no pipeline can
-be generated at all.
+``vector`` falls to ``batch`` when a branch is outside the vector
+coverage rules, ``batch`` falls to ``rowbatch`` when a branch cannot be
+expressed columnar, and every batched mode falls to ``tuple`` when no
+pipeline can be generated at all.
 """
 
 from __future__ import annotations
@@ -43,7 +49,7 @@ from __future__ import annotations
 #: Every accepted executor mode, in preference order.  Kept in sync with
 #: the registry below (the sharded backend registers lazily, so the name
 #: is listed here even before its module is imported).
-EXECUTOR_NAMES = ("batch", "rowbatch", "tuple", "sharded")
+EXECUTOR_NAMES = ("batch", "vector", "rowbatch", "tuple", "sharded")
 
 
 class ExecutorBackend:
@@ -109,6 +115,23 @@ class BatchBackend(RowBatchBackend):
         return branch.ensure_row_pipeline()
 
 
+class VectorBackend(BatchBackend):
+    """Dictionary-encoded int-id pipelines (PR 8's typed vectors).
+
+    Branches the vector lowering covers run over encoded column buffers;
+    everything else takes the inherited columnar → row-major → tuple
+    fallback chain, so ``executor="vector"`` is always safe to request.
+    """
+
+    name = "vector"
+
+    def _pipeline(self, branch):
+        pipeline = branch.ensure_vector_pipeline()
+        if pipeline is not None:
+            return pipeline
+        return super()._pipeline(branch)
+
+
 _BACKENDS: dict[str, ExecutorBackend] = {}
 
 
@@ -155,3 +178,4 @@ def executor_names() -> tuple[str, ...]:
 register_backend(TupleBackend())
 register_backend(RowBatchBackend())
 register_backend(BatchBackend())
+register_backend(VectorBackend())

@@ -64,11 +64,12 @@ interpreter.
 from __future__ import annotations
 
 from itertools import chain, compress, repeat
-from operator import itemgetter
+from operator import ge, gt, itemgetter, le, lt
 
 from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
 from ..calculus.rewrite import conjoin, conjuncts
+from ..relational.vectors import EncodedTable, get_numpy, translation
 
 #: Shared empty bucket for missed hash probes inside generated loops.
 _EMPTY: tuple = ()
@@ -774,15 +775,22 @@ class BranchPipeline:
     ``columnar`` marks pipelines whose carries are struct-of-arrays
     slots; ``fused`` marks pipelines whose final access/filter operator
     emits the projected result directly (no standalone Project pass).
+    ``shippable`` marks all-vector pipelines whose operators pickle and
+    never touch raw rows or the database — the sharded executor's
+    persistent process pool ships those with per-shard encoded buffers
+    instead of relying on fork-time inheritance.
     """
 
-    __slots__ = ("step_ops", "tail_ops", "columnar", "fused")
+    __slots__ = ("step_ops", "tail_ops", "columnar", "fused", "shippable")
 
-    def __init__(self, step_ops, tail_ops, columnar=False, fused=False) -> None:
+    def __init__(
+        self, step_ops, tail_ops, columnar=False, fused=False, shippable=False
+    ) -> None:
         self.step_ops = step_ops
         self.tail_ops = tail_ops
         self.columnar = columnar
         self.fused = fused
+        self.shippable = shippable
 
     def operators(self):
         for ops in self.step_ops:
@@ -1558,3 +1566,919 @@ def lower_branch_columnar(
     else:
         step_ops[-1][-1].est_rows = est_out
     return BranchPipeline(step_ops, tail_ops, columnar=True, fused=fuse)
+
+
+# ---------------------------------------------------------------------------
+# Vector kernels: dictionary-encoded columns, int-id carries
+# ---------------------------------------------------------------------------
+#
+# Vector batches are ``(n, islots)`` pairs whose slots carry **row
+# indexes** — plain lists, or int64 numpy arrays on the fast path — into
+# per-step encoded tables, instead of lists of Python row objects.
+# Every kernel works on dense int ids: equality joins probe dense
+# id-indexed group tables (through a cached translation array when the
+# two columns' dictionaries differ), comparison filters evaluate one
+# verdict per *dictionary value* rather than per row, and projection
+# deduplicates id tuples before decoding only the distinct survivors.
+#
+# Unlike the columnar pipeline these operators are plain classes (no
+# generated code), so a fully-vector pipeline pickles: sources travel as
+# :class:`SourceRef` handles that drop the Source object at the process
+# boundary, and a shipped pipeline resolves its tables exclusively
+# through ``ctx.encoded_overrides`` (per-shard encoded buffers, keyed by
+# step index).  Shapes the vector lowering does not cover fall back —
+# per-branch to the columnar kernels, and per-operator through the
+# :class:`VectorMaterialize` boundary, which rebuilds the PR 4 row-slot
+# carry so residual predicates and whole-row targets reuse the grouped
+# residual machinery unchanged.
+
+_EMPTY_BUCKET: tuple = ()
+
+#: Ordered comparisons evaluated per dictionary value (see _filter_lut);
+#: = and <> compare ids directly and never build a table.
+_CMP_FNS = {"<": lt, "<=": le, ">": gt, ">=": ge}
+
+#: Normalizing ``const OP attr`` to ``attr OP' const``.
+_SWAPPED_CMP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class SourceRef:
+    """A vector operator's handle to one binding step's source.
+
+    ``key`` is the step's index in the branch — the stable identity the
+    sharded executor uses to attach per-shard encoded tables through
+    ``ctx.encoded_overrides`` (``id(source)`` does not survive pickling;
+    a step index does).  The Source object itself is dropped on pickle:
+    a shipped operator resolves *only* through the overrides.
+    """
+
+    __slots__ = ("key", "source")
+
+    def __init__(self, key: int, source) -> None:
+        self.key = key
+        self.source = source
+
+    def __getstate__(self):
+        # A bare ``self.key`` would be falsy for step 0 and pickle would
+        # skip ``__setstate__`` entirely — always wrap in a tuple.
+        return (self.key,)
+
+    def __setstate__(self, state) -> None:
+        self.key = state[0]
+        self.source = None
+
+
+def _encoded_table(ctx, ref: SourceRef) -> EncodedTable:
+    """Resolve the encoded table a vector operator reads.
+
+    Resolution order: shipped per-shard buffers (``encoded_overrides``,
+    keyed by step index), then row-level source overrides (sharding's
+    in-process pools, serving snapshots) encoded on demand with the
+    relation's persistent dictionaries and cached per execution context,
+    then the relation's own version-cached encoded view.
+    """
+    shipped = ctx.encoded_overrides
+    if shipped is not None:
+        table = shipped.get(ref.key)
+        if table is not None:
+            return table
+    source = ref.source
+    overrides = ctx.source_overrides
+    if overrides is not None:
+        shard = overrides.get(id(source))
+        if shard is not None:
+            rows = shard[0]
+            cache = ctx.vector_cache
+            key = ("enc", ref.key)
+            entry = cache.get(key)
+            if entry is None or entry[0] is not rows:
+                relation = ctx.db.relation(source.name)
+                entry = (rows, EncodedTable.from_rows(rows, relation.dictionaries()))
+                cache[key] = entry
+            return entry[1]
+    return ctx.db.relation(source.name).encoded()
+
+
+def _translation(ctx, src, dst):
+    """Per-execution cached id-translation table between dictionaries.
+
+    Both dictionaries only ever append, so a cached table can only be
+    stale by being too short; the length stamps force a rebuild after
+    either side grows, and the identity checks guard against ``id()``
+    reuse after garbage collection.
+    """
+    if src is dst:
+        return None
+    cache = ctx.vector_cache
+    key = ("xl", id(src), id(dst))
+    entry = cache.get(key)
+    if (
+        entry is None
+        or entry[0] is not src
+        or entry[1] is not dst
+        or entry[2] != len(src.values)
+        or entry[3] != len(dst.values)
+    ):
+        entry = (src, dst, len(src.values), len(dst.values), translation(src, dst))
+        cache[key] = entry
+    return entry[4]
+
+
+def _filter_lut(ctx, dictionary, op: str, value) -> bytearray:
+    """One comparison verdict per dictionary value, cached per execution.
+
+    The bytearray doubles as a numpy bool buffer (``frombuffer`` is zero
+    copy), so both kernel paths gather verdicts by id.  Rebuilt when the
+    dictionary has grown since the cached build — never wrong in
+    between, because ids are append-only.
+    """
+    cache = ctx.vector_cache
+    key = ("lut", id(dictionary), op, value)
+    entry = cache.get(key)
+    if (
+        entry is None
+        or entry[0] is not dictionary
+        or entry[1] != len(dictionary.values)
+    ):
+        cmp = _CMP_FNS[op]
+        lut = bytearray(cmp(v, value) for v in dictionary.values)
+        entry = (dictionary, len(lut), lut)
+        cache[key] = entry
+    return entry[2]
+
+
+def _np_slot(np, slot):
+    """A slot as an int64 numpy array (no copy when it already is one)."""
+    if isinstance(slot, np.ndarray):
+        return slot
+    return np.array(slot, dtype=np.int64)
+
+
+def _list_slot(slot):
+    """A slot as a plain list of ints (no copy when it already is one)."""
+    return slot if type(slot) is list else slot.tolist()
+
+
+def _spec_value(spec, ctx):
+    """Resolve a ``("const", v)`` / ``("param", name)`` value spec."""
+    return spec[1] if spec[0] == "const" else ctx.params[spec[1]]
+
+
+class VectorScan(Operator):
+    """Leading scan over an encoded table: every row index, once."""
+
+    __slots__ = ("ref", "keep")
+
+    def __init__(self, ref: SourceRef, desc: str, keep: bool) -> None:
+        super().__init__(f"VSCAN {desc}")
+        self.ref = ref
+        self.keep = keep
+
+    def run(self, ctx, batch):
+        table = _encoded_table(ctx, self.ref)
+        ctx.stats.rows_scanned += table.n
+        if not self.keep:
+            return (table.n, [])
+        np = get_numpy()
+        if np is not None:
+            return (table.n, [np.arange(table.n, dtype=np.int64)])
+        return (table.n, [list(range(table.n))])
+
+
+class VectorConstLookup(Operator):
+    """Constant/parameter key access: one dense-id bucket for the batch.
+
+    The key value resolves to an id through the column's dictionary
+    (unseen value → id -1 → empty bucket, no scan at all); the bucket is
+    a slice of the build table's probe structure shared by every
+    incoming carry row.
+    """
+
+    __slots__ = ("ref", "position", "spec", "out_plan")
+
+    def __init__(self, ref, desc, position, spec, out_plan) -> None:
+        super().__init__(f"VLOOKUP {desc}[{position}]")
+        self.ref = ref
+        self.position = position
+        self.spec = spec
+        #: Output slot plan: -1 emits this step's matches, ``j >= 0``
+        #: expands the incoming slot ``j`` alongside them.
+        self.out_plan = out_plan
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        table = _encoded_table(ctx, self.ref)
+        ctx.stats.index_lookups += 1
+        vid = table.columns[self.position].dictionary.lookup(
+            _spec_value(self.spec, ctx)
+        )
+        np = get_numpy()
+        if np is not None:
+            order, starts, counts = table.csr(self.position)
+            if 0 <= vid < len(counts):
+                start = starts[vid]
+                bucket = order[start : start + counts[vid]]
+            else:
+                bucket = order[:0]
+            m = len(bucket)
+            ctx.stats.rows_scanned += m * n
+            outs = []
+            for item in self.out_plan:
+                if item < 0:
+                    outs.append(bucket if n == 1 else np.tile(bucket, n))
+                else:
+                    outs.append(np.repeat(_np_slot(np, slots[item]), m))
+            return (n * m, outs)
+        groups = table.groups(self.position)
+        bucket = groups[vid] if 0 <= vid < len(groups) else _EMPTY_BUCKET
+        m = len(bucket)
+        ctx.stats.rows_scanned += m * n
+        outs = []
+        for item in self.out_plan:
+            if item < 0:
+                outs.append(list(bucket) * n)
+            else:
+                outs.append(
+                    list(
+                        chain.from_iterable(
+                            map(repeat, _list_slot(slots[item]), repeat(m))
+                        )
+                    )
+                )
+        return (n * m, outs)
+
+
+class VectorHashJoin(Operator):
+    """Equality join as an int-id probe into a dense group table.
+
+    Probe-side ids translate into the build column's id space through a
+    cached per-dictionary-pair translation array (None when both sides
+    share one dictionary — a self-join column, where ids already agree);
+    misses are -1 and fall out of the bounds check for free.  The numpy
+    path expands matches with repeat/cumsum arithmetic over the build
+    side's CSR layout — no per-row Python at all.
+    """
+
+    __slots__ = (
+        "ref",
+        "build_pos",
+        "probe_ref",
+        "probe_pos",
+        "probe_slot",
+        "out_plan",
+    )
+
+    def __init__(
+        self, ref, desc, build_pos, probe_ref, probe_pos, probe_slot, out_plan
+    ) -> None:
+        super().__init__(f"VJOIN {desc}[{build_pos}]")
+        self.ref = ref
+        self.build_pos = build_pos
+        self.probe_ref = probe_ref
+        self.probe_pos = probe_pos
+        self.probe_slot = probe_slot
+        self.out_plan = out_plan
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        build = _encoded_table(ctx, self.ref)
+        probe = _encoded_table(ctx, self.probe_ref)
+        ctx.stats.index_lookups += n
+        pcol = probe.columns[self.probe_pos]
+        trans = _translation(
+            ctx, pcol.dictionary, build.columns[self.build_pos].dictionary
+        )
+        np = get_numpy()
+        if np is not None:
+            order, starts, counts = build.csr(self.build_pos)
+            ng = len(counts)
+            slot = _np_slot(np, slots[self.probe_slot])
+            if ng == 0 or len(slot) == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return (0, [empty for _ in self.out_plan])
+            keys = pcol.np_ids()[slot]
+            if trans is not None:
+                keys = np.frombuffer(trans, dtype=np.int64)[keys]
+                valid = (keys >= 0) & (keys < ng)
+            else:
+                # Ids are non-negative; the shared dictionary may still
+                # have grown past this build table's probe structure.
+                valid = keys < ng
+            safe = np.where(valid, keys, 0)
+            c = np.where(valid, counts[safe], 0)
+            total = int(c.sum())
+            ctx.stats.rows_scanned += total
+            if total == 0:
+                empty = np.empty(0, dtype=np.int64)
+                return (0, [empty for _ in self.out_plan])
+            base = np.repeat(starts[safe], c)
+            csum = np.cumsum(c)
+            offs = np.arange(total, dtype=np.int64) - np.repeat(csum - c, c)
+            self_idx = order[base + offs]
+            outs = []
+            for item in self.out_plan:
+                if item < 0:
+                    outs.append(self_idx)
+                else:
+                    outs.append(np.repeat(_np_slot(np, slots[item]), c))
+            return (total, outs)
+        groups = build.groups(self.build_pos)
+        ng = len(groups)
+        pids = pcol.ids
+        slot = _list_slot(slots[self.probe_slot])
+        counts_out: list = []
+        cadd = counts_out.append
+        self_out: list = []
+        extend = self_out.extend
+        if trans is None:
+            for i in slot:
+                g = pids[i]
+                if g < ng:
+                    bucket = groups[g]
+                    cadd(len(bucket))
+                    extend(bucket)
+                else:
+                    cadd(0)
+        else:
+            for i in slot:
+                g = trans[pids[i]]
+                if 0 <= g < ng:
+                    bucket = groups[g]
+                    cadd(len(bucket))
+                    extend(bucket)
+                else:
+                    cadd(0)
+        outs = []
+        for item in self.out_plan:
+            if item < 0:
+                outs.append(self_out)
+            else:
+                outs.append(
+                    list(
+                        chain.from_iterable(
+                            map(repeat, _list_slot(slots[item]), counts_out)
+                        )
+                    )
+                )
+        total = len(self_out)
+        ctx.stats.rows_scanned += total
+        return (total, outs)
+
+
+class VectorFilter(Operator):
+    """Single-column comparisons evaluated in id space.
+
+    Equality and inequality compare ids directly — one dictionary lookup
+    per batch, with id -1 meaning "value never encoded", which matches
+    nothing (``=``) or everything (``<>``).  Ordered comparisons gather
+    from a cached per-dictionary verdict table (:func:`_filter_lut`):
+    one comparison per distinct value, not per row.
+    """
+
+    __slots__ = ("conds", "keep_plan")
+
+    def __init__(self, conds, keep_plan, descs) -> None:
+        super().__init__(f"VFILTER [{', '.join(descs)}]")
+        #: (slot, ref, column position, op, value spec) per conjunct.
+        self.conds = conds
+        self.keep_plan = keep_plan
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        np = get_numpy()
+        if np is not None:
+            mask = None
+            for slot_idx, ref, position, op, spec in self.conds:
+                col = _encoded_table(ctx, ref).columns[position]
+                ids = col.np_ids()[_np_slot(np, slots[slot_idx])]
+                value = _spec_value(spec, ctx)
+                if op == "=":
+                    m = ids == col.dictionary.lookup(value)
+                elif op == "<>":
+                    m = ids != col.dictionary.lookup(value)
+                else:
+                    lut = _filter_lut(ctx, col.dictionary, op, value)
+                    m = np.frombuffer(lut, dtype=np.bool_)[ids]
+                mask = m if mask is None else mask & m
+            outs = [_np_slot(np, slots[j])[mask] for j in self.keep_plan]
+            return (int(mask.sum()), outs)
+        mask = None
+        for slot_idx, ref, position, op, spec in self.conds:
+            col = _encoded_table(ctx, ref).columns[position]
+            ids = col.ids
+            slot = _list_slot(slots[slot_idx])
+            value = _spec_value(spec, ctx)
+            if op == "=":
+                vid = col.dictionary.lookup(value)
+                m = [ids[i] == vid for i in slot]
+            elif op == "<>":
+                vid = col.dictionary.lookup(value)
+                m = [ids[i] != vid for i in slot]
+            else:
+                lut = _filter_lut(ctx, col.dictionary, op, value)
+                m = [lut[ids[i]] for i in slot]
+            mask = m if mask is None else [a and b for a, b in zip(mask, m)]
+        outs = [list(compress(_list_slot(slots[j]), mask)) for j in self.keep_plan]
+        total = len(outs[0]) if outs else sum(1 for v in mask if v)
+        return (total, outs)
+
+
+class VectorMaterialize(Operator):
+    """Boundary to the columnar tail: index slots become row slots.
+
+    Emits the PR 4 columnar carry — parallel lists of raw source rows —
+    so residual predicates and whole-row targets reuse the existing
+    grouped residual machinery and row-space projection unchanged.
+    Reads the tables' raw ``rows``, so pipelines containing it never
+    ship across a process boundary.
+    """
+
+    __slots__ = ("specs",)
+
+    def __init__(self, specs) -> None:
+        super().__init__("VMATERIALIZE")
+        #: (index slot, ref) pairs in output slot order.
+        self.specs = specs
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        outs = []
+        for slot_idx, ref in self.specs:
+            rows = _encoded_table(ctx, ref).rows
+            outs.append([rows[i] for i in _list_slot(slots[slot_idx])])
+        return (n, outs)
+
+
+class VectorProject(Operator):
+    """Projection with duplicate elimination in id space.
+
+    Target tuples are gathered as id tuples, deduplicated as ints — the
+    numpy path packs multi-column ids into a single int64 key when the
+    dictionary widths fit, then takes ``np.unique`` — and only the
+    distinct survivors are decoded back to values.  Dedup cost becomes
+    proportional to the distinct count, not the join fan-out.
+    """
+
+    __slots__ = ("terms", "single")
+
+    def __init__(self, desc: str, terms, single: bool) -> None:
+        super().__init__(f"VPROJECT {desc}  (id dedup)")
+        #: ("col", slot, ref, position) | ("row", slot, ref) |
+        #: ("const", value spec), in target order.
+        self.terms = terms
+        self.single = single
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        if self.single:
+            _kind, slot_idx, ref = self.terms[0]
+            rows = _encoded_table(ctx, ref).rows
+            out = list({rows[i] for i in _list_slot(slots[slot_idx])})
+            ctx.stats.tuples_emitted += len(out)
+            return out
+        proto: list = [None] * len(self.terms)
+        dyn: list = []  # (target position, slot, decode list, id keys)
+        for pos, term in enumerate(self.terms):
+            kind = term[0]
+            if kind == "const":
+                proto[pos] = _spec_value(term[1], ctx)
+            elif kind == "col":
+                _k, slot_idx, ref, cpos = term
+                col = _encoded_table(ctx, ref).columns[cpos]
+                dyn.append((pos, slot_idx, col.dictionary.values, col))
+            else:  # "row": dedup by row index, decode through raw rows
+                _k, slot_idx, ref = term
+                dyn.append((pos, slot_idx, _encoded_table(ctx, ref).rows, None))
+        if not dyn:
+            out = [tuple(proto)] if n else []
+            ctx.stats.tuples_emitted += len(out)
+            return out
+        np = get_numpy()
+        if np is not None:
+            arrs = []
+            for _pos, slot_idx, _dec, col in dyn:
+                slot = _np_slot(np, slots[slot_idx])
+                arrs.append(slot if col is None else col.np_ids()[slot])
+            id_cols = self._distinct_np(np, arrs, dyn)
+            if id_cols is not None:
+                out = []
+                append = out.append
+                decoders = [(pos, dec) for pos, _slot, dec, _col in dyn]
+                for gs in zip(*(a.tolist() for a in id_cols)):
+                    for (pos, dec), g in zip(decoders, gs):
+                        proto[pos] = dec[g]
+                    append(tuple(proto))
+                ctx.stats.tuples_emitted += len(out)
+                return out
+            key_lists = [a.tolist() for a in arrs]
+        else:
+            key_lists = []
+            for _pos, slot_idx, _dec, col in dyn:
+                slot = _list_slot(slots[slot_idx])
+                if col is None:
+                    key_lists.append(slot)
+                else:
+                    ids = col.ids
+                    key_lists.append([ids[i] for i in slot])
+        seen: set = set()
+        add = seen.add
+        out = []
+        append = out.append
+        decoders = [(pos, dec) for pos, _slot, dec, _col in dyn]
+        if len(key_lists) == 1:
+            for g in key_lists[0]:
+                if g not in seen:
+                    add(g)
+                    pos, dec = decoders[0]
+                    proto[pos] = dec[g]
+                    append(tuple(proto))
+        else:
+            for gs in zip(*key_lists):
+                if gs not in seen:
+                    add(gs)
+                    for (pos, dec), g in zip(decoders, gs):
+                        proto[pos] = dec[g]
+                    append(tuple(proto))
+        ctx.stats.tuples_emitted += len(out)
+        return out
+
+    @staticmethod
+    def _distinct_np(np, arrs, dyn):
+        """Distinct id rows as per-term arrays, or None when the packed
+        key would overflow int64 (caller falls back to tuple hashing)."""
+        if len(arrs) == 1:
+            return [np.unique(arrs[0])]
+        bits = []
+        for (_pos, _slot, dec, _col), _a in zip(dyn, arrs):
+            width = max(len(dec), 1)
+            bits.append((width - 1).bit_length())
+        if sum(bits) > 62:
+            return None
+        key = arrs[0].astype(np.int64, copy=True)
+        for a, b in zip(arrs[1:], bits[1:]):
+            key <<= b
+            key |= a
+        distinct = np.unique(key)
+        cols = []
+        rem = distinct
+        for b in reversed(bits[1:]):
+            cols.append(rem & ((1 << b) - 1))
+            rem = rem >> b
+        cols.append(rem)
+        cols.reverse()
+        return cols
+
+
+class VectorTailProject(Operator):
+    """Projection over materialized row slots (the fallback tail)."""
+
+    __slots__ = ("terms", "single")
+
+    def __init__(self, desc: str, terms, single: bool) -> None:
+        super().__init__(f"VPROJECT {desc}")
+        #: ("attr", slot, index) | ("row", slot) | ("const", value spec).
+        self.terms = terms
+        self.single = single
+
+    def run(self, ctx, batch):
+        n, slots = batch
+        if self.single:
+            out = list(slots[self.terms[0][1]])
+            ctx.stats.tuples_emitted += len(out)
+            return out
+        proto: list = [None] * len(self.terms)
+        attrs = []
+        rowts = []
+        for pos, term in enumerate(self.terms):
+            if term[0] == "attr":
+                attrs.append((pos, slots[term[1]], term[2]))
+            elif term[0] == "row":
+                rowts.append((pos, slots[term[1]]))
+            else:
+                proto[pos] = _spec_value(term[1], ctx)
+        out = []
+        append = out.append
+        for k in range(n):
+            for pos, col, idx in attrs:
+                proto[pos] = col[k][idx]
+            for pos, col in rowts:
+                proto[pos] = col[k]
+            append(tuple(proto))
+        ctx.stats.tuples_emitted += len(out)
+        return out
+
+
+def _const_spec(term, params):
+    """``("const", v)`` / ``("param", name)`` for an environment-free term."""
+    if isinstance(term, ast.Const):
+        return ("const", term.value)
+    if isinstance(term, ast.ParamRef):
+        return ("param", term.name)
+    return None
+
+
+def _vector_cond(conj, bound_rank, s, schemas, params):
+    """Normalize a filter conjunct to ``(var, position, op, spec)``.
+
+    Accepts single-column ``attr OP const/param`` comparisons with the
+    attribute on either side (the operator is mirrored when the constant
+    is on the left); anything else returns None and the branch keeps the
+    columnar kernels.
+    """
+    if not isinstance(conj, ast.Cmp) or conj.op not in _SWAPPED_CMP:
+        return None
+    for attr_side, other, op in (
+        (conj.left, conj.right, conj.op),
+        (conj.right, conj.left, _SWAPPED_CMP[conj.op]),
+    ):
+        if isinstance(attr_side, ast.AttrRef):
+            rank = bound_rank.get(attr_side.var)
+            schema = schemas.get(attr_side.var)
+            if rank is None or rank > s or schema is None:
+                continue
+            spec = _const_spec(other, params)
+            if spec is None:
+                continue
+            return (attr_side.var, schema.index_of(attr_side.attr), op, spec)
+    return None
+
+
+def lower_branch_vector(
+    steps,
+    residual: ast.Pred,
+    schemas,
+    target_terms,
+    target_desc: str,
+    params: dict,
+    est_out: float | None = None,
+) -> BranchPipeline | None:
+    """Lower priced loop steps into the vector (int-id) pipeline.
+
+    Coverage rules — anything outside them returns None and the branch
+    falls back to the columnar pipeline (then row-major, then tuple):
+
+    * every step reads a stored relation (fixpoint deltas and computed
+      ranges keep the columnar kernels);
+    * accesses are a leading scan, a single-column constant/parameter
+      key, or a single-column equality join keyed on one attribute of
+      an earlier binding;
+    * step filters are single-column ``attr OP const/param`` comparisons;
+    * residual predicates (step-level ones only on the last step) run on
+      the columnar side of a :class:`VectorMaterialize` boundary;
+    * targets are attributes, constants, parameters, or whole rows
+      (whole rows and residuals need raw rows, so those pipelines are
+      not shippable).
+    """
+    if not steps:
+        return None
+    bound_rank = {step.var: s for s, step in enumerate(steps)}
+
+    refs = [SourceRef(s, step.source) for s, step in enumerate(steps)]
+    accesses: list[tuple] = []
+    filters: list[list] = []
+    last = len(steps) - 1
+    for s, step in enumerate(steps):
+        if step.source.kind != "relation":
+            return None
+        kp = step.key_positions
+        if not kp:
+            if s != 0:
+                return None  # mid-pipeline cross product: keep columnar
+            accesses.append(("scan",))
+        elif len(kp) == 1:
+            term = step.key_terms[0]
+            if isinstance(term, ast.AttrRef):
+                prank = bound_rank.get(term.var)
+                pschema = schemas.get(term.var)
+                if prank is None or prank >= s or pschema is None:
+                    return None
+                accesses.append(
+                    ("join", kp[0], term.var, pschema.index_of(term.attr))
+                )
+            else:
+                spec = _const_spec(term, params)
+                if spec is None:
+                    return None
+                accesses.append(("const", kp[0], spec))
+        else:
+            return None
+        conds = []
+        for conj, desc in zip(step.filter_conjs, step.filter_descs):
+            norm = _vector_cond(conj, bound_rank, s, schemas, params)
+            if norm is None:
+                return None
+            conds.append((*norm, desc))
+        filters.append(conds)
+        if step.residual_preds and s != last:
+            return None
+
+    # --- targets --------------------------------------------------------
+    needs_rows = False
+    if target_terms is None:
+        proj: list = []
+        proj_reads = {steps[0].var}
+        needs_rows = True
+    else:
+        proj = []
+        proj_reads = set()
+        for term in target_terms:
+            if isinstance(term, ast.AttrRef):
+                schema = schemas.get(term.var)
+                if term.var not in bound_rank or schema is None:
+                    return None
+                proj.append(("col", term.var, schema.index_of(term.attr)))
+                proj_reads.add(term.var)
+            elif isinstance(term, ast.VarRef):
+                if term.var not in bound_rank:
+                    return None
+                proj.append(("row", term.var))
+                proj_reads.add(term.var)
+                needs_rows = True
+            else:
+                spec = _const_spec(term, params)
+                if spec is None:
+                    return None
+                proj.append(("const", spec))
+
+    # --- entries + liveness (same discipline as the columnar lowering) --
+    entries: list[tuple] = []
+    for s, step in enumerate(steps):
+        acc = accesses[s]
+        entries.append(("access", s, {acc[2]} if acc[0] == "join" else set()))
+        if filters[s]:
+            entries.append(("filter", s, {c[0] for c in filters[s]}))
+    has_residual = not isinstance(residual, ast.TruePred)
+    tail_preds = list(steps[last].residual_preds)
+    tail_mode = has_residual or bool(tail_preds)
+    if tail_mode:
+        tail_reads = set(proj_reads)
+        if tail_preds:
+            tail_reads.add(steps[last].var)
+        if has_residual:
+            for conj in conjuncts(residual):
+                tail_reads |= {
+                    v for v in free_tuple_vars(conj) if v in bound_rank
+                }
+        entries.append(("tail", None, tail_reads))
+    else:
+        entries.append(("project", None, proj_reads))
+
+    n_entries = len(entries)
+    after: list[set] = [set()] * n_entries
+    running: set = set()
+    for k in range(n_entries - 1, -1, -1):
+        after[k] = set(running)
+        running |= entries[k][2]
+
+    # --- generation -----------------------------------------------------
+    step_ops: list[list[Operator]] = []
+    tail_ops: list[Operator] = []
+    layout: list[str] = []
+    current: list[Operator] = []
+    for k, (kind, payload, _reads) in enumerate(entries):
+        if kind == "access":
+            s = payload
+            step = steps[s]
+            acc = accesses[s]
+            slot_of = {v: i for i, v in enumerate(layout)}
+            layout_after = [st.var for st in steps[: s + 1] if st.var in after[k]]
+            desc = step.source.describe()
+            if acc[0] == "scan":
+                op = VectorScan(refs[s], desc, keep=step.var in layout_after)
+            else:
+                out_plan = tuple(
+                    -1 if v == step.var else slot_of[v] for v in layout_after
+                )
+                if acc[0] == "const":
+                    op = VectorConstLookup(refs[s], desc, acc[1], acc[2], out_plan)
+                else:
+                    _j, pos, pvar, ppos = acc
+                    op = VectorHashJoin(
+                        refs[s],
+                        desc,
+                        pos,
+                        refs[bound_rank[pvar]],
+                        ppos,
+                        slot_of[pvar],
+                        out_plan,
+                    )
+            current = [op]
+            step_ops.append(current)
+            layout = layout_after
+        elif kind == "filter":
+            s = payload
+            slot_of = {v: i for i, v in enumerate(layout)}
+            layout_after = [st.var for st in steps[: s + 1] if st.var in after[k]]
+            conds = tuple(
+                (slot_of[var], refs[bound_rank[var]], pos, op_, spec)
+                for var, pos, op_, spec, _desc in filters[s]
+            )
+            descs = [c[-1] for c in filters[s]]
+            op = VectorFilter(
+                conds, tuple(slot_of[v] for v in layout_after), descs
+            )
+            current.append(op)
+            layout = layout_after
+        elif kind == "tail":
+            slot_of = {v: i for i, v in enumerate(layout)}
+            current.append(
+                VectorMaterialize(
+                    tuple((slot_of[v], refs[bound_rank[v]]) for v in layout)
+                )
+            )
+            row_slot = {v: i for i, v in enumerate(layout)}
+            keep = list(range(len(layout)))
+            gen = _ColGen(schemas, params)
+            for pred in tail_preds:
+                var = steps[last].var
+                if var not in row_slot:
+                    return None
+                var_rows = [(var, schemas[var], row_slot[var])]
+                probe = _residual_probe(pred, var_rows, gen)
+                current.append(BatchedResidualFilter(pred, var_rows, keep, probe))
+            if has_residual:
+                for conj in conjuncts(residual):
+                    read_vars = sorted(
+                        (v for v in free_tuple_vars(conj) if v in bound_rank),
+                        key=lambda v: bound_rank[v],
+                    )
+                    if any(v not in row_slot for v in read_vars):
+                        return None
+                    var_rows = [(v, schemas[v], row_slot[v]) for v in read_vars]
+                    probe = _residual_probe(conj, var_rows, gen)
+                    tail_ops.append(
+                        BatchedResidualFilter(conj, var_rows, keep, probe)
+                    )
+            tproj = _vector_tail_project(
+                target_terms, steps, row_slot, schemas, params, target_desc
+            )
+            if tproj is None:
+                return None
+            tail_ops.append(tproj)
+        else:  # pure-vector projection
+            slot_of = {v: i for i, v in enumerate(layout)}
+            if target_terms is None:
+                root = steps[0].var
+                if root not in slot_of:
+                    return None
+                terms: tuple = (("row", slot_of[root], refs[bound_rank[root]]),)
+                op = VectorProject(target_desc, terms, single=True)
+            else:
+                items: list = []
+                for item in proj:
+                    if item[0] == "col":
+                        _c, var, idx = item
+                        items.append(
+                            ("col", slot_of[var], refs[bound_rank[var]], idx)
+                        )
+                    elif item[0] == "row":
+                        _c, var = item
+                        items.append(("row", slot_of[var], refs[bound_rank[var]]))
+                    else:
+                        items.append(item)
+                op = VectorProject(target_desc, tuple(items), single=False)
+            tail_ops.append(op)
+
+    for s, ops in enumerate(step_ops):
+        ops[-1].est_rows = steps[s].est_cumulative
+    if tail_ops:
+        tail_ops[-1].est_rows = est_out
+    else:
+        step_ops[-1][-1].est_rows = est_out
+    return BranchPipeline(
+        step_ops,
+        tail_ops,
+        columnar=True,
+        fused=False,
+        shippable=not tail_mode and not needs_rows,
+    )
+
+
+def _vector_tail_project(
+    target_terms, steps, row_slot, schemas, params, target_desc
+):
+    """Build the row-space projection closing a materialized tail."""
+    if target_terms is None:
+        j = row_slot.get(steps[0].var)
+        if j is None:
+            return None
+        return VectorTailProject(target_desc, (("row", j),), single=True)
+    terms = []
+    for term in target_terms:
+        if isinstance(term, ast.AttrRef):
+            j = row_slot.get(term.var)
+            schema = schemas.get(term.var)
+            if j is None or schema is None:
+                return None
+            terms.append(("attr", j, schema.index_of(term.attr)))
+        elif isinstance(term, ast.VarRef):
+            j = row_slot.get(term.var)
+            if j is None:
+                return None
+            terms.append(("row", j))
+        else:
+            spec = _const_spec(term, params)
+            if spec is None:
+                return None
+            terms.append(("const", spec))
+    return VectorTailProject(target_desc, tuple(terms), single=False)

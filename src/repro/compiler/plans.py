@@ -58,7 +58,13 @@ from ..errors import DBPLError, EvaluationError, NameResolutionError, SchemaErro
 from ..relational import Database, HashIndex
 from ..types import RecordType
 from .executors import EXECUTOR_NAMES, get_backend
-from .operators import Dedup, _batch_len, lower_branch, lower_branch_columnar
+from .operators import (
+    Dedup,
+    _batch_len,
+    lower_branch,
+    lower_branch_columnar,
+    lower_branch_vector,
+)
 
 #: Join orders are enumerated exactly (Selinger-style subset DP) up to
 #: this many bindings per branch; wider branches fall back to greedy
@@ -132,6 +138,15 @@ class ExecutionContext:
         #: override map per shard so generated pipelines transparently
         #: see partition views instead of whole sources.
         self.source_overrides: dict[int, tuple] | None = None
+        #: Shipped per-shard encoded tables for the vector kernels,
+        #: keyed by branch step index (SourceRef.key) — set only inside
+        #: sharded process-pool workers, where Source identities do not
+        #: survive pickling.  Checked before source_overrides.
+        self.encoded_overrides: dict[int, object] | None = None
+        #: Per-execution-context cache of the vector kernels: encoded
+        #: override tables, dictionary translation arrays, and filter
+        #: verdict tables (see repro.compiler.operators._encoded_table).
+        self.vector_cache: dict = {}
         #: Sharded-executor tuning for plans run under this context
         #: (None → the module defaults of repro.compiler.sharded).
         self.shard_config = None
@@ -721,6 +736,11 @@ class BranchPlan:
     #: The row-major batched pipeline of PR 3, kept as benchmark E17's
     #: measurement baseline (``executor="rowbatch"``).
     row_pipeline: object | None = None
+    #: The dictionary-encoded vector pipeline (``executor="vector"``):
+    #: _PENDING until first use, then a BranchPipeline, or None when the
+    #: branch shape is outside the vector coverage rules (the columnar
+    #: pipeline is the fallback).
+    vector_pipeline: object | None = None
     # Actual per-step binding counts, accumulated over every execution of
     # this plan; explain() divides by `executions` so the reported actuals
     # stay commensurable with the per-execution estimates.
@@ -758,6 +778,20 @@ class BranchPlan:
                 est_out=self.est_out,
             )
         return self.row_pipeline
+
+    def ensure_vector_pipeline(self):
+        """Lower to the vector pipeline on first use (None on failure)."""
+        if self.vector_pipeline is _PENDING:
+            self.vector_pipeline = lower_branch_vector(
+                self.steps,
+                self.residual,
+                self.schemas,
+                self.target_terms,
+                self.target_desc,
+                self.params,
+                est_out=self.est_out,
+            )
+        return self.vector_pipeline
 
     def execute(
         self, ctx: ExecutionContext, out: set, executor: str | None = None
@@ -1285,6 +1319,7 @@ def compile_branch(
         params=params,
         pipeline=_PENDING,
         row_pipeline=_PENDING,
+        vector_pipeline=_PENDING,
     )
 
 

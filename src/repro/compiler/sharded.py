@@ -52,8 +52,10 @@ unavailable.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
+from array import array
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from functools import partial
@@ -61,9 +63,10 @@ from functools import partial
 from ..calculus.analysis import free_tuple_vars
 from ..errors import DBPLError
 from ..relational.indexes import ShardView, partition_rows, partition_views
+from ..relational.vectors import ColumnVector, EncodedTable, get_numpy
 from .executors import BatchBackend, register_backend
-from .operators import _batch_len
-from .plans import ExecutionContext, _compile_value
+from .operators import VectorHashJoin, _batch_len
+from .plans import ExecutionContext, PlanStats, _compile_value
 
 
 @dataclass(frozen=True)
@@ -76,12 +79,22 @@ class ShardConfig:
     unavailable).  Branches whose leading source holds fewer than
     ``min_rows`` rows run unsharded; above that, one shard is created
     per ``rows_per_shard`` leading rows, clamped to the worker count.
+
+    ``inner`` selects the per-shard pipeline: ``"batch"`` (the columnar
+    kernels) or ``"vector"`` (the dictionary-encoded int-id kernels,
+    falling back per branch to columnar for uncovered shapes).
+    ``reuse_pool`` lets fully-shippable vector branches run on one
+    persistent fork pool — workers are forked once and each shard task
+    ships its compact encoded buffers over the pipe — instead of paying
+    per-call pool setup through fork-time task inheritance.
     """
 
     workers: int | None = None
     pool: str = "thread"
     min_rows: int = 4096
     rows_per_shard: int = 2048
+    inner: str = "batch"
+    reuse_pool: bool = True
 
     def effective_workers(self) -> int:
         return self.workers if self.workers else (os.cpu_count() or 1)
@@ -297,11 +310,168 @@ def _run_shard(pipeline, db, params, apply_values, overrides):
     return batch, step_counts, op_counts, ctx.stats
 
 
-#: Fork-inherited task table for the process pool (set pre-fork, read by
-#: workers through :func:`_fork_call`; only shard indexes cross the pipe).
-#: Guarded by :data:`_FORK_LOCK` across the whole set → fork → map →
-#: reset window, so two concurrent process-pool executions can never
-#: fork against each other's task table.
+class _VectorShardContext:
+    """The minimal execution context a *shipped* vector shard needs.
+
+    Shippable vector pipelines resolve every table through
+    ``encoded_overrides`` and never touch the database, the evaluator,
+    or raw rows — so the worker side carries only parameters, private
+    statistics, and the per-execution vector caches.
+    """
+
+    __slots__ = (
+        "params",
+        "stats",
+        "encoded_overrides",
+        "source_overrides",
+        "vector_cache",
+    )
+
+    def __init__(self, params: dict, overrides: dict) -> None:
+        self.params = params
+        self.stats = PlanStats()
+        self.encoded_overrides = overrides
+        self.source_overrides = None
+        self.vector_cache: dict = {}
+
+
+def _run_vector_shard(payload):
+    """Persistent-pool task: one shipped vector shard, end to end.
+
+    ``payload`` is ``(pipeline, overrides, params)`` — all genuinely
+    picklable: vector operators carry :class:`~.operators.SourceRef`
+    handles (the Source object is dropped in transit) and the override
+    tables ship only their id buffers and dictionaries.  Returns the
+    same ``(batch, step_counts, op_counts, stats)`` shape as
+    :func:`_run_shard`.
+    """
+    pipeline, overrides, params = payload
+    ctx = _VectorShardContext(params, overrides)
+    step_counts: list[int] = []
+    op_counts: list[int] = []
+    batch = (1, [])
+    for ops in pipeline.step_ops:
+        for op in ops:
+            batch = op.run(ctx, batch)
+            op_counts.append(_batch_len(batch))
+        step_counts.append(_batch_len(batch))
+    for op in pipeline.tail_ops:
+        batch = op.run(ctx, batch)
+        op_counts.append(_batch_len(batch))
+    return batch, step_counts, op_counts, ctx.stats
+
+
+def _partition_encoded(table: EncodedTable, pos: int | None, k: int) -> list:
+    """Split an encoded table into ``k`` shard tables, in id space.
+
+    With a key column, rows land by the hash of their *decoded* value —
+    one hash per distinct dictionary value, matching the value hashing
+    of the row-level partitioners so probe and build sides stay aligned.
+    Without one (no aligned join), contiguous slices split the scan.
+    The shard tables carry no raw rows (they are built to ship).
+    """
+    n = table.n
+    if pos is None:
+        bounds = [n * i // k for i in range(k + 1)]
+        return [
+            EncodedTable(
+                tuple(
+                    ColumnVector(c.ids[a:b], c.dictionary) for c in table.columns
+                ),
+                None,
+                b - a,
+            )
+            for a, b in zip(bounds, bounds[1:])
+        ]
+    col = table.columns[pos]
+    shard_of = [hash(v) % k for v in col.dictionary.values]
+    np = get_numpy()
+    shards = []
+    if np is not None:
+        shard_arr = (
+            np.array(shard_of, dtype=np.int64)[col.np_ids()]
+            if shard_of
+            else np.zeros(n, dtype=np.int64)
+        )
+        for s in range(k):
+            mask = shard_arr == s
+            columns = []
+            for c in table.columns:
+                ids = array("q")
+                ids.frombytes(np.ascontiguousarray(c.np_ids()[mask]).tobytes())
+                columns.append(ColumnVector(ids, c.dictionary))
+            shards.append(EncodedTable(tuple(columns), None, int(mask.sum())))
+        return shards
+    buckets = [array("q") for _ in range(k)]
+    appends = [b.append for b in buckets]
+    for i, g in enumerate(col.ids):
+        appends[shard_of[g]](i)
+    for idx in buckets:
+        columns = tuple(
+            ColumnVector(array("q", map(c.ids.__getitem__, idx)), c.dictionary)
+            for c in table.columns
+        )
+        shards.append(EncodedTable(columns, None, len(idx)))
+    return shards
+
+
+def _vector_alignment(pipeline):
+    """The first hash join probing a column of the leading table.
+
+    Partitioning the lead table on that join's probe column and the
+    join's build table on its build column (both by decoded-value hash)
+    puts every probe row in the shard that holds all its matches, so
+    each worker builds a ``1/k`` group table.  Build refs are never step
+    0 (a join's build side is its own step's relation), so the lead
+    partition is only ever read by row index — never probed into —
+    which keeps the shard-local tables consistent.
+    """
+    for ops in pipeline.step_ops:
+        for op in ops:
+            if isinstance(op, VectorHashJoin) and op.probe_ref.key == 0:
+                return op
+    return None
+
+
+#: Persistent fork pools for shipped vector shards, keyed by worker
+#: count.  Workers are forked once (first use) and stay resident: every
+#: subsequent sharded execution only pays task pickling — the compact
+#: encoded buffers — not pool setup.  Workers are daemonic, so they die
+#: with the interpreter; the atexit hook just makes shutdown tidy.
+_PROCESS_POOLS: dict[int, object] = {}
+_PROCESS_LOCK = threading.Lock()
+
+
+def _process_pool(workers: int):
+    pool = _PROCESS_POOLS.get(workers)
+    if pool is None:
+        with _PROCESS_LOCK:
+            pool = _PROCESS_POOLS.get(workers)
+            if pool is None:
+                import multiprocessing
+
+                fork = multiprocessing.get_context("fork")
+                pool = fork.Pool(processes=workers)
+                _PROCESS_POOLS[workers] = pool
+    return pool
+
+
+@atexit.register
+def _shutdown_process_pools() -> None:
+    for pool in _PROCESS_POOLS.values():
+        pool.terminate()
+    _PROCESS_POOLS.clear()
+
+
+#: Fork-inherited task table for the per-call process pool (set
+#: pre-fork, read by workers through :func:`_fork_call`; only shard
+#: indexes cross the pipe).  Guarded by :data:`_FORK_LOCK` across the
+#: whole set → fork → map → reset window, so two concurrent
+#: process-pool executions can never fork against each other's task
+#: table.  Columnar pipelines (generated closures, database handles)
+#: cannot pickle, so they must inherit state at fork time — which is
+#: why this path pays pool setup per call; shippable vector pipelines
+#: take the persistent pool above instead.
 _FORK_TASKS = None
 _FORK_LOCK = threading.Lock()
 
@@ -359,11 +529,24 @@ class ShardedBackend(BatchBackend):
     name = "sharded"
 
     def execute_branch(self, branch, ctx, out: set, dedup=None) -> None:
-        pipeline = self._pipeline(branch)
+        config = ctx.shard_config or DEFAULT_CONFIG
+        pipeline = None
+        if config.inner == "vector":
+            pipeline = branch.ensure_vector_pipeline()
+        if pipeline is None:
+            pipeline = self._pipeline(branch)
         if pipeline is None:
             branch.execute_tuple(ctx, out)
             return
-        config = ctx.shard_config or DEFAULT_CONFIG
+        if (
+            config.inner == "vector"
+            and config.pool == "process"
+            and config.reuse_pool
+            and pipeline.shippable
+            and hasattr(os, "fork")
+            and self._execute_shipped(branch, pipeline, ctx, out, dedup, config)
+        ):
+            return
         shard_overrides = self._plan_shards(branch, ctx, config)
         if shard_overrides is None:
             batch = branch.execute_batch(ctx, pipeline)
@@ -382,6 +565,56 @@ class ShardedBackend(BatchBackend):
         ]
         results = _run_tasks(tasks, config)
         self._merge(branch, pipeline, ctx, results, out, dedup)
+
+    # -- shipped vector shards ----------------------------------------------
+
+    def _execute_shipped(self, branch, pipeline, ctx, out, dedup, config) -> bool:
+        """Run a shippable vector pipeline on the persistent fork pool.
+
+        Ships each shard as data — the picklable vector pipeline plus a
+        per-step map of encoded tables (the lead table partitioned, an
+        aligned join's build table partitioned to match, every other
+        step's table whole; pickle memoization dedups the shared
+        dictionaries within a payload) — so repeated executions reuse
+        one long-lived pool instead of re-forking per call.  Returns
+        False (caller falls back to fork-time inheritance) when the
+        context carries overrides the shipped tables would shadow, when
+        any step is not a stored relation, or when sharding is moot.
+        """
+        if ctx.source_overrides or ctx.encoded_overrides:
+            return False
+        steps = branch.steps
+        if not steps or any(s.source.kind != "relation" for s in steps):
+            return False
+        try:
+            tables = {
+                i: ctx.db.relation(s.source.name).encoded()
+                for i, s in enumerate(steps)
+            }
+        except DBPLError:
+            return False
+        k = shard_count(tables[0].n, config)
+        if k <= 1:
+            return False
+        align = _vector_alignment(pipeline)
+        if align is None:
+            lead_parts = _partition_encoded(tables[0], None, k)
+            build_key = None
+        else:
+            lead_parts = _partition_encoded(tables[0], align.probe_pos, k)
+            build_key = align.ref.key
+            build_parts = _partition_encoded(tables[build_key], align.build_pos, k)
+        payloads = []
+        for i in range(k):
+            overrides = dict(tables)
+            overrides[0] = lead_parts[i]
+            if build_key is not None:
+                overrides[build_key] = build_parts[i]
+            payloads.append((pipeline, overrides, ctx.params))
+        pool = _process_pool(min(config.effective_workers(), k))
+        results = pool.map(_run_vector_shard, payloads)
+        self._merge(branch, pipeline, ctx, results, out, dedup)
+        return True
 
     # -- planning ------------------------------------------------------------
 

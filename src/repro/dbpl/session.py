@@ -49,8 +49,8 @@ predicates) are pruned before the planner costs them.
 from __future__ import annotations
 
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
-from ..analysis.checks import AnalysisResult, Scope, analyze_module, analyze_query
 from ..analysis.diagnostics import Diagnostics, Span
 from ..calculus import ast
 from ..calculus.evaluator import Evaluator
@@ -99,6 +99,23 @@ from .serving import (
     parameterize,
     range_query,
 )
+
+if TYPE_CHECKING:
+    from ..analysis.checks import AnalysisResult
+
+
+def _checks():
+    """The static-analyzer module, imported on first use.
+
+    ``analysis.checks`` imports this package for the parser's AST nodes,
+    so an eager import here would make ``import repro.analysis.checks``
+    order-dependent — whichever side loads first would see the other
+    half-initialized.  Deferring to call time breaks the cycle in both
+    directions.
+    """
+    from ..analysis import checks
+
+    return checks
 
 
 #: Declarations start with one of these; used by :meth:`Session.check` to
@@ -149,7 +166,10 @@ class Session:
         try:
             if source.lstrip().startswith(_DECL_KEYWORDS):
                 module = parse_module(source)
-                diags = analyze_module(module, Scope.from_session(self)).diagnostics
+                checks = _checks()
+                diags = checks.analyze_module(
+                    module, checks.Scope.from_session(self)
+                ).diagnostics
             else:
                 node = parse_expression(source)
                 diags = self._analysis_result(node, source).diagnostics
@@ -170,13 +190,14 @@ class Session:
         a stamp match means the same names resolve the same way and the
         cached result is still valid.
         """
-        scope = Scope.from_session(self)
+        checks = _checks()
+        scope = checks.Scope.from_session(self)
         key = (source, scope.stamp())
         result = self._analysis_cache.get(key)
         if result is not None:
             self._analysis_cache.move_to_end(key)
             return result
-        result = analyze_query(node, scope)
+        result = checks.analyze_query(node, scope)
         self._analysis_cache[key] = result
         while len(self._analysis_cache) > _ANALYSIS_CACHE_SIZE:
             self._analysis_cache.popitem(last=False)
@@ -215,7 +236,10 @@ class Session:
         """
         module = parse_module(source)
         if self.analysis != "off":
-            diags = analyze_module(module, Scope.from_session(self)).diagnostics
+            checks = _checks()
+            diags = checks.analyze_module(
+                module, checks.Scope.from_session(self)
+            ).diagnostics
             self.last_diagnostics = diags
             if self.on_diagnostic is not None:
                 for diag in diags:

@@ -24,11 +24,21 @@ from .indexes import (
 from .relation import Relation
 from .rows import Row
 from .stats import ColumnStats, DeltaStats, Histogram, StatsCatalog, TableStats
+from .vectors import (
+    ColumnVector,
+    Dictionary,
+    EncodedTable,
+    numpy_enabled,
+    set_numpy_enabled,
+)
 
 __all__ = [
     "ColumnStats",
+    "ColumnVector",
     "Database",
     "DeltaStats",
+    "Dictionary",
+    "EncodedTable",
     "HashIndex",
     "Histogram",
     "IndexCache",
@@ -39,6 +49,8 @@ __all__ = [
     "SnapshotView",
     "StatsCatalog",
     "TableStats",
+    "numpy_enabled",
+    "set_numpy_enabled",
     "antijoin",
     "partition_rows",
     "partition_views",

@@ -29,9 +29,13 @@ from ..types import RelationType, check_relation_assignment
 from .indexes import HashIndex, IndexCache, PartitionCache, ShardView, SnapshotView
 from .rows import Row
 from .stats import TableStats
+from .vectors import Dictionary, EncodedTable
 
 #: Sentinel row-list cache entry: (version, list) — replaced atomically.
 _NO_RAW: tuple[int, list[tuple]] = (-1, [])
+
+#: Sentinel encoded-view cache entry, same discipline as :data:`_NO_RAW`.
+_NO_ENCODED: tuple[int, EncodedTable | None] = (-1, None)
 
 
 class Relation:
@@ -46,6 +50,8 @@ class Relation:
         "_partition_cache",
         "_stats",
         "_raw_entry",
+        "_dicts",
+        "_encoded_entry",
         "_write_lock",
     )
 
@@ -65,6 +71,11 @@ class Relation:
         #: (version, rows-as-list), one tuple swapped atomically so the
         #: stamp can never be paired with another version's list.
         self._raw_entry: tuple[int, list[tuple]] = _NO_RAW
+        #: Per-column dictionaries (created on first encode, then kept
+        #: forever — append-only, so ids stay stable across versions).
+        self._dicts: tuple[Dictionary, ...] | None = None
+        #: (version, EncodedTable), swapped atomically like _raw_entry.
+        self._encoded_entry: tuple[int, EncodedTable | None] = _NO_ENCODED
         #: Writers serialize here; readers never take it.
         self._write_lock = threading.Lock()
         rows = tuple(rows)
@@ -199,9 +210,31 @@ class Relation:
             self.rtype.check_key(list(old_rows) + raw)
             new_rows = set(old_rows)
             new_rows.update(raw)
+            fresh: list[tuple] = []
+            seen: set[tuple] = set()
+            for row in raw:
+                if row not in old_rows and row not in seen:
+                    seen.add(row)
+                    fresh.append(row)
             if self._stats is not None:
-                self._stats.add_rows_batch(set(raw) - old_rows)
+                self._stats.add_rows_batch(fresh)
+            raw_entry = self._raw_entry
+            encoded_entry = self._encoded_entry
+            old_version = self._version
             self._commit(new_rows)
+            # Incremental maintenance of the cached row list and encoded
+            # vectors, on the same mutation path as the statistics: when
+            # both caches describe the pre-insert version, append the
+            # genuinely fresh rows instead of letting the next reader
+            # re-list and re-encode the whole relation.
+            if fresh and raw_entry[0] == old_version:
+                new_list = raw_entry[1] + fresh
+                self._raw_entry = (self._version, new_list)
+                if encoded_entry[0] == old_version and encoded_entry[1] is not None:
+                    self._encoded_entry = (
+                        self._version,
+                        encoded_entry[1].extended(fresh, new_list),
+                    )
 
     def insert_many(self, rows: Iterable[object]) -> None:
         """Bulk ``rel :+ rex``: the explicit batch-load entry point.
@@ -263,6 +296,43 @@ class Relation:
         return self._partition_cache.get(
             self._version, positions, k, self.raw_list()
         )
+
+    # -- encoded vectors ------------------------------------------------------
+
+    def dictionaries(self) -> tuple[Dictionary, ...]:
+        """One append-only value↔id :class:`Dictionary` per column.
+
+        Created on first use and kept for the relation's lifetime —
+        dictionaries never shrink, so ids stay stable across every
+        mutation and version-stamped encoded views remain mutually
+        comparable (the vector executor's join translation tables and
+        snapshot encodings rely on this).
+        """
+        dicts = self._dicts
+        if dicts is None:
+            with self._write_lock:
+                dicts = self._dicts
+                if dicts is None:
+                    dicts = self._dicts = tuple(
+                        Dictionary() for _ in self.rtype.element.attribute_names
+                    )
+        return dicts
+
+    def encoded(self) -> EncodedTable:
+        """The current rows as dictionary-encoded column vectors.
+
+        Cached per relation version next to :meth:`raw_list` (one
+        ``(version, table)`` entry swapped atomically); inserts extend
+        the cached table incrementally (see :meth:`insert`), other
+        mutations invalidate and the next reader re-encodes against the
+        persistent dictionaries.
+        """
+        entry = self._encoded_entry
+        version, rows = self._raw_pair()
+        if entry[0] != version or entry[1] is None:
+            entry = (version, EncodedTable.from_rows(rows, self.dictionaries()))
+            self._encoded_entry = entry
+        return entry[1]
 
     # -- statistics ---------------------------------------------------------
 

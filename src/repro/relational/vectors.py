@@ -1,0 +1,346 @@
+"""Typed column vectors: dictionary encoding over compact int-id buffers.
+
+The columnar executor of PR 4 still carries Python object rows: every
+hash probe hashes a full value tuple, every filter compares boxed
+values, and every dedup hashes tuples of objects.  This module gives
+each relation column a :class:`Dictionary` — an append-only bijection
+between attribute values and dense int ids — and backs the encoded
+columns with ``array('q')`` buffers (:class:`ColumnVector`), so the hot
+operator kernels become integer work: equality joins probe dense
+id-indexed tables, range and inequality filters compare against
+per-dictionary lookup tables, and duplicate elimination reduces to
+id-tuple set operations.
+
+Encoding properties the executor relies on:
+
+* **Ids are stable.**  A dictionary only ever appends; a value keeps
+  its id across relation mutations, so encoded views of two versions of
+  the same relation (or a snapshot and the live value) are directly
+  comparable, and translation tables between two columns' dictionaries
+  can be cached and extended instead of rebuilt.
+* **Id tuples biject with value tuples.**  Deduplicating encoded rows
+  and then decoding the distinct id tuples yields exactly the distinct
+  value tuples.
+* **Buffers are immutable once built.**  An :class:`EncodedTable` is
+  version-stamped by its owning relation and never mutated afterwards —
+  growth builds a new table (copy + extend, see
+  :meth:`EncodedTable.extended`), so concurrent readers and zero-copy
+  numpy views stay safe.
+
+The optional **numpy fast path** is a feature gate, not a dependency:
+:func:`get_numpy` returns the module only when it is importable *and*
+enabled (``set_numpy_enabled`` / the ``REPRO_VECTOR_NUMPY`` environment
+variable), and every kernel in :mod:`repro.compiler.operators` degrades
+to the pure-stdlib ``array`` path when it returns None.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from array import array
+from operator import itemgetter
+
+__all__ = [
+    "ColumnVector",
+    "Dictionary",
+    "EncodedTable",
+    "get_numpy",
+    "numpy_enabled",
+    "set_numpy_enabled",
+    "translation",
+]
+
+#: Environment kill switch for the numpy fast path: set to ``0``,
+#: ``false``, or ``off`` to force the pure-stdlib ``array`` kernels even
+#: when numpy is importable (the CI no-numpy leg uses a genuinely absent
+#: numpy; this gate lets any environment test the same code path).
+_NUMPY_ENV = "REPRO_VECTOR_NUMPY"
+
+#: Tri-state override installed by :func:`set_numpy_enabled`:
+#: None → follow the environment/availability, True/False → forced.
+_NUMPY_OVERRIDE: bool | None = None
+
+#: Lazily imported numpy module, or False once the import failed.
+_NUMPY_MODULE = None
+
+
+def _env_allows_numpy() -> bool:
+    return os.environ.get(_NUMPY_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+def set_numpy_enabled(flag: bool | None) -> None:
+    """Force the numpy fast path on/off, or None to restore auto-detect.
+
+    Forcing True still degrades cleanly when numpy is not importable —
+    the gate can enable the fast path, never conjure the dependency.
+    """
+    global _NUMPY_OVERRIDE
+    _NUMPY_OVERRIDE = flag
+
+
+def get_numpy():
+    """The numpy module when the fast path is enabled, else None."""
+    global _NUMPY_MODULE
+    if _NUMPY_OVERRIDE is False:
+        return None
+    if _NUMPY_OVERRIDE is None and not _env_allows_numpy():
+        return None
+    if _NUMPY_MODULE is None:
+        try:
+            import numpy
+        except ImportError:
+            numpy = False
+        _NUMPY_MODULE = numpy
+    return _NUMPY_MODULE or None
+
+
+def numpy_enabled() -> bool:
+    """True when vector kernels will take the numpy fast path."""
+    return get_numpy() is not None
+
+
+class Dictionary:
+    """An append-only bijection between column values and dense int ids.
+
+    ``ids[value]`` is the value's id, ``values[id]`` the id's value; ids
+    are assigned in first-encounter order and never reused or removed,
+    so every id handed out stays valid forever (deleted rows leave their
+    values registered — harmless, and what keeps snapshot views and
+    cached translation tables comparable across relation versions).
+
+    Encoding serializes on a private lock (two threads racing to encode
+    a fresh value must agree on its id); lookups and decodes are
+    lock-free reads of append-only structures.
+    """
+
+    __slots__ = ("ids", "values", "_lock")
+
+    def __init__(self) -> None:
+        self.ids: dict = {}
+        self.values: list = []
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def encode_batch(self, column) -> array:
+        """Encode an iterable of values, registering fresh ones."""
+        ids = self.ids
+        out = array("q")
+        append = out.append
+        missing = object()
+        get = ids.get
+        pending: list = []
+        for value in column:
+            i = get(value, missing)
+            if i is missing:
+                pending.append((len(out), value))
+                append(-1)
+            else:
+                append(i)
+        if pending:
+            with self._lock:
+                values = self.values
+                for pos, value in pending:
+                    i = get(value, missing)
+                    if i is missing:
+                        i = ids[value] = len(values)
+                        values.append(value)
+                    out[pos] = i
+        return out
+
+    def encode(self, value) -> int:
+        """The value's id, registering it when unseen."""
+        i = self.ids.get(value)
+        if i is not None:
+            return i
+        with self._lock:
+            i = self.ids.get(value)
+            if i is None:
+                i = self.ids[value] = len(self.values)
+                self.values.append(value)
+        return i
+
+    def lookup(self, value) -> int:
+        """The value's id, or -1 when the value was never encoded."""
+        i = self.ids.get(value)
+        return -1 if i is None else i
+
+    def decode(self, i: int):
+        return self.values[i]
+
+    # Locks do not pickle; a shipped dictionary (sharded process-pool
+    # tasks carry encoded shard tables) reconstructs a private one.
+    def __getstate__(self):
+        return (self.ids, self.values)
+
+    def __setstate__(self, state) -> None:
+        self.ids, self.values = state
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<Dictionary {len(self.values)} values>"
+
+
+class ColumnVector:
+    """One encoded column: an ``array('q')`` of ids plus its dictionary.
+
+    The buffer is immutable once the vector is built (growth copies, see
+    :meth:`EncodedTable.extended`), which makes the lazily created numpy
+    view (:meth:`np_ids` — ``frombuffer``, zero copy) safe to cache.
+    """
+
+    __slots__ = ("ids", "dictionary", "_np")
+
+    def __init__(self, ids: array, dictionary: Dictionary) -> None:
+        self.ids = ids
+        self.dictionary = dictionary
+        self._np = None
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def np_ids(self):
+        """The ids as a zero-copy int64 numpy view (fast path only)."""
+        view = self._np
+        if view is None:
+            np = get_numpy()
+            if np is None:
+                return None
+            view = self._np = np.frombuffer(self.ids, dtype=np.int64)
+        return view
+
+    def nbytes(self) -> int:
+        return len(self.ids) * self.ids.itemsize
+
+    def __getstate__(self):
+        return (self.ids, self.dictionary)
+
+    def __setstate__(self, state) -> None:
+        self.ids, self.dictionary = state
+        self._np = None
+
+
+class EncodedTable:
+    """All columns of one committed relation state, dictionary-encoded.
+
+    ``rows`` is the aligned raw row list the table was encoded from
+    (row ``i``'s value tuple — late materialization and residual
+    fallbacks read it); it is dropped when the table is pickled, so a
+    sharded process-pool task ships only the compact id buffers and the
+    dictionaries.
+
+    Per-column probe structures are built lazily and cached: ``groups``
+    is the dense id → row-index table the int-id hash joins probe, and
+    ``csr`` its numpy form (stable argsort order + per-id starts and
+    counts).  Benign build races only waste work — assignment of the
+    finished structure is atomic.
+    """
+
+    __slots__ = ("columns", "rows", "n", "_groups", "_csr")
+
+    def __init__(self, columns: tuple, rows: list | None, n: int) -> None:
+        self.columns = columns
+        self.rows = rows
+        self.n = n
+        self._groups: dict = {}
+        self._csr: dict = {}
+
+    @classmethod
+    def from_rows(cls, rows: list, dictionaries: tuple) -> "EncodedTable":
+        rows = rows if isinstance(rows, list) else list(rows)
+        columns = tuple(
+            ColumnVector(d.encode_batch(map(itemgetter(j), rows)), d)
+            for j, d in enumerate(dictionaries)
+        )
+        return cls(columns, rows, len(rows))
+
+    def extended(self, fresh_rows: list, all_rows: list) -> "EncodedTable":
+        """A new table appending ``fresh_rows``: copy buffers + encode.
+
+        The incremental-maintenance path of ``Relation.insert`` — a
+        memcpy of the existing id buffers plus one dictionary pass over
+        the new rows, instead of re-encoding the whole relation.
+        """
+        columns = []
+        for j, col in enumerate(self.columns):
+            ids = array("q", col.ids)
+            ids.extend(col.dictionary.encode_batch(map(itemgetter(j), fresh_rows)))
+            columns.append(ColumnVector(ids, col.dictionary))
+        return EncodedTable(tuple(columns), all_rows, len(all_rows))
+
+    def column(self, pos: int) -> ColumnVector:
+        return self.columns[pos]
+
+    def groups(self, pos: int) -> list:
+        """Dense probe table: ``groups[id]`` lists the row indexes whose
+        column ``pos`` encodes to ``id`` (sized to the dictionary at
+        build time; probes bounds-check)."""
+        table = self._groups.get(pos)
+        if table is None:
+            col = self.columns[pos]
+            table = [[] for _ in range(len(col.dictionary))]
+            for i, v in enumerate(col.ids):
+                table[v].append(i)
+            self._groups[pos] = table
+        return table
+
+    def csr(self, pos: int):
+        """Numpy probe table ``(order, starts, counts)`` for column ``pos``.
+
+        ``order`` is a stable argsort of the ids; the rows matching id
+        ``g`` are ``order[starts[g] : starts[g] + counts[g]]``.  Returns
+        None when the numpy fast path is disabled.
+        """
+        entry = self._csr.get(pos)
+        if entry is None:
+            np = get_numpy()
+            if np is None:
+                return None
+            col = self.columns[pos]
+            ids = col.np_ids()
+            counts = np.bincount(ids, minlength=len(col.dictionary))
+            starts = counts.cumsum() - counts
+            order = np.argsort(ids, kind="stable")
+            entry = self._csr[pos] = (order, starts, counts)
+        return entry
+
+    # Shipping: only the id buffers and dictionaries cross a process
+    # boundary; the raw row list (and the lazily built probe caches)
+    # stay behind.  Operators that need ``rows`` — late materialization,
+    # whole-row targets — are excluded from shippable pipelines by the
+    # lowering (see ``lower_branch_vector``).
+    def __getstate__(self):
+        return (self.columns, self.n)
+
+    def __setstate__(self, state) -> None:
+        self.columns, self.n = state
+        self.rows = None
+        self._groups = {}
+        self._csr = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        return f"<EncodedTable {self.n} x {len(self.columns)} cols>"
+
+
+def translation(src: Dictionary, dst: Dictionary) -> array | None:
+    """Id-translation table from ``src``'s id space into ``dst``'s.
+
+    ``translation(src, dst)[src_id]`` is the dst id encoding the same
+    value, or -1 when dst never saw it (a join probe miss).  Returns
+    None when both columns share one dictionary (a self-join on the
+    same column — ids already agree).  Cost is one lookup per *distinct*
+    src value; callers cache per execution keyed by the dictionary pair
+    (both dictionaries only append, so a cached table is only ever too
+    short, never wrong — see ``ExecutionContext.vector_cache`` users).
+    """
+    if src is dst:
+        return None
+    get = dst.ids.get
+    return array("q", (get(v, -1) for v in src.values))

@@ -8,6 +8,7 @@ and the fixpoint driver's per-iteration delta partitioning.
 """
 
 import random
+from dataclasses import replace
 
 import pytest
 
@@ -208,6 +209,65 @@ class TestShardedFixpoint:
         baseline = compile_fixpoint(db2, system2, executor="batch").run()
         assert values[system.root] == baseline[system2.root]
         assert program.replans >= 1
+
+
+class TestShippedVectorShards:
+    """The persistent-pool ship path for ``inner="vector"`` (PR 8)."""
+
+    CONFIG = ShardConfig(
+        workers=3, min_rows=0, rows_per_shard=1, inner="vector", pool="process"
+    )
+
+    def _join_query(self):
+        return d.query(
+            d.branch(
+                d.each("x", "R"), d.each("y", "T"),
+                pred=d.eq(d.a("x", "k"), d.a("y", "k")),
+                targets=[d.a("x", "n"), d.a("y", "n")],
+            )
+        )
+
+    def _run(self, db, q, config):
+        plan = compile_query(db, q)
+        ctx = ExecutionContext(db)
+        ctx.shard_config = config
+        return plan, plan.execute(ctx, executor="sharded")
+
+    def test_shipped_results_match_batch(self):
+        rng = random.Random(29)
+        rows = {(f"k{rng.randrange(5)}", i) for i in range(60)}
+        db = _db(rows)
+        q = self._join_query()
+        plan, shipped = self._run(db, q, self.CONFIG)
+        assert shipped == compile_query(db, q).execute(
+            ExecutionContext(db), executor="batch"
+        )
+        report = plan.branches[0].shards
+        assert report is not None and report.k == 3
+        assert report.merged_total == len(shipped)
+
+    def test_persistent_pool_reused_across_executions(self):
+        """Repeated sharded vector executions must not pay pool setup:
+        the fork pool is created once per worker count and reused."""
+        from repro.compiler import sharded as sharded_mod
+
+        db = _db({(f"k{i % 5}", i) for i in range(60)})
+        q = self._join_query()
+        self._run(db, q, self.CONFIG)
+        pools = dict(sharded_mod._PROCESS_POOLS)
+        assert pools, "shipped path never engaged a persistent pool"
+        for _ in range(3):
+            self._run(db, q, self.CONFIG)
+        assert dict(sharded_mod._PROCESS_POOLS) == pools
+
+    def test_reuse_pool_off_takes_legacy_path_and_agrees(self):
+        db = _db({(f"k{i % 5}", i) for i in range(60)})
+        q = self._join_query()
+        config = replace(self.CONFIG, reuse_pool=False)
+        _plan, rows = self._run(db, q, config)
+        assert rows == compile_query(db, q).execute(
+            ExecutionContext(db), executor="batch"
+        )
 
 
 class TestUnknownExecutor:

@@ -1,0 +1,224 @@
+"""Unit tests for the typed-vector layer (PR 8).
+
+The dictionary/encoded-table machinery of
+:mod:`repro.relational.vectors`, its incremental maintenance on
+``Relation``, the numpy feature gate, and the pickling contract the
+sharded process pool ships encoded shards with.  Cross-backend
+result agreement lives in ``test_executor_properties.py``; this file
+pins the data structures themselves.
+"""
+
+import pickle
+import random
+from array import array
+
+import pytest
+
+from helpers import assert_executors_agree, random_prop_database
+from repro.calculus import dsl as d
+from repro.relational import (
+    Dictionary,
+    EncodedTable,
+    Relation,
+    numpy_enabled,
+    set_numpy_enabled,
+)
+from repro.relational.vectors import get_numpy, translation
+from repro.types import INTEGER, STRING, record, relation_type
+
+PART = record("partrec", part=STRING, weight=INTEGER)
+PARTS = relation_type("partsrel", PART, key=("part",))
+
+
+@pytest.fixture
+def no_numpy():
+    set_numpy_enabled(False)
+    try:
+        yield
+    finally:
+        set_numpy_enabled(None)
+
+
+class TestDictionary:
+    def test_encode_assigns_dense_first_encounter_ids(self):
+        dic = Dictionary()
+        assert [dic.encode(v) for v in ("b", "a", "b", "c")] == [0, 1, 0, 2]
+        assert dic.values == ["b", "a", "c"]
+        assert len(dic) == 3
+
+    def test_encode_batch_matches_encode(self):
+        dic = Dictionary()
+        ids = dic.encode_batch(["x", "y", "x", "z", "y"])
+        assert isinstance(ids, array)
+        assert list(ids) == [0, 1, 0, 2, 1]
+
+    def test_lookup_miss_is_minus_one(self):
+        dic = Dictionary()
+        dic.encode("present")
+        assert dic.lookup("present") == 0
+        assert dic.lookup("absent") == -1
+
+    def test_decode_roundtrip(self):
+        dic = Dictionary()
+        for v in (1, "two", None, (3, 4)):
+            assert dic.decode(dic.encode(v)) == v
+
+    def test_pickle_recreates_lock_and_keeps_ids(self):
+        dic = Dictionary()
+        dic.encode_batch(["a", "b"])
+        clone = pickle.loads(pickle.dumps(dic))
+        assert clone.values == ["a", "b"]
+        assert clone.lookup("b") == 1
+        clone.encode("c")  # the recreated lock must work
+        assert clone.lookup("c") == 2
+
+
+class TestTranslation:
+    def test_maps_shared_values_and_marks_misses(self):
+        src, dst = Dictionary(), Dictionary()
+        src.encode_batch(["a", "b", "c"])
+        dst.encode_batch(["c", "a"])
+        assert list(translation(src, dst)) == [1, -1, 0]
+
+    def test_same_dictionary_is_identity(self):
+        dic = Dictionary()
+        dic.encode("a")
+        assert translation(dic, dic) is None
+
+
+def _table(rows):
+    dics = (Dictionary(), Dictionary())
+    return EncodedTable.from_rows(rows, dics), dics
+
+
+class TestEncodedTable:
+    ROWS = [("a", 1), ("b", 2), ("a", 3), ("c", 1)]
+
+    def test_from_rows_encodes_columnwise(self):
+        table, dics = _table(self.ROWS)
+        assert table.n == 4
+        assert list(table.columns[0].ids) == [0, 1, 0, 2]
+        assert list(table.columns[1].ids) == [0, 1, 2, 0]
+        assert table.rows is self.ROWS or table.rows == self.ROWS
+        assert table.columns[0].dictionary is dics[0]
+
+    def test_extended_appends_without_reencoding(self):
+        table, _dics = _table(self.ROWS)
+        fresh = [("b", 9), ("d", 1)]
+        grown = table.extended(fresh, self.ROWS + fresh)
+        assert grown.n == 6
+        assert list(grown.columns[0].ids) == [0, 1, 0, 2, 1, 3]
+        assert list(grown.columns[1].ids) == [0, 1, 2, 0, 3, 0]
+        # The original buffers were copied, not mutated.
+        assert table.n == 4
+        assert len(table.columns[0].ids) == 4
+
+    def test_groups_is_dense_id_to_row_indexes(self):
+        table, _dics = _table(self.ROWS)
+        assert table.groups(0) == [[0, 2], [1], [3]]
+        assert table.groups(1) == [[0, 3], [1], [2]]
+
+    def test_csr_matches_groups(self):
+        if get_numpy() is None:
+            pytest.skip("numpy fast path unavailable")
+        table, _dics = _table(self.ROWS)
+        order, starts, counts = table.csr(0)
+        for g, bucket in enumerate(table.groups(0)):
+            rows = sorted(order[starts[g] : starts[g] + counts[g]].tolist())
+            assert rows == bucket
+
+    def test_csr_is_none_without_numpy(self, no_numpy):
+        table, _dics = _table(self.ROWS)
+        assert table.csr(0) is None
+
+    def test_pickle_ships_buffers_not_rows(self):
+        table, _dics = _table(self.ROWS)
+        table.groups(0)  # populate a probe cache
+        clone = pickle.loads(pickle.dumps(table))
+        assert clone.rows is None
+        assert clone.n == 4
+        assert list(clone.columns[0].ids) == [0, 1, 0, 2]
+        assert clone.columns[0].dictionary.decode(2) == "c"
+        # Probe caches rebuild on the far side.
+        assert clone.groups(0) == [[0, 2], [1], [3]]
+
+
+class TestNumpyGate:
+    def test_set_numpy_enabled_forces_off(self, no_numpy):
+        assert get_numpy() is None
+        assert not numpy_enabled()
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_NUMPY", "off")
+        assert get_numpy() is None
+        monkeypatch.setenv("REPRO_VECTOR_NUMPY", "1")
+        set_numpy_enabled(None)
+        assert numpy_enabled() == (get_numpy() is not None)
+
+    def test_forcing_on_never_conjures_numpy(self):
+        set_numpy_enabled(True)
+        try:
+            np = get_numpy()
+            assert np is None or np.__name__ == "numpy"
+        finally:
+            set_numpy_enabled(None)
+
+
+class TestRelationEncoding:
+    def test_encoded_is_version_cached(self):
+        rel = Relation("Parts", PARTS, [("table", 30), ("vase", 2)])
+        table = rel.encoded()
+        assert table is rel.encoded()
+        assert table.n == 2
+
+    def test_insert_maintains_encoding_incrementally(self):
+        rel = Relation("Parts", PARTS, [("table", 30)])
+        before = rel.encoded()
+        dics = rel.dictionaries()
+        rel.insert([("vase", 2)])
+        after = rel.encoded()
+        assert after is not before
+        assert after.n == 2
+        assert rel.dictionaries() is dics  # dictionaries persist
+        # Ids are stable across versions: "table" keeps id 0.
+        assert list(after.columns[0].ids)[0] == list(before.columns[0].ids)[0]
+
+    def test_dictionaries_cover_all_committed_values(self):
+        rel = Relation("Parts", PARTS, [("table", 30), ("vase", 2)])
+        rel.encoded()
+        part_dic = rel.dictionaries()[0]
+        assert {part_dic.lookup("table"), part_dic.lookup("vase")} == {0, 1}
+
+
+class TestSourceRefPickling:
+    def test_step_zero_ref_survives_pickle(self):
+        """A falsy ``__getstate__`` would skip ``__setstate__`` for key 0."""
+        from repro.compiler.operators import SourceRef
+
+        for key in (0, 3):
+            clone = pickle.loads(pickle.dumps(SourceRef(key, object())))
+            assert clone.key == key
+            assert clone.source is None
+
+
+class TestVectorFallback:
+    def test_uncovered_shape_falls_back_and_agrees(self):
+        """A computed-range / residual query is outside the vector
+        lowering's coverage; ``executor="vector"`` must still answer via
+        the columnar fallback chain."""
+        rng = random.Random(23)
+        db = random_prop_database(rng)
+        query = d.query(
+            d.branch(
+                d.each("x", "P"),
+                d.each("y", "Q"),
+                pred=d.and_(
+                    d.eq(d.a("x", "f"), d.a("y", "k")),
+                    # Column-to-column comparison: not a const/param
+                    # filter, so the vector lowering rejects the branch.
+                    d.le(d.a("x", "n"), d.a("y", "n")),
+                ),
+                targets=[d.a("x", "k"), d.a("y", "f")],
+            )
+        )
+        assert_executors_agree(db, query, executors=("vector", "batch"))
