@@ -1,0 +1,106 @@
+"""E21 — standing queries: incremental maintenance vs re-execution.
+
+``Session.subscribe`` keeps a query's answer materialized and maintains
+it inside each commit: the relation write path hands the net delta to a
+per-database registry, counting maintenance (or fixpoint resumption for
+constructed ranges) folds it into every watcher's result, and one shared
+``_DeltaState`` amortizes the per-commit setup across all watchers.  The
+acceptance bar — maintaining 1k standing queries under a mixed
+insert/delete stream >= 5x faster than re-executing each per batch, with
+bit-identical answers — is asserted by the headline test (opt-in on
+quiet boxes; CI's perf gate is the bench-gate baseline comparison of
+``ivm_speedup``).  The sweep also regenerates the E21 table.
+"""
+
+import os
+
+import pytest
+
+from benchtable import write_table
+from repro.bench import experiments
+from repro.bench.experiments import e21_ivm_case, e21_sources, e21_stream
+
+
+def _replay(session, stream):
+    emp = session.db.relation("Emp")
+    for inserted, deleted in stream:
+        session.insert("Emp", inserted)
+        emp.delete(deleted)
+
+
+def test_e21_subscriptions_match_fresh_queries():
+    s = e21_ivm_case(rows=300)
+    sources = e21_sources(40)
+    subs = [s.subscribe(source) for source in sources]
+    for batch in e21_stream(rows=300, batches=4, k=5):
+        _replay(s, [batch])
+        for sub, source in zip(subs, sources):
+            assert sub.rows() == s.query(source), source
+    assert sum(sub.recomputes for sub in subs) == 0
+
+
+def test_e21_unsubscribed_sessions_skip_the_write_hook():
+    s = e21_ivm_case(rows=300)
+    assert s.db.subscriptions is None  # no registry until first subscribe
+    sub = s.subscribe(e21_sources(1)[0])
+    assert s.db.subscriptions is not None
+    sub.close()
+    assert not s.db.subscriptions.subscriptions
+
+
+@pytest.mark.benchmark(group="E21-ivm")
+def test_e21_maintain_under_stream(benchmark):
+    s = e21_ivm_case(rows=600)
+    sources = e21_sources(100)
+    subs = [s.subscribe(source) for source in sources]
+    stream = e21_stream(rows=600, batches=3, k=6)
+    _replay(s, stream[:1])  # price the delta handlers
+    benchmark.pedantic(lambda: _replay(s, stream[1:]), rounds=1, iterations=1)
+    for sub, source in zip(subs, sources):
+        assert sub.rows() == s.query(source)
+
+
+@pytest.mark.benchmark(group="E21-ivm")
+def test_e21_reexecute_per_batch(benchmark):
+    s = e21_ivm_case(rows=600)
+    sources = e21_sources(100)
+    stream = e21_stream(rows=600, batches=3, k=6)
+    _replay(s, stream[:1])  # prime the plan cache
+
+    def run():
+        for batch in stream[1:]:
+            _replay(s, [batch])
+            answers = [s.query(source) for source in sources]
+        return answers
+
+    answers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(answers)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("E21_HEADLINE"),
+    reason="the 1k-subscription sweep needs a quiet box; opt in with "
+    "E21_HEADLINE=1 — CI's perf gate is the bench-gate job's "
+    "ivm_speedup baseline comparison, not this smoke-step assertion",
+)
+def test_e21_headline_speedup():
+    """The acceptance bar: maintaining 1k standing queries >= 5x faster
+    than re-executing each per batch.  Run it explicitly::
+
+        E21_HEADLINE=1 PYTHONPATH=src python -m pytest \\
+            benchmarks/bench_e21_ivm.py -k headline -q
+    """
+    table = experiments.e21_ivm()
+    assert table.metrics["ivm_speedup"] >= 5.0, table.render()
+
+
+@pytest.mark.benchmark(group="E21-table")
+def test_e21_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: experiments.e21_ivm(sub_counts=(100, 400), rows=1_200),
+        rounds=1,
+        iterations=1,
+    )
+    write_table("e21", table)
+    assert all(row[-1] for row in table.rows)  # answers bit-identical
+    assert table.metrics["ivm_speedup"] > 0

@@ -32,6 +32,7 @@ from .constructors import (
     construct_bounded,
     define_constructor,
 )
+from .compiler.options import ExecOptions
 from .relational import Database, Relation, Row
 from .selectors import Parameter, SelectedRelation, Selector, define_selector, selected
 from .types import (
@@ -75,6 +76,7 @@ __all__ = [
     "Database",
     "EnumType",
     "EvaluationError",
+    "ExecOptions",
     "Field",
     "INTEGER",
     "IntegrityError",

@@ -55,6 +55,7 @@ from ..constructors.instantiate import (
 from ..errors import ConvergenceError, PositivityError
 from ..relational import Database, DeltaStats
 from .operators import DeltaApply
+from .options import _UNSET, ExecOptions, resolve_options
 from .plans import (
     DEFAULT_EXECUTOR,
     DEFAULT_OPTIMIZER,
@@ -183,8 +184,8 @@ class CompiledFixpoint:
             # pipelines (delta hash sides, fused projection) are rebuilt
             # against the re-enumerated join orders mid-fixpoint.
             self.diff_plans[key] = compile_query(
-                self.db, query, optimizer=self.optimizer, cost_model=model,
-                executor=self.executor,
+                self.db, query, cost_model=model,
+                options=ExecOptions(optimizer=self.optimizer, executor=self.executor),
             )
         self.diff_estimates = estimates
         self.replans += 1
@@ -195,7 +196,6 @@ class CompiledFixpoint:
         stats = stats if stats is not None else FixpointStats()
         stats.mode = "compiled-seminaive"
         system = self.system
-        replans_before = self.replans
 
         self.delta_stats = {
             key: DeltaStats(len(app.element_type.attribute_names))
@@ -204,11 +204,10 @@ class CompiledFixpoint:
         self.delta_ops = {
             key: DeltaApply(key.describe()) for key in system.apps
         }
-        executor = self.executor
         ctx = ExecutionContext(self.db, stats=self.plan_stats)
         ctx.shard_config = self.shard_config
         values: dict[AppKey, set] = {
-            key: self.base_plans[key].execute(ctx, executor=executor)
+            key: self.base_plans[key].execute(ctx, executor=self.executor)
             for key in system.apps
         }
         deltas: dict[AppKey, set] = {
@@ -220,6 +219,59 @@ class CompiledFixpoint:
         stats.iterations = 1
         stats.tuples_derived = sum(len(d) for d in deltas.values())
         stats.peak_delta = stats.tuples_derived
+        return self._converge(values, deltas, max_iterations, stats)
+
+    def resume(
+        self,
+        values: dict[AppKey, set],
+        deltas: dict[AppKey, set],
+        max_iterations: int = 100_000,
+        stats: FixpointStats | None = None,
+    ) -> dict[AppKey, frozenset]:
+        """Continue semi-naive iteration from mid-stream state.
+
+        ``values`` is a consistent partial model (every row derivable and
+        already propagated except through ``deltas``); ``deltas`` are the
+        not-yet-propagated fresh rows per fixpoint variable.  Used by
+        incremental view maintenance: after an insert-only base-relation
+        change, the subscription seeds deltas from the differential of
+        the changed relation and resumes here instead of re-running the
+        whole fixpoint — sound for the positive (monotone) systems the
+        compiled engine accepts, because every old row stays derivable
+        and seeded deltas cover all new one-step derivations.
+        """
+        stats = stats if stats is not None else FixpointStats()
+        stats.mode = "compiled-seminaive-resume"
+        system = self.system
+        self.delta_stats = {
+            key: DeltaStats(len(app.element_type.attribute_names))
+            for key, app in system.apps.items()
+        }
+        self.delta_ops = {
+            key: DeltaApply(key.describe()) for key in system.apps
+        }
+        for key in system.apps:
+            # Prime the live statistics with the accumulated value so a
+            # mid-resume re-plan prices fixpoint variables from real
+            # distributions, exactly as a full run would have.
+            self.delta_stats[key].absorb(values[key])
+        stats.iterations = 1
+        stats.tuples_derived = sum(len(d) for d in deltas.values())
+        stats.peak_delta = stats.tuples_derived
+        return self._converge(values, deltas, max_iterations, stats)
+
+    def _converge(
+        self,
+        values: dict[AppKey, set],
+        deltas: dict[AppKey, set],
+        max_iterations: int,
+        stats: FixpointStats,
+    ) -> dict[AppKey, frozenset]:
+        """Drive ``(values, deltas)`` to the least fixpoint (shared tail
+        of :meth:`run` and :meth:`resume`)."""
+        system = self.system
+        executor = self.executor
+        replans_before = self.replans
 
         # "old" (V - delta) is only needed by non-linear rules; computing it
         # unconditionally would make linear chains quadratic.
@@ -326,10 +378,12 @@ def fixpoint_apply_estimates(
 def compile_fixpoint(
     db: Database,
     system: InstantiatedSystem,
-    optimizer: str = DEFAULT_OPTIMIZER,
+    optimizer: str = _UNSET,
     replan_drift: float | None = REPLAN_DRIFT,
-    executor: str = DEFAULT_EXECUTOR,
-    shard_config: object | None = None,
+    executor: str = _UNSET,
+    shard_config: object | None = _UNSET,
+    *,
+    options: ExecOptions | None = None,
 ) -> CompiledFixpoint:
     """Compile base and differential plans for every equation.
 
@@ -342,7 +396,17 @@ def compile_fixpoint(
     tunes the trigger (None disables it).  Re-planning only makes sense
     for the cost-based optimizer — the legacy orders ignore estimates —
     so it is disabled for the others.
+
+    Execution knobs arrive on ``options``; the loose
+    ``optimizer=``/``executor=``/``shard_config=`` keywords still work
+    through the shared deprecation adapter.  ``replan_drift`` stays a
+    separate argument — it tunes the fixpoint driver, not execution.
     """
+    options = resolve_options(
+        options, "compile_fixpoint",
+        optimizer=optimizer, executor=executor, shard_config=shard_config,
+    )
+    optimizer = options.resolved_optimizer
     if not seminaive_eligible(system):
         raise PositivityError(
             "compiled fixpoint execution requires fixpoint variables to occur "
@@ -365,13 +429,13 @@ def compile_fixpoint(
             else:
                 base_branches.append(branch)
         base_plans[key] = compile_query(
-            db, ast.Query(tuple(base_branches)), optimizer=optimizer,
-            cost_model=base_model,
+            db, ast.Query(tuple(base_branches)), cost_model=base_model,
+            options=ExecOptions(optimizer=optimizer),
         )
         diff_queries[key] = ast.Query(tuple(diff_branches))
         diff_plans[key] = compile_query(
-            db, diff_queries[key], optimizer=optimizer,
-            cost_model=diff_model,
+            db, diff_queries[key], cost_model=diff_model,
+            options=ExecOptions(optimizer=optimizer),
         )
     if optimizer != "cost":
         replan_drift = None
@@ -383,8 +447,8 @@ def compile_fixpoint(
         diff_branches=diff_queries,
         diff_estimates=estimates,
         optimizer=optimizer,
-        executor=executor,
-        shard_config=shard_config,
+        executor=options.resolved_executor,
+        shard_config=options.shard_config,
         replan_drift=replan_drift,
     )
 
@@ -393,23 +457,28 @@ def construct_compiled(
     db: Database,
     application: ast.Constructed,
     max_iterations: int = 100_000,
-    optimizer: str = DEFAULT_OPTIMIZER,
+    optimizer: str = _UNSET,
     replan_drift: float | None = REPLAN_DRIFT,
-    executor: str = DEFAULT_EXECUTOR,
-    shard_config: object | None = None,
+    executor: str = _UNSET,
+    shard_config: object | None = _UNSET,
+    *,
+    options: ExecOptions | None = None,
 ):
     """Compiled counterpart of :func:`repro.constructors.construct`."""
     from ..constructors.api import ConstructionResult
     from ..constructors.positivity import is_system_positive
 
+    options = resolve_options(
+        options, "construct_compiled",
+        optimizer=optimizer, executor=executor, shard_config=shard_config,
+    )
     system = instantiate(db, application)
     if not is_system_positive(system):
         raise PositivityError(
             f"instantiated system for {system.root.describe()} is not positive"
         )
-    program = compile_fixpoint(db, system, optimizer=optimizer,
-                               replan_drift=replan_drift, executor=executor,
-                               shard_config=shard_config)
+    program = compile_fixpoint(db, system, replan_drift=replan_drift,
+                               options=options)
     stats = FixpointStats()
     values = program.run(max_iterations, stats)
     root_app = system.apps[system.root]

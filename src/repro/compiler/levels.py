@@ -31,6 +31,7 @@ from ..constructors.positivity import definition_violations
 from ..relational import Database
 from .fixpoint import CompiledFixpoint, compile_fixpoint, fixpoint_apply_estimates
 from .graphutils import Digraph, connected_components, recursive_nodes
+from .options import ExecOptions
 from .plans import (
     DEFAULT_OPTIMIZER,
     CostModel,
@@ -169,14 +170,16 @@ def compile_statement(
         shape = detect_linear_tc(db, system)
         if shape is not None:
             specializations[key] = shape
-        fixpoints[key] = compile_fixpoint(db, system, optimizer=optimizer)
+        fixpoints[key] = compile_fixpoint(
+            db, system, options=ExecOptions(optimizer=optimizer)
+        )
         top_estimates.update(fixpoint_apply_estimates(db, system))
 
     # The top plan joins against materialized fixpoint values: price those
     # ApplyVars with the same full-value estimates the fixpoints used.
     top_plan = compile_query(
-        db, rewritten, optimizer=optimizer,
-        cost_model=CostModel(db, top_estimates),
+        db, rewritten, cost_model=CostModel(db, top_estimates),
+        options=ExecOptions(optimizer=optimizer),
     )
     return CompiledStatement(
         db=db,

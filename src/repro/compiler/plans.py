@@ -58,6 +58,13 @@ from ..errors import DBPLError, EvaluationError, NameResolutionError, SchemaErro
 from ..relational import Database, HashIndex
 from ..types import RecordType
 from .executors import EXECUTOR_NAMES, get_backend
+from .options import (
+    _UNSET,
+    DEFAULT_EXECUTOR,
+    DEFAULT_OPTIMIZER,
+    ExecOptions,
+    resolve_options,
+)
 from .operators import (
     Dedup,
     _batch_len,
@@ -71,17 +78,14 @@ from .operators import (
 #: cheapest-next-step ordering.
 DP_LIMIT = 6
 
-#: The default optimizer for every compilation entry point.
-DEFAULT_OPTIMIZER = "cost"
-
-#: The default executor: "batch" runs the columnar (struct-of-arrays)
-#: operator pipeline with fused projection, "rowbatch" the row-major
-#: batched pipeline it replaced (kept as the measurement baseline of
-#: benchmark E17), "tuple" the original interpreted loop nest
-#: (benchmark E16's baseline), and "sharded" the hash-partitioned
-#: parallel backend (benchmark E18).  Dispatch goes through the
+#: The execution defaults live in :mod:`repro.compiler.options` (the
+#: canonical knob surface); re-exported here for the many importers.
+#: "batch" runs the columnar (struct-of-arrays) operator pipeline with
+#: fused projection, "rowbatch" the row-major batched pipeline it
+#: replaced (benchmark E17's baseline), "tuple" the original
+#: interpreted loop nest (E16's baseline), and "sharded" the
+#: hash-partitioned parallel backend (E18).  Dispatch goes through the
 #: :mod:`repro.compiler.executors` registry.
-DEFAULT_EXECUTOR = "batch"
 
 #: Every accepted executor mode (see :mod:`repro.compiler.executors`).
 EXECUTORS = EXECUTOR_NAMES
@@ -1383,20 +1387,34 @@ def compile_query(
     db: Database,
     query: ast.Query,
     params: dict | None = None,
-    optimizer: str = DEFAULT_OPTIMIZER,
+    optimizer: str = _UNSET,
     cost_model: CostModel | None = None,
-    executor: str = DEFAULT_EXECUTOR,
+    executor: str = _UNSET,
+    *,
+    options: ExecOptions | None = None,
 ) -> QueryPlan:
-    """Compile every branch of a query into an executable plan."""
+    """Compile every branch of a query into an executable plan.
+
+    Execution knobs arrive on ``options`` (an
+    :class:`~repro.compiler.options.ExecOptions`); the loose
+    ``optimizer=``/``executor=`` keywords still work through the shared
+    deprecation adapter.  ``cost_model`` stays a separate argument — it
+    is compiler plumbing (estimate reuse across related compilations),
+    not a client-facing knob.
+    """
+    options = resolve_options(
+        options, "compile_query", optimizer=optimizer, executor=executor
+    )
     if cost_model is None:
         cost_model = CostModel(db)
+    optimizer = options.resolved_optimizer
     return QueryPlan(
         [
             compile_branch(db, branch, params, optimizer, cost_model)
             for branch in query.branches
         ],
         optimizer=optimizer,
-        executor=executor,
+        executor=options.resolved_executor,
     )
 
 
@@ -1406,11 +1424,18 @@ def run_query(
     params: dict | None = None,
     apply_values: dict | None = None,
     stats: PlanStats | None = None,
-    optimizer: str = DEFAULT_OPTIMIZER,
+    optimizer: str = _UNSET,
     cost_model: CostModel | None = None,
-    executor: str = DEFAULT_EXECUTOR,
+    executor: str = _UNSET,
+    *,
+    options: ExecOptions | None = None,
 ) -> set[tuple]:
     """Compile and execute a query in one call."""
-    plan = compile_query(db, query, params, optimizer, cost_model, executor)
+    options = resolve_options(
+        options, "run_query", optimizer=optimizer, executor=executor
+    )
+    plan = compile_query(db, query, params, cost_model=cost_model, options=options)
     ctx = ExecutionContext(db, params, apply_values, stats)
+    if options.shard_config is not None:
+        ctx.shard_config = options.shard_config
     return plan.execute(ctx)

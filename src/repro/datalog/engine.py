@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.diagnostics import Diagnostics
+from ..compiler.options import _UNSET as _OPT_UNSET
+from ..compiler.options import ExecOptions, resolve_options
 from ..errors import DatalogAnalysisError, TranslationError
 from .ast import Atom, Comparison, Const, Program, Rule
 
@@ -261,9 +263,11 @@ class DatalogEngine:
     def solve_compiled(
         self,
         stats: DatalogStats | None = None,
-        optimizer: str = "cost",
-        executor: str = "batch",
-        shard_config: object | None = None,
+        optimizer: str = _OPT_UNSET,
+        executor: str = _OPT_UNSET,
+        shard_config: object | None = _OPT_UNSET,
+        *,
+        options: "ExecOptions | None" = None,
     ) -> dict[str, frozenset]:
         """Evaluate through the constructor translation and the batched
         fixpoint executor (see :mod:`repro.compiler`).
@@ -271,17 +275,21 @@ class DatalogEngine:
         Each IDB predicate's least model is the value of its translated
         constructor application; mutually recursive predicates share one
         instantiated system, so every strongly connected component is
-        solved exactly once.  ``executor`` names a backend in the
-        :mod:`repro.compiler.executors` registry — ``"batch"`` (columnar
-        struct-of-arrays pipelines, the default), ``"rowbatch"``
-        (row-major batches), ``"tuple"``, or ``"sharded"``
-        (hash-partitioned parallel execution; ``shard_config`` tunes its
-        worker pool) — so Datalog programs inherit every executor
-        improvement unchanged.
+        solved exactly once.  ``options.executor`` names a backend in
+        the :mod:`repro.compiler.executors` registry — ``"batch"``
+        (columnar struct-of-arrays pipelines, the default),
+        ``"rowbatch"`` (row-major batches), ``"tuple"``, or ``"sharded"``
+        (hash-partitioned parallel execution; ``options.shard_config``
+        tunes its worker pool) — so Datalog programs inherit every
+        executor improvement unchanged.
         """
         from ..compiler.fixpoint import construct_compiled
         from .to_constructors import datalog_to_database
 
+        options = resolve_options(
+            options, "DatalogEngine.solve_compiled",
+            optimizer=optimizer, executor=executor, shard_config=shard_config,
+        )
         stats = stats if stats is not None else DatalogStats()
         stats.mode = "compiled"
         db, applications = datalog_to_database(self.program, self.edb)
@@ -292,10 +300,7 @@ class DatalogEngine:
         for pred, application in applications.items():
             if pred in solved:
                 continue
-            result = construct_compiled(
-                db, application, optimizer=optimizer, executor=executor,
-                shard_config=shard_config,
-            )
+            result = construct_compiled(db, application, options=options)
             # Harvest every application of the instantiated system: a
             # mutually recursive clique is computed once, not per root.
             for key, rows in result.values.items():
@@ -312,17 +317,21 @@ class DatalogEngine:
         self,
         mode: str = "seminaive",
         stats: DatalogStats | None = None,
-        executor: str = "batch",
-        shard_config: object | None = None,
+        executor: str = _OPT_UNSET,
+        shard_config: object | None = _OPT_UNSET,
+        *,
+        options: "ExecOptions | None" = None,
     ) -> dict[str, frozenset]:
+        options = resolve_options(
+            options, "DatalogEngine.solve",
+            executor=executor, shard_config=shard_config,
+        )
         if mode == "naive":
             return self.solve_naive(stats)
         if mode == "seminaive":
             return self.solve_seminaive(stats)
         if mode == "compiled":
-            return self.solve_compiled(
-                stats, executor=executor, shard_config=shard_config
-            )
+            return self.solve_compiled(stats, options=options)
         raise ValueError(f"unknown mode {mode!r}")
 
     def query(

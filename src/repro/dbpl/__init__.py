@@ -26,8 +26,10 @@ from .serving import (
     range_query,
 )
 from .session import Session
+from .subscriptions import ChangeEvent, Subscription, SubscriptionRegistry
 
 __all__ = [
+    "ChangeEvent",
     "ConstructorDecl",
     "DEFAULT_PLAN_CACHE_SIZE",
     "DatabaseSnapshot",
@@ -44,6 +46,8 @@ __all__ = [
     "RelationTypeExpr",
     "SelectorDecl",
     "Session",
+    "Subscription",
+    "SubscriptionRegistry",
     "Token",
     "TypeDecl",
     "TypeName",

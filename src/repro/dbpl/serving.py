@@ -18,7 +18,7 @@ module is the parse-once/bind-per-message split:
   place — the generated kernels read parameter values at run time, so a
   rebind costs a dict update, not a recompilation.
 * :class:`PlanCache` is a bounded LRU over **plan fingerprints**
-  ``(shape, executor, optimizer)`` scoped to the statistics epoch of
+  ``(shape,) + ExecOptions.cache_key()`` scoped to the statistics epoch of
   :meth:`repro.relational.stats.StatsCatalog.epoch`: when the catalog
   decides the data has drifted enough that the cost model would price
   plans differently, the epoch moves and every cached plan is dropped
@@ -49,7 +49,8 @@ from ..calculus import ast
 from ..calculus.subst import transform
 from ..compiler import ExecutionContext, compile_query
 from ..compiler.executors import get_backend
-from ..compiler.plans import DEFAULT_EXECUTOR, DEFAULT_OPTIMIZER, PlanStats
+from ..compiler.options import ExecOptions
+from ..compiler.plans import PlanStats
 from ..errors import BindingError
 from ..relational import Database
 from ..relational.indexes import SnapshotView
@@ -139,8 +140,10 @@ class PreparedPlan:
         "db",
         "shape",
         "param_names",
+        "options",
         "executor",
         "optimizer",
+        "shard_config",
         "epoch",
         "plan",
         "executions",
@@ -153,10 +156,16 @@ class PreparedPlan:
         db: Database,
         shape: ast.Query,
         constants: tuple,
-        executor: str = DEFAULT_EXECUTOR,
-        optimizer: str = DEFAULT_OPTIMIZER,
+        executor: str | None = None,
+        optimizer: str | None = None,
         epoch: int | None = None,
+        *,
+        options: ExecOptions | None = None,
     ) -> None:
+        if options is None:
+            options = ExecOptions(executor=executor, optimizer=optimizer)
+        self.options = options
+        executor = options.resolved_executor
         get_backend(executor)  # validate the name before paying for a compile
         self.db = db
         self.shape = shape
@@ -164,14 +173,13 @@ class PreparedPlan:
             f"{_SLOT_PREFIX}{i}" for i in range(len(constants))
         )
         self.executor = executor
-        self.optimizer = optimizer
+        self.optimizer = options.resolved_optimizer
+        self.shard_config = options.shard_config
         self.epoch = epoch
         self.executions = 0
         self._params = dict(zip(self.param_names, constants))
         self._lock = threading.Lock()
-        self.plan = compile_query(
-            db, shape, self._params, optimizer, executor=executor
-        )
+        self.plan = compile_query(db, shape, self._params, options=options)
 
     def run(
         self,
@@ -190,6 +198,7 @@ class PreparedPlan:
             for name, value in zip(self.param_names, constants):
                 params[name] = value
             ctx = ExecutionContext(self.db, params, stats=stats)
+            ctx.shard_config = self.shard_config
             executor = self.executor
             if snapshot is not None:
                 ctx.source_overrides = snapshot.overrides_for(self.plan)
@@ -274,9 +283,13 @@ class PreparedQuery:
 class PlanCache:
     """A bounded LRU of :class:`PreparedPlan` keyed by plan fingerprint.
 
-    The fingerprint is ``(shape, executor, optimizer)`` — the normalized
-    query with constants abstracted away, plus everything else that
-    changes what ``compile_query`` would produce.  Entries are scoped to
+    The fingerprint is ``(shape,) + ExecOptions.cache_key()`` — the
+    normalized query with constants abstracted away, plus the normalized
+    execution options (executor, optimizer, shard config): everything
+    that changes what ``compile_query`` would produce or how its
+    pipelines run.  Two calls that resolve to the same options share one
+    plan no matter which spelling (``options=`` or legacy loose
+    keywords) produced them.  Entries are scoped to
     one statistics epoch: when :meth:`StatsCatalog.epoch` moves, the
     whole cache is invalidated at the next touch (the cost model would
     price the plans differently now, so they must all re-optimize).

@@ -51,11 +51,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
-from ..analysis.diagnostics import Diagnostics, Span
+from ..analysis.diagnostics import Diagnostic, Diagnostics, Span
 from ..calculus import ast
 from ..calculus.evaluator import Evaluator
 from ..compiler import construct_compiled
-from ..compiler.plans import DEFAULT_EXECUTOR, DEFAULT_OPTIMIZER
+from ..compiler.options import _UNSET, ExecOptions, resolve_options
 from ..constructors import construct
 from ..constructors.definition import Constructor
 from ..errors import (
@@ -63,7 +63,6 @@ from ..errors import (
     BindingError,
     DBPLError,
     DBPLSyntaxError,
-    EvaluationError,
     TranslationError,
 )
 from ..relational import Database
@@ -99,6 +98,7 @@ from .serving import (
     parameterize,
     range_query,
 )
+from .subscriptions import SubscriptionRegistry
 
 if TYPE_CHECKING:
     from ..analysis.checks import AnalysisResult
@@ -134,22 +134,37 @@ class Session:
         self,
         db: Database | None = None,
         name: str = "session",
-        executor: str | None = None,
+        executor: str | None = _UNSET,
         plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE,
-        analysis: str = "strict",
+        analysis: str = _UNSET,
         on_diagnostic=None,
+        *,
+        options: ExecOptions | None = None,
     ) -> None:
-        if analysis not in ANALYSIS_MODES:
+        options = resolve_options(
+            options, "Session", executor=executor, analysis=analysis
+        )
+        if options.analysis is None:
+            options = options.replace(analysis="strict")
+        if options.analysis not in ANALYSIS_MODES:
             raise ValueError(
-                f"analysis must be one of {ANALYSIS_MODES}, got {analysis!r}"
+                f"analysis must be one of {ANALYSIS_MODES}, got {options.analysis!r}"
             )
+        #: Session-level execution defaults; per-call options layer over
+        #: these (set fields on the call side win).
+        self.options = options
         self.db = db if db is not None else Database(name)
         self.types: dict[str, Type] = dict(ATOMIC_TYPES)
-        self.executor = executor
+        self.executor = options.executor
         self.plan_cache = PlanCache(plan_cache_size)
-        self.analysis = analysis
+        self.analysis = options.analysis
         self.on_diagnostic = on_diagnostic
         self.last_diagnostics = Diagnostics()
+        #: How many times query() left the compiled path: "interpreted"
+        #: counts DBPLError → reference-evaluator re-runs, "construct"
+        #: counts compiled-fixpoint → interpreted-fixpoint fallbacks.
+        #: Each increment also emits a DBPL90x hint to ``on_diagnostic``.
+        self.fallbacks = {"interpreted": 0, "construct": 0}
         self._analysis_cache: OrderedDict[tuple, AnalysisResult] = OrderedDict()
         self._anon = 0
 
@@ -203,19 +218,24 @@ class Session:
             self._analysis_cache.popitem(last=False)
         return result
 
-    def _gate(self, node, source: str) -> AnalysisResult | None:
+    def _gate(
+        self, node, source: str, analysis: str | None = None
+    ) -> AnalysisResult | None:
         """The analyzer front gate for :meth:`query` and :meth:`prepare`.
 
         strict — error diagnostics raise :class:`AnalysisError` (with the
         first error's span) before any compilation; lint — everything is
         reported but nothing raises; off — returns None untouched.
         Diagnostics that do not raise go to the ``on_diagnostic`` hook.
+        ``analysis`` overrides the session policy for one call
+        (``ExecOptions.analysis`` on query/prepare/subscribe).
         """
-        if self.analysis == "off":
+        mode = analysis if analysis is not None else self.analysis
+        if mode == "off":
             return None
         result = self._analysis_result(node, source)
         self.last_diagnostics = result.diagnostics
-        if self.analysis == "strict":
+        if mode == "strict":
             result.diagnostics.raise_if_errors(
                 "query rejected by static analysis", cls=AnalysisError
             )
@@ -223,6 +243,32 @@ class Session:
             for diag in result.diagnostics:
                 self.on_diagnostic(diag)
         return result
+
+    def _note_fallback(self, kind: str, source: str, exc: Exception) -> None:
+        """Record (and surface) a departure from the compiled path.
+
+        Production callers watching ``on_diagnostic`` see a hint-severity
+        DBPL900 (query → interpreted evaluator) or DBPL901 (compiled
+        fixpoint → interpreted fixpoint) naming the query and the
+        compile-time error that forced the detour; ``fallbacks`` keeps
+        the running counts.
+        """
+        self.fallbacks[kind] += 1
+        if self.on_diagnostic is not None:
+            code = "DBPL900" if kind == "interpreted" else "DBPL901"
+            target = (
+                "interpreted evaluator"
+                if kind == "interpreted"
+                else "interpreted fixpoint engine"
+            )
+            self.on_diagnostic(
+                Diagnostic(
+                    code,
+                    "hint",
+                    f"query fell back to the {target}: {exc}",
+                    data={"source": source, "error": exc},
+                )
+            )
 
     # -- declarations ---------------------------------------------------------
 
@@ -346,8 +392,10 @@ class Session:
         self,
         source: str,
         mode: str = "auto",
-        executor: str | None = None,
-        snapshot: DatabaseSnapshot | None = None,
+        executor: str | None = _UNSET,
+        snapshot: DatabaseSnapshot | None = _UNSET,
+        *,
+        options: ExecOptions | None = None,
     ) -> set[tuple]:
         """Evaluate a query expression; returns the raw row set.
 
@@ -355,24 +403,37 @@ class Session:
         cache) and runs it on a registered executor backend;
         ``mode="interpreted"`` forces the reference evaluator instead,
         and ``mode="naive"``/``"seminaive"`` pick an interpreted
-        fixpoint engine for constructed ranges.  ``snapshot`` pins the
-        relation state compiled set formers read (see
-        :meth:`snapshot`); it does not apply to constructed ranges or
+        fixpoint engine for constructed ranges.  Execution knobs arrive
+        on ``options`` (layered over the session's own); a snapshot pins
+        the relation state compiled set formers read (see
+        :meth:`snapshot`) but does not apply to constructed ranges or
         interpreted fallbacks.
+
+        Fallbacks off the compiled path are observable: untranslatable
+        set formers re-run on the reference evaluator and constructed
+        ranges whose fixpoint will not compile re-run on the interpreted
+        engine — each bumping :attr:`fallbacks` and emitting a DBPL90x
+        hint to ``on_diagnostic``.  Only compile-time
+        :class:`TranslationError` triggers the constructed-range
+        fallback; an :class:`EvaluationError` mid-execution propagates
+        (re-running after partial evaluation would hide real bugs).
         """
+        options = resolve_options(
+            options, "Session.query", executor=executor, snapshot=snapshot
+        ).over(self.options)
         node = parse_expression(source)
-        analysis = self._gate(node, source)
+        analysis = self._gate(node, source, analysis=options.analysis)
         if mode == "interpreted":
             return self._query_interpreted(node, source)
         if isinstance(node, ast.Constructed):
             if mode in ("naive", "seminaive"):
                 return set(construct(self.db, node, mode=mode).rows)
-            chosen = executor or self.executor or DEFAULT_EXECUTOR
             try:
                 return set(
-                    construct_compiled(self.db, node, executor=chosen).rows
+                    construct_compiled(self.db, node, options=options).rows
                 )
-            except (TranslationError, EvaluationError):
+            except TranslationError as exc:
+                self._note_fallback("construct", source, exc)
                 return set(construct(self.db, node, mode=mode).rows)
         if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
             node = range_query(node)
@@ -383,12 +444,13 @@ class Session:
                 # prepare() skips this because rebinding could revive them.
                 node = analysis.prune(node)
             try:
-                plan, constants = self._prepared_plan(node, executor)
-            except DBPLError:
+                plan, constants = self._prepared_plan(node, options)
+            except DBPLError as exc:
                 # Untranslatable shape (compile-time only): reference
                 # evaluator gives the same answers, one tuple at a time.
+                self._note_fallback("interpreted", source, exc)
                 return Evaluator(self.db).eval_query(node)
-            return plan.run(constants, snapshot=snapshot)
+            return plan.run(constants, snapshot=options.snapshot)
         raise BindingError(f"not a query expression: {source!r}")
 
     def _query_interpreted(self, node, source: str) -> set[tuple]:
@@ -403,22 +465,33 @@ class Session:
         raise BindingError(f"not a query expression: {source!r}")
 
     def _prepared_plan(
-        self, node: ast.Query, executor: str | None = None
+        self, node: ast.Query, options: ExecOptions
     ) -> tuple[PreparedPlan, tuple]:
-        """Fetch-or-compile the cached plan for ``node``'s shape."""
-        chosen = executor or self.executor or DEFAULT_EXECUTOR
+        """Fetch-or-compile the cached plan for ``node``'s shape.
+
+        Cache keys are ``(shape,) + options.cache_key()`` — the
+        normalized options, so per-execution fields (snapshot, analysis)
+        never fragment the cache and both option spellings share plans.
+        """
         shape, constants = parameterize(node)
         epoch = self.db.stats.epoch()
-        key = (shape, chosen, DEFAULT_OPTIMIZER)
+        key = (shape,) + options.cache_key()
         plan = self.plan_cache.get(key, epoch)
         if plan is None:
             plan = PreparedPlan(
-                self.db, shape, constants, executor=chosen, epoch=epoch
+                self.db, shape, constants, epoch=epoch,
+                options=options.replace(snapshot=None, analysis=None),
             )
             plan = self.plan_cache.put(key, plan, epoch)
         return plan, constants
 
-    def prepare(self, source: str, executor: str | None = None) -> PreparedQuery:
+    def prepare(
+        self,
+        source: str,
+        executor: str | None = _UNSET,
+        *,
+        options: ExecOptions | None = None,
+    ) -> PreparedQuery:
         """Compile ``source`` once for repeated parameterized execution.
 
         Constants compared in predicates become rebindable slots:
@@ -429,6 +502,9 @@ class Session:
         result is recomputed state, not a parameterized scan; evaluate
         them with :meth:`query`.
         """
+        options = resolve_options(
+            options, "Session.prepare", executor=executor
+        ).over(self.options)
         node = parse_expression(source)
         if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
             node = range_query(node)
@@ -439,9 +515,55 @@ class Session:
             )
         if not isinstance(node, ast.Query):
             raise BindingError(f"not a query expression: {source!r}")
-        self._gate(node, source)
-        plan, constants = self._prepared_plan(node, executor)
+        self._gate(node, source, analysis=options.analysis)
+        plan, constants = self._prepared_plan(node, options)
         return PreparedQuery(plan, constants, source)
+
+    def subscribe(
+        self,
+        source: str,
+        on_change=None,
+        executor: str | None = _UNSET,
+        *,
+        options: ExecOptions | None = None,
+    ):
+        """Materialize ``source`` once and keep the result maintained.
+
+        Returns a :class:`~repro.dbpl.subscriptions.Subscription` whose
+        :meth:`~repro.dbpl.subscriptions.Subscription.rows` always equal
+        a fresh :meth:`query` of the same source.  Set formers and
+        ranges are maintained incrementally by derivation counting;
+        constructed ranges keep their converged fixpoint and resume
+        semi-naive iteration on inserts (deletes re-run).  ``on_change``
+        observes each net change (it runs inside the committing write —
+        do not mutate relations from it);
+        :meth:`~repro.dbpl.subscriptions.Subscription.changes` drains
+        the same events as an iterator.
+
+        Subscriptions read live state, so ``snapshot`` does not apply;
+        and unlike :meth:`query` there is no interpreted fallback — an
+        untranslatable shape raises rather than silently degrading to
+        per-write recomputation on the reference evaluator.
+        """
+        options = resolve_options(
+            options, "Session.subscribe", executor=executor
+        ).over(self.options)
+        if options.snapshot is not None:
+            raise ValueError(
+                "subscriptions maintain live state; snapshot= does not apply"
+            )
+        node = parse_expression(source)
+        analysis = self._gate(node, source, analysis=options.analysis)
+        registry = SubscriptionRegistry.ensure(self.db)
+        if isinstance(node, ast.Constructed):
+            return registry.subscribe_fixpoint(node, source, options, on_change)
+        if isinstance(node, (ast.RelRef, ast.Selected, ast.QueryRange)):
+            node = range_query(node)
+        if not isinstance(node, ast.Query):
+            raise BindingError(f"not a query expression: {source!r}")
+        if analysis is not None:
+            node = analysis.prune(node)
+        return registry.subscribe_query(node, source, options, on_change)
 
     def snapshot(self) -> DatabaseSnapshot:
         """Pin the current committed state of every relation.

@@ -1,0 +1,675 @@
+"""Standing queries: incrementally maintained session query results.
+
+``Session.subscribe(source)`` materializes a query once and keeps the
+result set current as base relations mutate — the serving-side
+counterpart of the paper's view of relations and rules as one algebra:
+a subscription is a derived relation whose extension tracks its
+defining expression continuously instead of being recomputed on demand.
+
+Two maintenance strategies, chosen by the shape of the expression:
+
+* **Set formers and ranges** (non-recursive SPJ-union queries) use
+  counting-based incremental view maintenance.  The subscription keeps
+  the *number of derivations* of every result row (a bag, evaluated by
+  running the compiled branch plans without the final duplicate
+  elimination).  Each committed insert/delete batch on a base relation
+  is pushed through the occurrence-split differential of the query with
+  respect to that relation — the same non-linear differential the
+  semi-naive fixpoint compiler uses, with the changed relation's
+  new/delta/old states bound as apply values — and the produced
+  derivations adjust the counts.  A row enters the result when its
+  count becomes positive and leaves when it returns to zero, which is
+  exact for select-project-join-union under set semantics.
+
+* **Constructed ranges** (recursive fixpoints) keep the converged
+  fixpoint values of the compiled program.  An insert-only batch seeds
+  fresh deltas by differentiating the equation bodies with respect to
+  the changed base relation and resumes semi-naive iteration from the
+  current model (:meth:`CompiledFixpoint.resume`) — sound because the
+  compiled engine only accepts positive (monotone) systems, so old rows
+  stay derivable and the seeds cover every new one-step derivation.
+  Deletions are not monotone; they trigger a full re-run.
+
+Either way the deltas arrive from the write path: once a
+:class:`SubscriptionRegistry` is attached (`Database.attach_sink`),
+every effective mutation commits inside the registry lock and reports
+its insert/delete batch (see ``Relation._delta_guard``), so maintenance
+is atomic with the commit and two relations can never interleave.
+Mid-stream re-planning carries over: fixpoint resumption inherits the
+drift-triggered re-optimization of the compiled engine, and the
+counting path re-prices a relation's differential plan when observed
+batch sizes drift past the same threshold.
+
+Queries whose occurrences of a relation are not all direct binding
+ranges (e.g. a relation referenced inside a membership predicate) fall
+back to full recomputation for that relation's batches — results stay
+exact, only the incremental speedup is lost.  ``on_change`` callbacks
+run synchronously inside the commit and must not mutate relations.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, deque
+from dataclasses import dataclass, replace as dc_replace
+
+from ..calculus import ast
+from ..compiler.fixpoint import REPLAN_DRIFT, compile_fixpoint
+from ..compiler.options import ExecOptions
+from ..compiler.plans import CostModel, ExecutionContext, PlanStats, compile_query
+from ..constructors.engines import _variant_token
+from ..constructors.instantiate import base_relation_names, instantiate
+from ..constructors.positivity import is_system_positive
+from ..errors import PositivityError
+
+
+def _ivm_token(name: str, kind: str) -> tuple:
+    """Apply-value token for one state of base relation ``name``.
+
+    Shaped like a fixpoint variant token (``("__seminaive__", kind,
+    key)``) so the planner's delta-preference pricing and tiebreaks
+    apply to differential plans over base relations unchanged.
+    """
+    return _variant_token(("__ivm__", name), kind)
+
+
+def _branch_relation_positions(branch: ast.Branch, name: str) -> list[int] | None:
+    """Binding positions ranging directly over relation ``name``, or None
+    when the branch references the relation anywhere else (predicates,
+    targets, nested ranges) — ineligible for differentiation."""
+    positions = [
+        i
+        for i, b in enumerate(branch.bindings)
+        if isinstance(b.range, ast.RelRef) and b.range.name == name
+    ]
+    total = sum(
+        1
+        for node in ast.walk(branch)
+        if isinstance(node, ast.RelRef) and node.name == name
+    )
+    if total != len(positions):
+        return None
+    return positions
+
+
+def _split_branch(
+    branch: ast.Branch, name: str, positions: list[int], schema
+) -> list[ast.Branch]:
+    """Occurrence-split differential variants of ``branch`` w.r.t. one
+    relation: variant i binds occurrence i to the delta, earlier
+    occurrences to the new state, later ones to the old state.  Any
+    fixpoint variables in the branch are rebound to their "new" variant
+    (used by the fixpoint seed plans; plain queries have none)."""
+    variants: list[ast.Branch] = []
+    position_set = set(positions)
+    for i in range(len(positions)):
+        new_bindings: list[ast.Binding] = []
+        for p, b in enumerate(branch.bindings):
+            if p in position_set:
+                j = positions.index(p)
+                kind = "new" if j < i else "delta" if j == i else "old"
+                new_bindings.append(
+                    ast.Binding(b.var, ast.ApplyVar(_ivm_token(name, kind), schema))
+                )
+            elif isinstance(b.range, ast.ApplyVar):
+                new_bindings.append(
+                    ast.Binding(
+                        b.var,
+                        ast.ApplyVar(
+                            _variant_token(b.range.token, "new"), b.range.schema
+                        ),
+                    )
+                )
+            else:
+                new_bindings.append(b)
+        variants.append(dc_replace(branch, bindings=tuple(new_bindings)))
+    return variants
+
+
+# ---------------------------------------------------------------------------
+# Bag (multiset) evaluation of compiled plans
+# ---------------------------------------------------------------------------
+
+
+class _Bag:
+    """Multiset sink: ``BranchPlan.execute_tuple`` only ever calls
+    ``out.add``, so appending instead of set-inserting turns the tuple
+    interpreter into a bag evaluator."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: list) -> None:
+        self.rows = rows
+
+    def add(self, row) -> None:
+        self.rows.append(row)
+
+
+#: Maintenance executor per requested executor.  Counting needs every
+#: derivation, and only the single-threaded pipelines are bag-safe:
+#: the vector backend's dictionary domains and the sharded backend's
+#: dedup-merging shard protocol both assume set semantics, so they
+#: run their set-former subscriptions on the columnar batch pipeline.
+_BAG_EXECUTORS = {
+    "batch": "batch",
+    "vector": "batch",
+    "sharded": "batch",
+    "rowbatch": "rowbatch",
+    "tuple": "tuple",
+}
+
+
+def _execute_bag(plan, ctx: ExecutionContext, executor: str) -> list:
+    """Run a compiled query plan under multiset semantics: the
+    concatenated projected batches of every branch, duplicates kept
+    (``execute_batch`` returns the pre-dedup batch by contract)."""
+    out: list = []
+    for branch in plan.branches:
+        pipeline = None
+        if executor == "batch":
+            pipeline = branch.ensure_pipeline() or branch.ensure_row_pipeline()
+        elif executor == "rowbatch":
+            pipeline = branch.ensure_row_pipeline()
+        if pipeline is not None:
+            out.extend(branch.execute_batch(ctx, pipeline))
+        else:
+            branch.execute_tuple(ctx, _Bag(out))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Delta batches
+# ---------------------------------------------------------------------------
+
+
+class _DeltaState:
+    """One committed mutation of one relation, in all three states the
+    occurrence-split differential binds: ``old`` (before the batch),
+    ``mid`` (after deletions, before insertions) and ``live`` (after).
+    Built once per commit and shared by every watching subscription."""
+
+    __slots__ = ("name", "live", "ins", "dels", "mid", "old")
+
+    def __init__(self, name, live, ins, dels, mid, old) -> None:
+        self.name = name
+        self.live = live
+        self.ins = ins
+        self.dels = dels
+        self.mid = mid
+        self.old = old
+
+    @classmethod
+    def build(cls, relation, inserted, deleted) -> "_DeltaState":
+        live = relation.raw_list()
+        ins = list(inserted)
+        dels = list(deleted)
+        if not ins:
+            mid = live
+        else:
+            n, k = len(live), len(ins)
+            if k <= n and live[n - k :] == ins:
+                # Fast path: insert() extends the cached list view in
+                # order, so the pre-insert state is a prefix slice.
+                mid = live[: n - k]
+            else:
+                fresh = set(ins)
+                mid = [row for row in live if row not in fresh]
+        # Deleted rows are disjoint from mid (they left the live set and
+        # inserted rows were fresh), so the union is a concatenation.
+        old = mid + dels if dels else mid
+        return cls(relation.name, live, ins, dels, mid, old)
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One net change to a subscription's result set."""
+
+    #: The base relation whose mutation caused the change.
+    relation: str
+    inserted: frozenset
+    deleted: frozenset
+
+
+#: Handler sentinel: this relation's batches recompute the whole result.
+_RECOMPUTE = object()
+
+
+class _DeltaHandler:
+    """A compiled differential plan plus the delta estimate it was
+    priced with (drift against it triggers a re-plan)."""
+
+    __slots__ = ("plan", "delta_est")
+
+    def __init__(self, plan, delta_est: float) -> None:
+        self.plan = plan
+        self.delta_est = delta_est
+
+
+# ---------------------------------------------------------------------------
+# Subscriptions
+# ---------------------------------------------------------------------------
+
+
+class Subscription:
+    """A standing query handle: current rows, a change feed, a callback.
+
+    Concrete maintenance lives in the two subclasses; this base carries
+    the user-facing surface and the shared bookkeeping.  All state is
+    guarded by the registry lock — maintenance already runs under it,
+    readers take it briefly.
+    """
+
+    def __init__(self, registry, source: str, options, on_change) -> None:
+        self.registry = registry
+        self.source = source
+        self.options = options
+        #: Called synchronously (inside the committing write) with each
+        #: :class:`ChangeEvent`.  Must not mutate relations: the write
+        #: lock and registry lock are both held.
+        self.on_change = on_change
+        self.active = True
+        #: Base relations whose mutations this subscription watches.
+        self.watched: tuple[str, ...] = ()
+        #: Maintenance counters: incrementally applied batches vs. full
+        #: recomputations (deletions on fixpoints, ineligible shapes).
+        self.delta_batches = 0
+        self.recomputes = 0
+        self.replans = 0
+        self.plan_stats = PlanStats()
+        self._pending: deque[ChangeEvent] = deque()
+
+    # -- user surface -----------------------------------------------------
+
+    def rows(self) -> frozenset:
+        """The current result set (always equal to a fresh ``query()``)."""
+        with self.registry.lock:
+            return self._rows()
+
+    def changes(self):
+        """Drain queued :class:`ChangeEvent` batches (oldest first).
+
+        A non-blocking iterator: it stops when the queue is empty, and
+        events accumulated later are picked up by the next call.
+        """
+        while True:
+            with self.registry.lock:
+                if not self._pending:
+                    return
+                event = self._pending.popleft()
+            yield event
+
+    def close(self) -> None:
+        """Stop maintenance and detach from the registry."""
+        self.registry.unregister(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - display only
+        state = "active" if self.active else "closed"
+        return f"<Subscription {self.source!r} [{state}] {len(self.rows())} rows>"
+
+    # -- maintenance plumbing --------------------------------------------
+
+    def _notify(self, relation_name: str, inserted, deleted) -> None:
+        if not inserted and not deleted:
+            return
+        event = ChangeEvent(relation_name, frozenset(inserted), frozenset(deleted))
+        self._pending.append(event)
+        if self.on_change is not None:
+            self.on_change(event)
+
+
+class QuerySubscription(Subscription):
+    """Counting-maintained subscription over a non-recursive query."""
+
+    def __init__(self, registry, node: ast.Query, source, options, on_change):
+        super().__init__(registry, source, options, on_change)
+        db = registry.db
+        self._node = node
+        self._optimizer = options.resolved_optimizer
+        self._executor = _BAG_EXECUTORS.get(options.resolved_executor, "batch")
+        self.watched = tuple(
+            sorted(
+                {
+                    n.name
+                    for n in ast.walk(node)
+                    if isinstance(n, ast.RelRef) and n.name in db.relations
+                }
+            )
+        )
+        self._plan = compile_query(
+            db,
+            node,
+            options=ExecOptions(optimizer=self._optimizer, executor=self._executor),
+        )
+        #: Per-relation differential handler, built on first batch:
+        #: a _DeltaHandler, or _RECOMPUTE when ineligible.
+        self._handlers: dict[str, object] = {}
+        #: Derivation counts; result rows are exactly the keys (every
+        #: stored count is positive).
+        self._counts: Counter = Counter(
+            self._execute(self._plan, apply_values=None)
+        )
+
+    def _rows(self) -> frozenset:
+        return frozenset(self._counts)
+
+    def _execute(self, plan, apply_values) -> list:
+        ctx = ExecutionContext(
+            self.registry.db, apply_values=apply_values, stats=self.plan_stats
+        )
+        return _execute_bag(plan, ctx, self._executor)
+
+    # -- differential plans ----------------------------------------------
+
+    def _compile_delta(self, name: str, delta_est: float) -> object:
+        """Compile the occurrence-split differential w.r.t. ``name``,
+        priced with the given delta estimate; _RECOMPUTE if ineligible."""
+        db = self.registry.db
+        schema = db.relation(name).element_type
+        variants: list[ast.Branch] = []
+        for branch in self._node.branches:
+            positions = _branch_relation_positions(branch, name)
+            if positions is None:
+                return _RECOMPUTE
+            variants.extend(_split_branch(branch, name, positions, schema))
+        full = float(max(1, len(db.relation(name).raw())))
+        estimates = {
+            _ivm_token(name, "delta"): delta_est,
+            _ivm_token(name, "new"): full,
+            _ivm_token(name, "old"): full,
+        }
+        plan = compile_query(
+            db,
+            ast.Query(tuple(variants)),
+            cost_model=CostModel(db, estimates),
+            options=ExecOptions(optimizer=self._optimizer, executor=self._executor),
+        )
+        return _DeltaHandler(plan, delta_est)
+
+    def _handler(self, state: _DeltaState) -> object:
+        observed = float(max(len(state.ins), len(state.dels), 1))
+        handler = self._handlers.get(state.name)
+        if handler is None:
+            handler = self._compile_delta(state.name, observed)
+            self._handlers[state.name] = handler
+        elif (
+            handler is not _RECOMPUTE
+            and self._optimizer == "cost"
+            and observed / handler.delta_est > REPLAN_DRIFT
+        ):
+            # Mid-stream re-plan: batches outgrew the priced estimate
+            # enough that the chosen join orders may be stale.
+            handler = self._compile_delta(state.name, observed)
+            self._handlers[state.name] = handler
+            self.replans += 1
+        return handler
+
+    # -- maintenance ------------------------------------------------------
+
+    def _apply(self, state: _DeltaState) -> None:
+        handler = self._handler(state)
+        if handler is _RECOMPUTE:
+            self._recompute(state.name)
+            return
+        name = state.name
+        inserted_net: list = []
+        deleted_net: list = []
+        if state.dels:
+            # Delete phase: the relation went old -> mid.
+            removed = self._execute(
+                handler.plan,
+                {
+                    _ivm_token(name, "new"): state.mid,
+                    _ivm_token(name, "delta"): state.dels,
+                    _ivm_token(name, "old"): state.old,
+                },
+            )
+            self._fold(removed, -1, inserted_net, deleted_net)
+        if state.ins:
+            # Insert phase: the relation went mid -> live.
+            added = self._execute(
+                handler.plan,
+                {
+                    _ivm_token(name, "new"): state.live,
+                    _ivm_token(name, "delta"): state.ins,
+                    _ivm_token(name, "old"): state.mid,
+                },
+            )
+            self._fold(added, +1, inserted_net, deleted_net)
+        if inserted_net and deleted_net:
+            # A row deleted and re-derived within one batch is no net
+            # change (delete() then insert() folded into one assign()).
+            churn = set(inserted_net) & set(deleted_net)
+            if churn:
+                inserted_net = [r for r in inserted_net if r not in churn]
+                deleted_net = [r for r in deleted_net if r not in churn]
+        self.delta_batches += 1
+        self._notify(name, inserted_net, deleted_net)
+
+    def _fold(self, derivations, sign: int, inserted_net, deleted_net) -> None:
+        counts = self._counts
+        for row in derivations:
+            count = counts.get(row, 0) + sign
+            if count <= 0:
+                if counts.pop(row, 0) > 0:
+                    deleted_net.append(row)
+            else:
+                counts[row] = count
+                if sign > 0 and count == 1:
+                    inserted_net.append(row)
+
+    def _recompute(self, relation_name: str) -> None:
+        before = set(self._counts)
+        self._counts = Counter(self._execute(self._plan, apply_values=None))
+        after = set(self._counts)
+        self.recomputes += 1
+        self._notify(relation_name, after - before, before - after)
+
+
+class FixpointSubscription(Subscription):
+    """Fixpoint-maintained subscription over a constructed range."""
+
+    def __init__(self, registry, node: ast.Constructed, source, options, on_change):
+        super().__init__(registry, source, options, on_change)
+        db = registry.db
+        self._system = instantiate(db, node)
+        if not is_system_positive(self._system):
+            raise PositivityError(
+                f"instantiated system for {self._system.root.describe()} "
+                "is not positive"
+            )
+        self._program = compile_fixpoint(
+            db,
+            self._system,
+            options=ExecOptions(
+                optimizer=options.resolved_optimizer,
+                executor=options.resolved_executor,
+                shard_config=options.shard_config,
+            ),
+        )
+        self.watched = tuple(sorted(base_relation_names(db, self._system)))
+        self._values = {
+            key: set(rows) for key, rows in self._program.run().items()
+        }
+        #: Per-relation seed plans (dict key -> QueryPlan), built on
+        #: first insert batch; _RECOMPUTE when ineligible.
+        self._seeds: dict[str, object] = {}
+
+    def _rows(self) -> frozenset:
+        return frozenset(self._values[self._system.root])
+
+    # -- seed plans -------------------------------------------------------
+
+    def _seed_plans(self, name: str) -> object:
+        cached = self._seeds.get(name)
+        if cached is not None:
+            return cached
+        db = self.registry.db
+        schema = db.relation(name).element_type
+        estimates: dict[object, float] = {}
+        for key in self._system.apps:
+            estimates[_variant_token(key, "new")] = float(
+                max(1, len(self._values[key]))
+            )
+        full = float(max(1, len(db.relation(name).raw())))
+        estimates[_ivm_token(name, "new")] = full
+        estimates[_ivm_token(name, "old")] = full
+        estimates[_ivm_token(name, "delta")] = max(1.0, full**0.5)
+        model = CostModel(db, estimates)
+        plans: dict = {}
+        for key, app in self._system.apps.items():
+            variants: list[ast.Branch] = []
+            for branch in app.body.branches:
+                positions = _branch_relation_positions(branch, name)
+                if positions is None:
+                    self._seeds[name] = _RECOMPUTE
+                    return _RECOMPUTE
+                if positions:
+                    variants.extend(_split_branch(branch, name, positions, schema))
+            if variants:
+                plans[key] = compile_query(
+                    db,
+                    ast.Query(tuple(variants)),
+                    cost_model=model,
+                    options=ExecOptions(
+                        optimizer=self._program.optimizer,
+                        executor=self._program.executor,
+                    ),
+                )
+        self._seeds[name] = plans
+        return plans
+
+    # -- maintenance ------------------------------------------------------
+
+    def _apply(self, state: _DeltaState) -> None:
+        if state.dels:
+            # Deletion is not monotone: rows downstream of a deleted
+            # tuple may or may not stay derivable.  Re-run.
+            self._recompute(state.name)
+            return
+        seeds = self._seed_plans(state.name)
+        if seeds is _RECOMPUTE:
+            self._recompute(state.name)
+            return
+        name = state.name
+        apply_values: dict[object, object] = {
+            _ivm_token(name, "new"): state.live,
+            _ivm_token(name, "delta"): state.ins,
+            _ivm_token(name, "old"): state.mid,
+        }
+        for key in self._system.apps:
+            apply_values[_variant_token(key, "new")] = self._values[key]
+        ctx = ExecutionContext(
+            self.registry.db, apply_values=apply_values, stats=self.plan_stats
+        )
+        ctx.shard_config = self._program.shard_config
+        deltas = {}
+        for key in self._system.apps:
+            plan = seeds.get(key)
+            produced = (
+                plan.execute(ctx, executor=self._program.executor)
+                if plan is not None
+                else ()
+            )
+            deltas[key] = {r for r in produced if r not in self._values[key]}
+        self.delta_batches += 1
+        if not any(deltas.values()):
+            self._notify(name, (), ())
+            return
+        root = self._system.root
+        before = set(self._values[root])
+        # resume() expects deltas already merged into the model (the
+        # "new" side of the differentials must include them), with the
+        # pre-merge state recoverable as values - deltas.
+        for key, fresh in deltas.items():
+            self._values[key] |= fresh
+        self._program.resume(self._values, deltas)
+        self._notify(name, self._values[root] - before, ())
+
+    def _recompute(self, relation_name: str) -> None:
+        before = set(self._values[self._system.root])
+        self._values = {key: set(rows) for key, rows in self._program.run().items()}
+        after = self._values[self._system.root]
+        self.recomputes += 1
+        self._notify(relation_name, after - before, before - after)
+
+
+# ---------------------------------------------------------------------------
+# The registry (the write-capture sink)
+# ---------------------------------------------------------------------------
+
+
+class SubscriptionRegistry:
+    """Per-database fan-out from committed write batches to subscriptions.
+
+    Installed as the database's write-capture sink
+    (:meth:`~repro.relational.Database.attach_sink`): every effective
+    mutation commits while holding :attr:`lock` and calls :meth:`emit`
+    with its insert/delete batch before releasing it, so maintenance is
+    atomic with the commit.  Subscriptions also materialize under the
+    lock, closing the subscribe-vs-write race — attach the registry
+    before concurrent writers start.
+    """
+
+    def __init__(self, db) -> None:
+        self.db = db
+        self.lock = threading.RLock()
+        self.subscriptions: list[Subscription] = []
+        self._by_relation: dict[str, list[Subscription]] = {}
+        #: Committed write batches seen (whether or not anybody watched).
+        self.emits = 0
+
+    @classmethod
+    def ensure(cls, db) -> "SubscriptionRegistry":
+        """The database's registry, attaching a fresh one on first use."""
+        if db.subscriptions is None:
+            db.attach_sink(cls(db))
+        return db.subscriptions
+
+    # -- registration -----------------------------------------------------
+
+    def subscribe_query(self, node, source, options, on_change) -> Subscription:
+        """Materialize and register a counting-maintained subscription."""
+        with self.lock:
+            sub = QuerySubscription(self, node, source, options, on_change)
+            self._register(sub)
+        return sub
+
+    def subscribe_fixpoint(self, node, source, options, on_change) -> Subscription:
+        """Materialize and register a fixpoint-maintained subscription."""
+        with self.lock:
+            sub = FixpointSubscription(self, node, source, options, on_change)
+            self._register(sub)
+        return sub
+
+    def _register(self, sub: Subscription) -> None:
+        self.subscriptions.append(sub)
+        for name in sub.watched:
+            self._by_relation.setdefault(name, []).append(sub)
+
+    def unregister(self, sub: Subscription) -> None:
+        with self.lock:
+            if sub in self.subscriptions:
+                self.subscriptions.remove(sub)
+            for name in sub.watched:
+                watchers = self._by_relation.get(name)
+                if watchers and sub in watchers:
+                    watchers.remove(sub)
+                    if not watchers:
+                        del self._by_relation[name]
+            sub.active = False
+
+    # -- the sink protocol (called by Relation mutations) -----------------
+
+    def emit(self, relation, inserted, deleted) -> None:
+        """Maintain every watching subscription for one committed batch.
+
+        Called by the mutating relation with its write lock and
+        :attr:`lock` both held, after the commit is visible.
+        """
+        self.emits += 1
+        watchers = self._by_relation.get(relation.name)
+        if not watchers:
+            return
+        state = _DeltaState.build(relation, inserted, deleted)
+        for sub in list(watchers):
+            sub._apply(state)

@@ -30,6 +30,11 @@ class Database:
         #: Planner statistics: base-table stats resolved by name plus the
         #: observed sizes of converged fixpoints (see repro.relational.stats).
         self.stats = StatsCatalog(self)
+        #: The write-capture sink mutations report deltas to (a
+        #: ``repro.dbpl.subscriptions.SubscriptionRegistry`` once anything
+        #: subscribes; None until then).  Held here, not imported: the
+        #: relational layer stays below the serving layer.
+        self.subscriptions = None
 
     # -- relation variables ------------------------------------------------
 
@@ -43,8 +48,21 @@ class Database:
         if name in self.relations:
             raise SchemaError(f"relation variable {name!r} is already declared")
         rel = Relation(name, rtype, rows)
+        rel._sink = self.subscriptions
         self.relations[name] = rel
         return rel
+
+    def attach_sink(self, registry) -> None:
+        """Install ``registry`` as the write-capture sink of every
+        relation (current and future).  Idempotent for the same object;
+        a database has at most one registry for its lifetime."""
+        if self.subscriptions is not None and self.subscriptions is not registry:
+            raise SchemaError(
+                f"database {self.name!r} already has a subscription registry"
+            )
+        self.subscriptions = registry
+        for rel in self.relations.values():
+            rel._sink = registry
 
     def relation(self, name: str) -> Relation:
         try:

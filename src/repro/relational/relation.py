@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import threading
 from collections.abc import Iterable, Iterator
+from contextlib import nullcontext
 
 from ..errors import TypeMismatchError
 from ..types import RelationType, check_relation_assignment
@@ -53,6 +54,7 @@ class Relation:
         "_dicts",
         "_encoded_entry",
         "_write_lock",
+        "_sink",
     )
 
     def __init__(
@@ -78,6 +80,12 @@ class Relation:
         self._encoded_entry: tuple[int, EncodedTable | None] = _NO_ENCODED
         #: Writers serialize here; readers never take it.
         self._write_lock = threading.Lock()
+        #: Write-capture sink (duck-typed: ``lock``/``watching``/``emit``)
+        #: — a per-database SubscriptionRegistry once anything subscribes
+        #: to queries over this database, else None.  Wired by
+        #: :meth:`repro.relational.Database.attach_sink`; this module
+        #: stays ignorant of the serving layer above it.
+        self._sink = None
         rows = tuple(rows)
         if rows:
             self.assign(rows)
@@ -170,6 +178,28 @@ class Relation:
         self._rows = new_rows
         self._version += 1
 
+    def _delta_guard(self, inserted, deleted):
+        """(lock-or-null context, sink-or-None) for one mutation's commit.
+
+        Once a subscription registry is attached to the database, every
+        mutation that genuinely changes this relation commits *inside*
+        the registry lock and reports its insert/delete delta batch —
+        commit + maintenance is one atomic step, so two relations can
+        never interleave commits and emissions (which would double-count
+        derivations joining both deltas), and a concurrent ``subscribe``
+        (which materializes under the same lock) either sees the commit
+        in its initial result or receives the delta afterwards, never
+        neither.  Lock order is always relation ``_write_lock`` →
+        registry lock; the registry only ever *reads* other relations
+        (lock-free by the copy-on-write discipline), so the order cannot
+        invert.  No-op mutations skip the lock entirely, as does every
+        database without subscriptions (``_sink`` is None).
+        """
+        sink = self._sink
+        if sink is not None and (inserted or deleted):
+            return sink.lock, sink
+        return nullcontext(), None
+
     def assign(self, rows: Iterable[object]) -> None:
         """``rel := rex`` with full type and key checking.
 
@@ -182,10 +212,17 @@ class Relation:
         checked = check_relation_assignment(self.rtype, raw)
         with self._write_lock:
             new_rows = set(checked)
-            stats = TableStats(len(self.rtype.element.attribute_names))
-            stats.add_rows_batch(new_rows)
-            self._stats = stats
-            self._commit(new_rows)
+            old_rows = self._rows
+            inserted = [r for r in new_rows if r not in old_rows]
+            deleted = [r for r in old_rows if r not in new_rows]
+            guard, sink = self._delta_guard(inserted, deleted)
+            with guard:
+                stats = TableStats(len(self.rtype.element.attribute_names))
+                stats.add_rows_batch(new_rows)
+                self._stats = stats
+                self._commit(new_rows)
+                if sink is not None:
+                    sink.emit(self, inserted, deleted)
 
     def insert(self, rows: Iterable[object]) -> None:
         """``rel :+ rex`` — add tuples, keeping typing and key integrity.
@@ -221,20 +258,24 @@ class Relation:
             raw_entry = self._raw_entry
             encoded_entry = self._encoded_entry
             old_version = self._version
-            self._commit(new_rows)
-            # Incremental maintenance of the cached row list and encoded
-            # vectors, on the same mutation path as the statistics: when
-            # both caches describe the pre-insert version, append the
-            # genuinely fresh rows instead of letting the next reader
-            # re-list and re-encode the whole relation.
-            if fresh and raw_entry[0] == old_version:
-                new_list = raw_entry[1] + fresh
-                self._raw_entry = (self._version, new_list)
-                if encoded_entry[0] == old_version and encoded_entry[1] is not None:
-                    self._encoded_entry = (
-                        self._version,
-                        encoded_entry[1].extended(fresh, new_list),
-                    )
+            guard, sink = self._delta_guard(fresh, ())
+            with guard:
+                self._commit(new_rows)
+                # Incremental maintenance of the cached row list and encoded
+                # vectors, on the same mutation path as the statistics: when
+                # both caches describe the pre-insert version, append the
+                # genuinely fresh rows instead of letting the next reader
+                # re-list and re-encode the whole relation.
+                if fresh and raw_entry[0] == old_version:
+                    new_list = raw_entry[1] + fresh
+                    self._raw_entry = (self._version, new_list)
+                    if encoded_entry[0] == old_version and encoded_entry[1] is not None:
+                        self._encoded_entry = (
+                            self._version,
+                            encoded_entry[1].extended(fresh, new_list),
+                        )
+                if sink is not None:
+                    sink.emit(self, fresh, ())
 
     def insert_many(self, rows: Iterable[object]) -> None:
         """Bulk ``rel :+ rex``: the explicit batch-load entry point.
@@ -250,14 +291,24 @@ class Relation:
         raw = {self._coerce(r) for r in rows}
         with self._write_lock:
             old_rows = self._rows
-            if self._stats is not None:
-                self._stats.remove_rows(raw & old_rows)
-            self._commit(old_rows - raw)
+            removed = raw & old_rows
+            guard, sink = self._delta_guard((), removed)
+            with guard:
+                if self._stats is not None:
+                    self._stats.remove_rows(removed)
+                self._commit(old_rows - raw)
+                if sink is not None:
+                    sink.emit(self, (), list(removed))
 
     def clear(self) -> None:
         with self._write_lock:
-            self._stats = None
-            self._commit(set())
+            old_rows = self._rows
+            guard, sink = self._delta_guard((), old_rows)
+            with guard:
+                self._stats = None
+                self._commit(set())
+                if sink is not None:
+                    sink.emit(self, (), list(old_rows))
 
     @staticmethod
     def _coerce(item: object) -> tuple:

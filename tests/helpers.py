@@ -321,7 +321,7 @@ def assert_fixpoint_executors_agree(
     engine is the baseline and ``oracle`` (e.g. a transitive-closure
     set) an optional independent witness.  Returns the agreed value.
     """
-    from repro.compiler import compile_fixpoint
+    from repro.compiler import ExecOptions, compile_fixpoint
     from repro.constructors import instantiate
     from repro.constructors.engines import seminaive_fixpoint
     from repro.relational import set_numpy_enabled
@@ -339,7 +339,11 @@ def assert_fixpoint_executors_agree(
                 db = db_factory()
                 system = instantiate(db, application)
                 program = compile_fixpoint(
-                    db, system, executor=executor, shard_config=shard_config
+                    db,
+                    system,
+                    options=ExecOptions(
+                        executor=executor, shard_config=shard_config
+                    ),
                 )
                 values = program.run()
                 assert values[system.root] == expected, (
@@ -351,3 +355,91 @@ def assert_fixpoint_executors_agree(
     if oracle is not None:
         assert set(expected) == oracle
     return expected
+
+
+# -- standing-query (subscription) harness -----------------------------------
+
+
+def clone_database(db: Database) -> Database:
+    """A fresh Database with the same declarations and rows.
+
+    Plans, statistics, and subscription registries do not carry over —
+    each harness leg must observe only its own maintenance."""
+    fresh = Database(db.name)
+    for name, rel in db.relations.items():
+        fresh.declare(name, rel.rtype, rel.raw())
+    return fresh
+
+
+def random_prop_mutations(rng: random.Random, db: Database) -> list:
+    """A replayable insert/delete/assign script over the prop schema.
+
+    Generated against ``db`` (mutating it along the way) so delete and
+    assign batches reference rows that genuinely exist when the script
+    replays against a fresh clone.  Delete batches also include absent
+    rows — removing nothing must be a maintenance no-op."""
+
+    def row() -> tuple:
+        return (
+            f"k{int(10 * rng.random() ** 2)}",
+            f"k{int(10 * rng.random() ** 2)}",
+            rng.randrange(8),
+        )
+
+    ops = []
+    for _ in range(rng.randint(2, 6)):
+        name = rng.choice(PROP_RELATIONS)
+        rel = db.relation(name)
+        kind = rng.choice(("insert", "insert", "delete", "assign"))
+        if kind == "insert":
+            rows = [row() for _ in range(rng.randint(1, 6))]
+        elif kind == "delete":
+            rows = [r for r in sorted(rel.raw()) if rng.random() < 0.3]
+            rows.append(row())
+        else:
+            rows = [r for r in sorted(rel.raw()) if rng.random() < 0.6]
+            rows.extend(row() for _ in range(rng.randint(0, 4)))
+        getattr(rel, kind)(rows)
+        ops.append((kind, name, rows))
+    return ops
+
+
+def assert_subscription_tracks(
+    db_factory,
+    query,
+    mutations,
+    executors: tuple[str, ...] = ALL_EXECUTORS,
+) -> None:
+    """Subscribe under every backend and replay a mutation script.
+
+    After every batch the maintained rows must equal the reference
+    evaluator on the live database — the standing-query invariant
+    ``sub.rows() == fresh query()`` — and at the end the emitted change
+    events must replay from the initial result to the final one (each
+    event inserting only absent rows and deleting only present ones).
+    """
+    from repro.compiler import ExecOptions
+    from repro.dbpl.subscriptions import SubscriptionRegistry
+
+    for executor in executors:
+        db = db_factory()
+        registry = SubscriptionRegistry.ensure(db)
+        sub = registry.subscribe_query(
+            query, "<harness>", ExecOptions(executor=executor), None
+        )
+        replayed = set(sub.rows())
+        assert sub.rows() == Evaluator(db).eval_query(query)
+        for kind, name, rows in mutations:
+            getattr(db.relation(name), kind)(rows)
+            reference = Evaluator(db).eval_query(query)
+            assert sub.rows() == reference, (
+                f"subscription under {executor!r} diverged after "
+                f"{kind} on {name}: {len(sub.rows())} rows vs "
+                f"{len(reference)} reference rows"
+            )
+        for event in sub.changes():
+            assert event.deleted <= replayed
+            assert not (event.inserted & replayed)
+            replayed = (replayed - event.deleted) | event.inserted
+        assert replayed == sub.rows()
+        sub.close()

@@ -1,0 +1,256 @@
+"""ExecOptions: the unified execution-options surface and its shims.
+
+Covers the dataclass algebra (layering, cache-key normalization), the
+legacy-keyword adapter (deprecation warnings, conflict rejection,
+answer equivalence across both spellings at every entry point), and the
+observable-fallback counters on Session.
+"""
+
+import warnings
+
+import pytest
+from helpers import make_cad_db
+
+from repro import ExecOptions
+from repro.compiler import (
+    DEFAULT_EXECUTOR,
+    DEFAULT_OPTIMIZER,
+    compile_fixpoint,
+    compile_query,
+    construct_compiled,
+    resolve_options,
+)
+from repro.calculus import dsl as d
+from repro.datalog import DatalogEngine
+from repro.dbpl import Session
+from repro.errors import EvaluationError, TranslationError
+
+INFRONT_QUERY = d.query(
+    d.branch(d.each("r", "Infront"), pred=d.eq(d.a("r", "back"), "chair"))
+)
+
+AHEAD = """
+TYPE prec = RECORD front, back: STRING END;
+     prel = RELATION front, back OF prec;
+VAR Infront: prel;
+CONSTRUCTOR ahead FOR Rel: prel (): prel;
+BEGIN EACH r IN Rel: TRUE,
+      <r.front, a.back> OF EACH r IN Rel,
+           EACH a IN Rel{ahead()}: r.back = a.front
+END ahead;
+"""
+
+
+def make_session() -> Session:
+    s = Session()
+    s.execute(AHEAD)
+    s.insert("Infront", [("table", "chair"), ("chair", "door")])
+    return s
+
+
+class TestExecOptionsAlgebra:
+    def test_over_set_fields_win(self):
+        base = ExecOptions(executor="tuple", optimizer="greedy")
+        call = ExecOptions(executor="batch")
+        merged = call.over(base)
+        assert merged.executor == "batch"
+        assert merged.optimizer == "greedy"
+
+    def test_over_none_base_is_identity(self):
+        opts = ExecOptions(executor="vector")
+        assert opts.over(None) is opts
+
+    def test_resolved_defaults(self):
+        assert ExecOptions().resolved_executor == DEFAULT_EXECUTOR
+        assert ExecOptions().resolved_optimizer == DEFAULT_OPTIMIZER
+
+    def test_cache_key_normalizes_spellings_and_per_exec_fields(self):
+        # Explicit defaults and unset fields fingerprint identically,
+        # and snapshot/analysis never fragment the key.
+        assert ExecOptions().cache_key() == ExecOptions(
+            executor=DEFAULT_EXECUTOR,
+            optimizer=DEFAULT_OPTIMIZER,
+            analysis="lint",
+            snapshot=object(),
+        ).cache_key()
+        assert (
+            ExecOptions(executor="tuple").cache_key()
+            != ExecOptions().cache_key()
+        )
+
+    def test_replace_returns_new_frozen_instance(self):
+        opts = ExecOptions(executor="batch")
+        other = opts.replace(optimizer="greedy")
+        assert other is not opts
+        assert other.optimizer == "greedy" and other.executor == "batch"
+        with pytest.raises(Exception):
+            opts.executor = "tuple"
+
+
+class TestResolveOptions:
+    def test_no_legacy_kwargs_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = resolve_options(None, "here")
+            assert out == ExecOptions()
+            opts = ExecOptions(executor="tuple")
+            assert resolve_options(opts, "here") is opts
+
+    def test_loose_keyword_warns_and_merges(self):
+        with pytest.warns(DeprecationWarning, match="here: .*executor"):
+            out = resolve_options(None, "here", executor="tuple")
+        assert out.executor == "tuple"
+
+    def test_conflicting_spellings_raise(self):
+        with pytest.raises(ValueError, match="executor"), warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            resolve_options(
+                ExecOptions(executor="batch"), "here", executor="tuple"
+            )
+
+    def test_agreeing_spellings_merge(self):
+        with pytest.warns(DeprecationWarning):
+            out = resolve_options(
+                ExecOptions(executor="batch", optimizer="greedy"),
+                "here",
+                executor="batch",
+            )
+        assert out == ExecOptions(executor="batch", optimizer="greedy")
+
+
+class TestEntryPointShims:
+    """Both spellings reach every front door and agree on answers."""
+
+    def test_compile_query_shim(self):
+        db = make_cad_db()
+        with pytest.warns(DeprecationWarning, match="compile_query"):
+            legacy = compile_query(db, INFRONT_QUERY, executor="tuple")
+        modern = compile_query(
+            db, INFRONT_QUERY, options=ExecOptions(executor="tuple")
+        )
+        assert legacy.executor == modern.executor == "tuple"
+
+    def test_fixpoint_shims(self):
+        from repro.constructors import instantiate
+        from repro.dbpl import parse_expression
+
+        s = make_session()
+        node = parse_expression("Infront{ahead()}")
+        system = instantiate(s.db, node)
+        with pytest.warns(DeprecationWarning, match="compile_fixpoint"):
+            legacy = compile_fixpoint(s.db, system, executor="rowbatch")
+        modern = compile_fixpoint(
+            s.db, system, options=ExecOptions(executor="rowbatch")
+        )
+        assert legacy.executor == modern.executor == "rowbatch"
+        assert legacy.run() == modern.run()
+        with pytest.warns(DeprecationWarning, match="construct_compiled"):
+            rows = construct_compiled(s.db, node, executor="tuple").rows
+        assert rows == construct_compiled(
+            s.db, node, options=ExecOptions(executor="tuple")
+        ).rows
+
+    def test_session_shims_share_the_plan_cache(self):
+        s = make_session()
+        source = '{EACH r IN Infront: r.back = "chair"}'
+        with pytest.warns(DeprecationWarning, match="Session.query"):
+            legacy = s.query(source, executor="tuple")
+        assert len(s.plan_cache) == 1
+        modern = s.query(source, options=ExecOptions(executor="tuple"))
+        assert legacy == modern
+        # Same normalized fingerprint -> no second compilation.
+        assert len(s.plan_cache) == 1
+
+    def test_session_constructor_shim(self):
+        with pytest.warns(DeprecationWarning, match="Session"):
+            s = Session(executor="tuple")
+        assert s.options.executor == "tuple"
+        assert Session(
+            options=ExecOptions(executor="tuple")
+        ).options == s.options
+
+    def test_session_level_options_flow_into_queries(self):
+        s = Session(options=ExecOptions(executor="tuple", analysis="lint"))
+        s.execute(AHEAD)
+        s.insert("Infront", [("table", "chair")])
+        source = '{EACH r IN Infront: r.back = "chair"}'
+        assert s.query(source) == {("table", "chair")}
+        plan = s.plan_cache.get(
+            next(iter(s.plan_cache._entries)), s.db.stats.epoch()
+        )
+        assert plan.options.resolved_executor == "tuple"
+
+    def test_datalog_solve_shim(self):
+        from repro.datalog import parse_program
+
+        source = """
+            edge(a, b). edge(b, c).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- edge(X, Y), path(Y, Z).
+        """
+        engine = DatalogEngine(parse_program(source))
+        modern = engine.solve(
+            "compiled", options=ExecOptions(executor="rowbatch")
+        )
+        with pytest.warns(DeprecationWarning, match="DatalogEngine.solve"):
+            legacy = engine.solve("compiled", executor="rowbatch")
+        assert legacy == modern
+        assert modern["path"] == {("a", "b"), ("b", "c"), ("a", "c")}
+
+
+class TestObservableFallbacks:
+    def test_counters_start_at_zero_and_stay_put_on_happy_path(self):
+        s = make_session()
+        s.query('{EACH r IN Infront: r.back = "chair"}')
+        s.query("Infront{ahead()}")
+        assert s.fallbacks == {"interpreted": 0, "construct": 0}
+
+    def test_interpreted_fallback_counts_and_hints(self, monkeypatch):
+        s = make_session()
+        diags = []
+        s.on_diagnostic = diags.append
+
+        def boom(node, options):
+            raise TranslationError("untranslatable shape")
+
+        monkeypatch.setattr(s, "_prepared_plan", boom)
+        source = '{EACH r IN Infront: r.back = "chair"}'
+        assert s.query(source) == {("table", "chair")}
+        assert s.fallbacks == {"interpreted": 1, "construct": 0}
+        hints = [g for g in diags if g.code == "DBPL900"]
+        assert len(hints) == 1
+        assert hints[0].severity == "hint"
+        assert hints[0].data["source"] == source
+        assert "untranslatable shape" in hints[0].message
+
+    def test_construct_fallback_counts_and_hints(self, monkeypatch):
+        import repro.dbpl.session as session_mod
+
+        s = make_session()
+        diags = []
+        s.on_diagnostic = diags.append
+        expected = s.query("Infront{ahead()}", mode="seminaive")
+
+        def boom(db, node, options=None):
+            raise TranslationError("no fixpoint plan")
+
+        monkeypatch.setattr(session_mod, "construct_compiled", boom)
+        assert s.query("Infront{ahead()}") == expected
+        assert s.fallbacks == {"interpreted": 0, "construct": 1}
+        (hint,) = [g for g in diags if g.code == "DBPL901"]
+        assert "interpreted fixpoint" in hint.message
+
+    def test_runtime_evaluation_error_propagates(self, monkeypatch):
+        # Satellite of the fallback narrowing: a *runtime* failure in
+        # the compiled fixpoint must surface, not silently re-run.
+        import repro.dbpl.session as session_mod
+
+        s = make_session()
+
+        def boom(db, node, options=None):
+            raise EvaluationError("mid-execution failure")
+
+        monkeypatch.setattr(session_mod, "construct_compiled", boom)
+        with pytest.raises(EvaluationError, match="mid-execution"):
+            s.query("Infront{ahead()}")
+        assert s.fallbacks["construct"] == 0
