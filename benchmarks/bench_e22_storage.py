@@ -1,0 +1,103 @@
+"""E22 — out-of-core columnar storage: pushdown vs materialize.
+
+``Database.spill`` writes each relation as self-describing columnar
+partitions (dictionary pages plus int64 id pages, per-column min/max in
+the manifest, ``TableStats`` persisted alongside); ``open_database``
+reopens them cold, and compiled scans push projection and restrictions
+into the partition readers.  The acceptance bar — a selective projected
+scan decodes >= 5x fewer rows/cells/bytes than full materialization,
+and a freshly reopened database plans like the warm one without a
+single scan — is deterministic (decode counters, not wall-clocks), so
+the headline test runs everywhere and CI's bench-gate compares the
+``storage_*_scan_ratio`` metrics exactly.  The sweep also regenerates
+the E22 table.
+"""
+
+import pytest
+
+from benchtable import write_table
+from repro.bench import experiments
+from repro.bench.experiments import e22_storage_db
+from repro.dbpl import Session
+from repro.relational import open_database
+
+ROWS = 20_000
+PER_PART = 1_000
+SELECTIVE = f'{{<p.city> OF EACH p IN People: p.name >= "p{ROWS - PER_PART:06d}"}}'
+
+
+@pytest.fixture(scope="module")
+def spilled(tmp_path_factory):
+    db = e22_storage_db(rows=ROWS)
+    path = str(tmp_path_factory.mktemp("e22") / "db")
+    db.spill(path, rows_per_partition=PER_PART)
+    return db, path
+
+
+def test_e22_cold_answers_match_warm(spilled):
+    db, path = spilled
+    cold = open_database(path)
+    assert Session(cold).query(SELECTIVE) == Session(db).query(SELECTIVE)
+    assert cold.relation("People").is_cold  # pruned scan, no materialize
+
+
+def test_e22_pushdown_decodes_5x_less(spilled):
+    _db, path = spilled
+    cold = open_database(path)
+    store = cold.relation("People").cold_store
+    store.counters.reset()
+    Session(cold).query(SELECTIVE)
+    pushdown = store.counters.snapshot()
+    store.counters.reset()
+    cold.relation("People").rows()  # full materialization, same store
+    full = store.counters.snapshot()
+    for key in ("rows_decoded", "cells_decoded", "bytes_read"):
+        assert full[key] >= 5 * pushdown[key], key
+
+
+def test_e22_reopened_database_plans_without_scanning(spilled):
+    table = experiments.e22_storage(rows=4_000, rows_per_partition=500)
+    assert table.metrics["storage_plans_match"] == 1.0
+
+
+@pytest.mark.benchmark(group="E22-storage")
+def test_e22_pushdown_scan(benchmark, spilled):
+    _db, path = spilled
+    cold = open_database(path)
+    Session(cold).query(SELECTIVE)  # prime the plan cache
+    benchmark.pedantic(
+        lambda: Session(open_database(path)).query(SELECTIVE),
+        rounds=1, iterations=1,
+    )
+
+
+@pytest.mark.benchmark(group="E22-storage")
+def test_e22_full_materialize(benchmark, spilled):
+    _db, path = spilled
+    rows = benchmark.pedantic(
+        lambda: open_database(path).relation("People").rows(),
+        rounds=1, iterations=1,
+    )
+    assert len(rows) == ROWS
+
+
+def test_e22_headline_scan_ratios():
+    """The acceptance bar, on decode counters (machine-independent)::
+
+        PYTHONPATH=src python -m pytest \\
+            benchmarks/bench_e22_storage.py -k headline -q
+    """
+    table = experiments.e22_storage()
+    assert table.metrics["storage_rows_scan_ratio"] >= 5.0, table.render()
+    assert table.metrics["storage_cells_scan_ratio"] >= 5.0, table.render()
+    assert table.metrics["storage_bytes_scan_ratio"] >= 5.0, table.render()
+
+
+@pytest.mark.benchmark(group="E22-table")
+def test_e22_table(benchmark):
+    table = benchmark.pedantic(
+        lambda: experiments.e22_storage(), rounds=1, iterations=1
+    )
+    write_table("e22", table)
+    assert table.metrics["storage_plans_match"] == 1.0
+    assert table.metrics["storage_cells_scan_ratio"] >= 5.0

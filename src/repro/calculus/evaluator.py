@@ -166,7 +166,12 @@ class Evaluator:
     def infer_schema(self, rexpr: ast.RangeExpr, env: Env) -> RecordType:
         """The record type describing the tuples a range produces."""
         if isinstance(rexpr, ast.RelRef):
-            return self._resolve_name(rexpr.name).schema
+            name = rexpr.name
+            if name not in self.params and name in self.db:
+                # Schema-only access: never touch the rows, so compiling
+                # against a cold store-backed relation stays scan-free.
+                return self.db.relation(name).element_type
+            return self._resolve_name(name).schema
         if isinstance(rexpr, ast.ApplyVar):
             return rexpr.schema
         if isinstance(rexpr, ast.Selected):

@@ -69,7 +69,8 @@ from operator import ge, gt, itemgetter, le, lt
 from ..calculus import ast
 from ..calculus.analysis import free_tuple_vars
 from ..calculus.rewrite import conjoin, conjuncts
-from ..relational.vectors import EncodedTable, get_numpy, translation
+from ..errors import EvaluationError
+from ..relational.vectors import Dictionary, EncodedTable, get_numpy, translation
 
 #: Shared empty bucket for missed hash probes inside generated loops.
 _EMPTY: tuple = ()
@@ -140,17 +141,21 @@ class Scan(Operator):
     the step's carry layout.
     """
 
-    __slots__ = ("source", "fn")
+    __slots__ = ("source", "fn", "pushdown")
 
-    def __init__(self, source, fn) -> None:
+    def __init__(self, source, fn, pushdown=None) -> None:
         super().__init__(f"SCAN {source.describe()}")
         self.source = source
         self.fn = fn
+        #: Storage pushdown (plans.ScanPushdown or None): a cold
+        #: store-backed relation decodes only live columns of matching
+        #: partitions; every other source ignores it.
+        self.pushdown = pushdown
 
     def run(self, ctx, batch):
         if not batch:
             return batch
-        rows, _ = self.source.rows_and_indexable(ctx)
+        rows = self.source.scan_rows(ctx, self.pushdown)
         ctx.stats.rows_scanned += len(rows) * _batch_len(batch)
         return self.fn(rows, batch)
 
@@ -947,7 +952,7 @@ def lower_branch(
                         "        return list(rows)\n" + body
                     )
                 fn = gen.define("_scan", "def _scan(rows, batch):\n" + body)
-                op = Scan(step.source, fn)
+                op = Scan(step.source, fn, step.pushdown)
             current = [op]
             step_ops.append(current)
             prev_pos = positions(layout)
@@ -1428,7 +1433,7 @@ def lower_branch_columnar(
             fn = gen.define("_lookup", "def _lookup(bucket, batch):\n" + body)
             return IndexLookup(step.source, step.key_positions, key_fn, fn)
         fn = gen.define("_scan", "def _scan(rows, batch):\n" + body)
-        return Scan(step.source, fn)
+        return Scan(step.source, fn, step.pushdown)
 
     def gen_filter(s, layout_before, layout_after):
         slot_of = {v: i for i, v in enumerate(layout_before)}
@@ -1612,20 +1617,40 @@ class SourceRef:
     a shipped operator resolves *only* through the overrides.
     """
 
-    __slots__ = ("key", "source")
+    __slots__ = ("key", "source", "pushdown")
 
     def __init__(self, key: int, source) -> None:
         self.key = key
         self.source = source
+        #: Storage pushdown for scan-access steps (plans.ScanPushdown or
+        #: None): a cold store-backed relation resolves to a partial
+        #: encoded table holding only matching partitions' live columns.
+        self.pushdown = None
 
     def __getstate__(self):
         # A bare ``self.key`` would be falsy for step 0 and pickle would
         # skip ``__setstate__`` entirely — always wrap in a tuple.
+        # Pushdown is dropped with the source: shipped operators resolve
+        # exclusively through the per-shard encoded overrides.
         return (self.key,)
 
     def __setstate__(self, state) -> None:
         self.key = state[0]
         self.source = None
+        self.pushdown = None
+
+
+def _encode_apply(rows, schema) -> EncodedTable:
+    """Encode a fixpoint variable's rows with per-execution dictionaries.
+
+    Fixpoint values have no stored :class:`Relation` whose persistent
+    dictionaries they could borrow, so each (rows, ref) pair encodes
+    with fresh ones; joins against stored relations bridge through the
+    usual id-translation tables, which hash decoded values.
+    """
+    rows = rows if isinstance(rows, list) else list(rows)
+    dicts = tuple(Dictionary() for _ in schema.attribute_names)
+    return EncodedTable.from_rows(rows, dicts)
 
 
 def _encoded_table(ctx, ref: SourceRef) -> EncodedTable:
@@ -1635,7 +1660,8 @@ def _encoded_table(ctx, ref: SourceRef) -> EncodedTable:
     keyed by step index), then row-level source overrides (sharding's
     in-process pools, serving snapshots) encoded on demand with the
     relation's persistent dictionaries and cached per execution context,
-    then the relation's own version-cached encoded view.
+    then fixpoint variables (encoded per delta), then the relation's own
+    version-cached encoded view.
     """
     shipped = ctx.encoded_overrides
     if shipped is not None:
@@ -1652,11 +1678,45 @@ def _encoded_table(ctx, ref: SourceRef) -> EncodedTable:
             key = ("enc", ref.key)
             entry = cache.get(key)
             if entry is None or entry[0] is not rows:
-                relation = ctx.db.relation(source.name)
-                entry = (rows, EncodedTable.from_rows(rows, relation.dictionaries()))
+                if source.kind == "apply":
+                    table = _encode_apply(rows, source.schema)
+                else:
+                    relation = ctx.db.relation(source.name)
+                    table = EncodedTable.from_rows(rows, relation.dictionaries())
+                entry = (rows, table)
                 cache[key] = entry
             return entry[1]
-    return ctx.db.relation(source.name).encoded()
+    if source.kind == "apply":
+        rows = ctx.apply_values.get(source.token)
+        if rows is None:
+            raise EvaluationError(f"unbound fixpoint variable {source.token!r}")
+        cache = ctx.vector_cache
+        key = ("apply", ref.key)
+        entry = cache.get(key)
+        if entry is None or entry[0] is not rows:
+            entry = (rows, _encode_apply(rows, source.schema))
+            cache[key] = entry
+        return entry[1]
+    relation = ctx.db.relation(source.name)
+    pushdown = ref.pushdown
+    if pushdown is not None:
+        store = relation.cold_store
+        if store is not None:
+            # Scan-access pushdown: a partial encoded table holding only
+            # the matching partitions' rows, dead columns left undecoded.
+            # Cached per ref identity (two branches share step indexes,
+            # not refs) with the ref held against id() reuse.
+            cache = ctx.vector_cache
+            key = ("pscan", id(ref))
+            entry = cache.get(key)
+            if entry is None or entry[0] is not ref or entry[1] is not store:
+                table = store.encoded_scan(
+                    pushdown.projection, pushdown.selection, ctx.params
+                )
+                entry = (ref, store, table)
+                cache[key] = entry
+            return entry[2]
+    return relation.encoded()
 
 
 def _translation(ctx, src, dst):
@@ -2217,8 +2277,11 @@ def lower_branch_vector(
     Coverage rules — anything outside them returns None and the branch
     falls back to the columnar pipeline (then row-major, then tuple):
 
-    * every step reads a stored relation (fixpoint deltas and computed
-      ranges keep the columnar kernels);
+    * every step reads a stored relation, except that a fixpoint
+      variable may supply the *leading scan* (its delta rows encode per
+      execution, so shippable delta branches can ship); apply sources
+      anywhere else — and computed ranges anywhere — keep the columnar
+      kernels;
     * accesses are a leading scan, a single-column constant/parameter
       key, or a single-column equality join keyed on one attribute of
       an earlier binding;
@@ -2238,12 +2301,22 @@ def lower_branch_vector(
     filters: list[list] = []
     last = len(steps) - 1
     for s, step in enumerate(steps):
-        if step.source.kind != "relation":
+        source = step.source
+        if source.kind != "relation" and not (
+            source.kind == "apply"
+            and s == 0
+            and not step.key_positions
+            and source.schema is not None
+        ):
             return None
         kp = step.key_positions
         if not kp:
             if s != 0:
                 return None  # mid-pipeline cross product: keep columnar
+            # The leading scan is the one access whose whole-table read a
+            # storage backend can narrow: hand its pushdown to the ref so
+            # every operator of this step resolves the same partial table.
+            refs[s].pushdown = step.pushdown
             accesses.append(("scan",))
         elif len(kp) == 1:
             term = step.key_terms[0]

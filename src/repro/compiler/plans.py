@@ -154,8 +154,20 @@ class ExecutionContext:
         #: Sharded-executor tuning for plans run under this context
         #: (None → the module defaults of repro.compiler.sharded).
         self.shard_config = None
+        #: Observable-fallback hook: callable(kind, detail) installed by
+        #: the serving layer (see ``Session._note_exec_fallback``) so
+        #: silent executor degradations — process pool falling back to
+        #: threads, the shipped-shard path falling back to fork-time
+        #: inheritance — surface as counters and DBPL9xx hints.
+        self.on_fallback = None
         # The residual evaluator shares params/apply values with the plan.
         self.evaluator = Evaluator(db, self.params, self.apply_values)
+
+    def note_fallback(self, kind: str, detail: str) -> None:
+        """Report a silent-degradation event to the installed hook."""
+        hook = self.on_fallback
+        if hook is not None:
+            hook(kind, detail)
 
     def index_rows(self, token: object, rows, positions: tuple[int, ...]) -> HashIndex:
         """A per-execution hash index over a materialized row set."""
@@ -205,6 +217,34 @@ class ExecutionContext:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class ScanPushdown:
+    """What a scan may push down to a storage-backed relation's reader.
+
+    ``projection`` — column positions the branch provably reads (None →
+    all columns; derived conservatively from the branch AST, so any
+    whole-row use or name shadowing keeps the full width).
+    ``selection`` — symbolic ``(pos, op, spec)`` single-variable
+    comparisons, with ``spec`` either ``("const", value)`` or
+    ``("param", name)`` so prepared plans resolve per execution.
+
+    Pushdown is advisory and idempotent: the compiled filters re-check
+    every pushed predicate, and dead columns are only ever positions the
+    plan never touches, so a reader is free to ignore any part of it.
+    """
+
+    projection: tuple | None = None
+    selection: tuple = ()
+
+    def describe(self) -> str:
+        parts = []
+        if self.projection is not None:
+            parts.append(f"cols={list(self.projection)}")
+        if self.selection:
+            parts.append(f"preds={len(self.selection)}")
+        return " ".join(parts)
+
+
 @dataclass
 class Source:
     """Where a loop step's rows come from."""
@@ -240,6 +280,26 @@ class Source:
         value = ctx.evaluator.resolve_range(self.rexpr, {})
         rows = value.rows if isinstance(value.rows, (set, frozenset)) else set(value.rows)
         return rows, lambda pos: ctx.index_rows(self.rexpr, rows, pos)
+
+    def scan_rows(self, ctx: ExecutionContext, pushdown=None):
+        """Rows for a full-scan access path, honoring storage pushdown.
+
+        Shard overrides win (their rows are already materialized and
+        partitioned); then a cold, store-backed relation scans through
+        its partition reader — decoding only the live columns of the
+        partitions matching the pushed predicates — and everything else
+        falls back to :meth:`rows_and_indexable`.
+        """
+        overrides = ctx.source_overrides
+        if overrides is not None and overrides.get(id(self)) is not None:
+            return overrides[id(self)][0]
+        if pushdown is not None and self.kind == "relation":
+            rows = ctx.db.relation(self.name).scan_pushdown(
+                pushdown.projection, pushdown.selection, ctx.params
+            )
+            if rows is not None:
+                return rows
+        return self.rows_and_indexable(ctx)[0]
 
     def describe(self) -> str:
         if self.kind == "relation":
@@ -564,10 +624,17 @@ class CostModel:
                     build_cost=card * self.INDEX_BUILD_WEIGHT,
                     use_index=True,
                 )
+        # A cold store-backed relation scans only the partitions its
+        # manifest cannot prune under the step's restrictions; warm
+        # relations report fraction 1.0, so pricing is unchanged for
+        # every in-memory plan.
+        scan_rows = card
+        if restrictions and source.kind == "relation":
+            scan_rows *= self.db[source.name].scan_cost_fraction(restrictions)
         return StepEstimate(
             source_rows=card,
             out_rows=card * filter_sel,
-            per_invocation=max(card, 1.0),
+            per_invocation=max(scan_rows, 1.0),
             build_cost=0.0,
             use_index=False,
         )
@@ -665,6 +732,79 @@ def _restriction_of(conj: ast.Cmp, schemas: dict, params: dict):
     return None
 
 
+#: Operators a storage reader can evaluate row-wise (equality included —
+#: an equality the cost model left on a scan step is a pushable filter).
+_SCAN_OPS = frozenset(("=",)) | frozenset(_FLIPPED_OP)
+_SCAN_FLIPPED = dict(_FLIPPED_OP, **{"=": "="})
+
+
+def _scan_restriction_spec(conj: ast.Cmp, schemas: dict, params: dict):
+    """``(var, pos, op, spec)`` for a reader-pushable comparison, or None.
+
+    Like :func:`_restriction_of` but *symbolic*: the value side becomes
+    ``("const", v)`` when it evaluates now, or ``("param", name)`` for a
+    bare parameter slot — prepared plans rebind parameters per execution,
+    so the reader must resolve the value at scan time, never here.
+    """
+    if conj.op not in _SCAN_OPS:
+        return None
+    for attr_side, other, op in (
+        (conj.left, conj.right, conj.op),
+        (conj.right, conj.left, _SCAN_FLIPPED[conj.op]),
+    ):
+        if (
+            isinstance(attr_side, ast.AttrRef)
+            and attr_side.var in schemas
+            and not _term_vars(other)
+        ):
+            pos = schemas[attr_side.var].index_of(attr_side.attr)
+            if isinstance(other, ast.ParamRef):
+                return (attr_side.var, pos, op, ("param", other.name))
+            value_fn = _compile_value(other, schemas, params)
+            if value_fn is None:
+                continue
+            try:
+                value = value_fn({})
+            except (KeyError, TypeError, ZeroDivisionError):
+                continue
+            return (attr_side.var, pos, op, ("const", value))
+    return None
+
+
+def _derive_projection(branch: ast.Branch, var: str, schema) -> tuple | None:
+    """Column positions of ``var`` the branch provably reads, or None.
+
+    None means "all columns" — returned on any whole-row use
+    (``VarRef``, an implicit whole-tuple emit) and whenever the name is
+    rebound anywhere in the branch (quantifier variables, nested query
+    bindings): a shadowed name makes attribute attribution ambiguous, so
+    the projection stays conservative.  Collecting attributes of *inner*
+    same-named variables can only widen the result, never narrow it, so
+    a plain AST walk is sound.
+    """
+    if branch.targets is None and branch.bindings and branch.bindings[0].var == var:
+        return None
+    used: set[int] = set()
+    bindings_seen = 0
+    for node in ast.walk(branch):
+        if isinstance(node, ast.VarRef) and node.var == var:
+            return None
+        if isinstance(node, (ast.Some, ast.All)) and var in node.vars:
+            return None
+        if isinstance(node, ast.Binding) and node.var == var:
+            bindings_seen += 1
+            if bindings_seen > 1:
+                return None
+        if isinstance(node, ast.AttrRef) and node.var == var:
+            try:
+                used.add(schema.index_of(node.attr))
+            except SchemaError:
+                return None
+    if len(used) >= len(schema.attribute_names):
+        return None
+    return tuple(sorted(used))
+
+
 # ---------------------------------------------------------------------------
 # Branch compilation
 # ---------------------------------------------------------------------------
@@ -701,6 +841,11 @@ class LoopStep:
     # Priced selectivity of this step's single-variable comparison
     # filters — the columnar lowering's G2 gate (probe pushdown) reads it.
     est_filter_sel: float | None = None
+    #: Storage pushdown for scan access paths (a ScanPushdown, or None):
+    #: the projection/selection a cold store-backed relation's partition
+    #: reader may apply so only live columns of matching partitions are
+    #: ever decoded.  Advisory — warm relations ignore it.
+    pushdown: object | None = None
 
     def describe(self) -> str:
         access = "scan"
@@ -712,9 +857,12 @@ class LoopStep:
             if self.residual_preds
             else ""
         )
+        pushed = ""
+        if self.pushdown is not None and not self.key_positions:
+            pushed = f" pushdown[{self.pushdown.describe()}]"
         return (
             f"EACH {self.var} IN {self.source.describe()} via "
-            f"{access}{filters}{residual}"
+            f"{access}{filters}{residual}{pushed}"
         )
 
 
@@ -858,14 +1006,14 @@ class BranchPlan:
                 self.actual_emitted += 1
                 return
             step = self.steps[depth]
-            rows, index_provider = step.source.rows_and_indexable(ctx)
             if step.key_positions:
+                _rows, index_provider = step.source.rows_and_indexable(ctx)
                 key = tuple(fn(env) for fn in step.key_values)
                 index = index_provider(step.key_positions)
                 candidates = index.lookup(key)
                 stats.index_lookups += 1
             else:
-                candidates = rows
+                candidates = step.source.scan_rows(ctx, step.pushdown)
             var = step.var
             step_residuals = step.residual_preds
             for row in candidates:
@@ -1200,6 +1348,21 @@ def compile_branch(
             f"or 'syntactic'"
         )
 
+    # Reader-pushable specs per variable: every single-variable comparison
+    # against a constant/parameter expression, kept symbolic so prepared
+    # plans resolve parameter slots at scan time.  Collected over the raw
+    # conjuncts independently of how access paths consume them — pushdown
+    # is a pre-filter the compiled filters re-check.
+    scan_specs: dict[str, tuple] = {}
+    for conj in conjuncts(branch.pred):
+        if isinstance(conj, ast.Cmp):
+            spec = _scan_restriction_spec(conj, schemas, params)
+            if spec is not None:
+                spec_var, pos, op, payload = spec
+                scan_specs[spec_var] = scan_specs.get(spec_var, ()) + (
+                    (pos, op, payload),
+                )
+
     steps: list[LoopStep] = []
     consumed: set[int] = set()  # consumed group ids
     est_cost = 0.0
@@ -1245,6 +1408,12 @@ def compile_branch(
         est_cost += final.build_cost + est_card * final.per_invocation
         est_card *= final.out_rows
         step_residuals = tuple(anchored_residuals.get(var, ()))
+        step_pushdown = None
+        if sources[var].kind == "relation":
+            projection = _derive_projection(branch, var, schemas[var])
+            selection = scan_specs.get(var, ())
+            if projection is not None or selection:
+                step_pushdown = ScanPushdown(projection, selection)
         steps.append(
             LoopStep(
                 var=var,
@@ -1264,6 +1433,7 @@ def compile_branch(
                 est_filter_sel=cost_model.restriction_selectivity(
                     sources[var], var_restrictions
                 ),
+                pushdown=step_pushdown,
             )
         )
 

@@ -65,7 +65,7 @@ from ..errors import DBPLError
 from ..relational.indexes import ShardView, partition_rows, partition_views
 from ..relational.vectors import ColumnVector, EncodedTable, get_numpy
 from .executors import BatchBackend, register_backend
-from .operators import VectorHashJoin, _batch_len
+from .operators import VectorHashJoin, _batch_len, _encode_apply
 from .plans import ExecutionContext, PlanStats, _compile_value
 
 
@@ -148,7 +148,14 @@ class ShardReport:
     tuple two shards both produced.
     """
 
-    __slots__ = ("k", "produced", "produced_total", "merged_total", "executions")
+    __slots__ = (
+        "k",
+        "produced",
+        "produced_total",
+        "merged_total",
+        "executions",
+        "notes",
+    )
 
     def __init__(self) -> None:
         self.k = 0
@@ -156,6 +163,10 @@ class ShardReport:
         self.produced_total = 0
         self.merged_total = 0
         self.executions = 0
+        #: Degradation tags ("pool=threads", "ship=fork-inherit", ...) —
+        #: the explain() face of the ``note_fallback`` counters, so a
+        #: silently-downgraded execution is visible in the plan report.
+        self.notes: tuple[str, ...] = ()
 
     def record(self, produced_counts, merged: int) -> None:
         self.k = len(produced_counts)
@@ -164,13 +175,20 @@ class ShardReport:
         self.merged_total += merged
         self.executions += 1
 
+    def note(self, tag: str) -> None:
+        if tag not in self.notes:
+            self.notes = (*self.notes, tag)
+
     def explain_line(self) -> str:
         per = self.executions or 1
-        return (
+        line = (
             f"SHARDS k={self.k} produced={list(self.produced)} "
             f"[produced={self.produced_total / per:.1f} "
             f"merged={self.merged_total / per:.1f}]"
         )
+        if self.notes:
+            line += f" notes=[{' '.join(self.notes)}]"
+        return line
 
 
 # ---------------------------------------------------------------------------
@@ -493,21 +511,34 @@ def _thread_pool(workers: int) -> ThreadPoolExecutor:
     return pool
 
 
-def _run_tasks(tasks, config: ShardConfig):
-    """Run shard tasks on the configured pool, preserving task order."""
-    workers = min(config.effective_workers(), len(tasks))
-    if config.pool == "process" and hasattr(os, "fork") and len(tasks) > 1:
-        import multiprocessing
+def _run_tasks(tasks, config: ShardConfig, ctx: ExecutionContext | None = None):
+    """Run shard tasks on the configured pool, preserving task order.
 
-        global _FORK_TASKS
-        with _FORK_LOCK:
-            _FORK_TASKS = tasks
-            try:
-                fork = multiprocessing.get_context("fork")
-                with fork.Pool(processes=workers) as pool:
-                    return pool.map(_fork_call, range(len(tasks)))
-            finally:
-                _FORK_TASKS = None
+    A requested process pool that cannot fork degrades to threads — but
+    never silently: the degradation is reported through the context's
+    ``note_fallback`` hook (surfaced as a counter and a DBPL hint by the
+    serving layer) on every affected execution.
+    """
+    workers = min(config.effective_workers(), len(tasks))
+    if config.pool == "process" and len(tasks) > 1:
+        if hasattr(os, "fork"):
+            import multiprocessing
+
+            global _FORK_TASKS
+            with _FORK_LOCK:
+                _FORK_TASKS = tasks
+                try:
+                    fork = multiprocessing.get_context("fork")
+                    with fork.Pool(processes=workers) as pool:
+                        return pool.map(_fork_call, range(len(tasks)))
+                finally:
+                    _FORK_TASKS = None
+        elif ctx is not None:
+            ctx.note_fallback(
+                "process_pool",
+                "ShardConfig(pool='process') ran shards on threads: "
+                "fork is unavailable on this platform",
+            )
     if workers <= 1:
         return [task() for task in tasks]
     return list(_thread_pool(workers).map(lambda task: task(), tasks))
@@ -538,15 +569,21 @@ class ShardedBackend(BatchBackend):
         if pipeline is None:
             branch.execute_tuple(ctx, out)
             return
+        ship_fallback = None
         if (
             config.inner == "vector"
             and config.pool == "process"
             and config.reuse_pool
             and pipeline.shippable
             and hasattr(os, "fork")
-            and self._execute_shipped(branch, pipeline, ctx, out, dedup, config)
         ):
-            return
+            shipped = self._execute_shipped(branch, pipeline, ctx, out, dedup, config)
+            if shipped is True:
+                return
+            # A string is the degradation reason (already reported via
+            # note_fallback); False means sharding was moot, not degraded.
+            if isinstance(shipped, str):
+                ship_fallback = shipped
         shard_overrides = self._plan_shards(branch, ctx, config)
         if shard_overrides is None:
             batch = branch.execute_batch(ctx, pipeline)
@@ -563,12 +600,17 @@ class ShardedBackend(BatchBackend):
             )
             for overrides in shard_overrides
         ]
-        results = _run_tasks(tasks, config)
+        results = _run_tasks(tasks, config, ctx)
         self._merge(branch, pipeline, ctx, results, out, dedup)
+        report = branch.shards
+        if ship_fallback is not None:
+            report.note(f"ship=fork-inherit:{ship_fallback}")
+        if config.pool == "process" and not hasattr(os, "fork"):
+            report.note("pool=threads")
 
     # -- shipped vector shards ----------------------------------------------
 
-    def _execute_shipped(self, branch, pipeline, ctx, out, dedup, config) -> bool:
+    def _execute_shipped(self, branch, pipeline, ctx, out, dedup, config):
         """Run a shippable vector pipeline on the persistent fork pool.
 
         Ships each shard as data — the picklable vector pipeline plus a
@@ -576,23 +618,53 @@ class ShardedBackend(BatchBackend):
         aligned join's build table partitioned to match, every other
         step's table whole; pickle memoization dedups the shared
         dictionaries within a payload) — so repeated executions reuse
-        one long-lived pool instead of re-forking per call.  Returns
-        False (caller falls back to fork-time inheritance) when the
-        context carries overrides the shipped tables would shadow, when
-        any step is not a stored relation, or when sharding is moot.
+        one long-lived pool instead of re-forking per call.  A leading
+        fixpoint delta ships too: its rows encode per execution and the
+        workers join through id translation, so semi-naive iterations
+        stay on the persistent pool.
+
+        Returns True when the shipped execution ran; a short reason
+        string when the caller must fall back to fork-time inheritance
+        (also reported through ``ctx.note_fallback`` — these used to be
+        silent); and False when sharding is moot (one shard — no
+        degradation, the plain path handles it).
         """
         if ctx.source_overrides or ctx.encoded_overrides:
-            return False
+            ctx.note_fallback(
+                "ship",
+                "shippable pipeline fell back to fork-time inheritance: "
+                "the context carries source overrides the shipped tables "
+                "would shadow",
+            )
+            return "overrides"
         steps = branch.steps
-        if not steps or any(s.source.kind != "relation" for s in steps):
+        if not steps:
             return False
-        try:
-            tables = {
-                i: ctx.db.relation(s.source.name).encoded()
-                for i, s in enumerate(steps)
-            }
-        except DBPLError:
-            return False
+        tables = {}
+        for i, s in enumerate(steps):
+            source = s.source
+            if source.kind == "relation":
+                try:
+                    tables[i] = ctx.db.relation(source.name).encoded()
+                except DBPLError:
+                    ctx.note_fallback(
+                        "ship",
+                        "shippable pipeline fell back to fork-time "
+                        f"inheritance: {source.describe()} has no encoded view",
+                    )
+                    return "encode"
+            elif source.kind == "apply" and i == 0 and source.schema is not None:
+                rows = ctx.apply_values.get(source.token)
+                if rows is None:
+                    return False  # unbound: let the plain path raise
+                tables[i] = _encode_apply(rows, source.schema)
+            else:
+                ctx.note_fallback(
+                    "ship",
+                    "shippable pipeline fell back to fork-time inheritance: "
+                    f"step {i} ({source.describe()}) is not a stored relation",
+                )
+                return "sources"
         k = shard_count(tables[0].n, config)
         if k <= 1:
             return False
@@ -624,6 +696,9 @@ class ShardedBackend(BatchBackend):
         if not steps:
             return None
         lead = steps[0]
+        cold = self._plan_partition_shards(branch, lead, ctx, config)
+        if cold is not None:
+            return cold
         try:
             rows, _provider = lead.source.rows_and_indexable(ctx)
         except DBPLError:
@@ -647,6 +722,43 @@ class ShardedBackend(BatchBackend):
                 per_shard[id(align[0].source)] = (bview.rows, bview.index_on)
             overrides.append(per_shard)
         return overrides
+
+    def _plan_partition_shards(self, branch, lead, ctx, config: ShardConfig):
+        """Partition files as shard units for a cold store-backed lead.
+
+        A leading scan over a spilled relation that is still cold (never
+        materialized) shards along its on-disk partition boundaries:
+        whole partitions are dealt round-robin into ``k`` disjoint row
+        groups, honoring the step's projection/selection pushdown, so
+        the relation is *never* materialized in the coordinator and
+        pruned partitions are never read by any worker.  Only applies
+        without an aligned downstream join — alignment needs a hash pass
+        over the lead rows, which forfeits the free disk split anyway.
+        """
+        source = lead.source
+        if source.kind != "relation":
+            return None
+        overrides = ctx.source_overrides
+        if overrides is not None and overrides.get(id(source)) is not None:
+            return None
+        store = ctx.db.relation(source.name).cold_store
+        if store is None:
+            return None
+        k = shard_count(store.row_count, config)
+        if k <= 1 or _alignment(branch) is not None:
+            return None
+        pushdown = lead.pushdown
+        groups = store.scan_partition_groups(
+            k,
+            pushdown.projection if pushdown is not None else None,
+            pushdown.selection if pushdown is not None else (),
+            ctx.params,
+        )
+        shard_overrides: list[dict[int, tuple]] = []
+        for rows in groups:
+            view = ShardView(rows)
+            shard_overrides.append({id(source): (view.rows, view.index_on)})
+        return shard_overrides
 
     # -- merging -------------------------------------------------------------
 

@@ -147,6 +147,7 @@ class PreparedPlan:
         "epoch",
         "plan",
         "executions",
+        "on_fallback",
         "_params",
         "_lock",
     )
@@ -177,6 +178,12 @@ class PreparedPlan:
         self.shard_config = options.shard_config
         self.epoch = epoch
         self.executions = 0
+        #: Observable-degradation hook (``Session`` wires its fallback
+        #: counters here): called with ``(kind, detail)`` whenever an
+        #: execution silently downgrades — snapshot demotes of the
+        #: sharded executor, shard pools degrading to threads, shipped
+        #: shards reverting to fork-time inheritance.
+        self.on_fallback = None
         self._params = dict(zip(self.param_names, constants))
         self._lock = threading.Lock()
         self.plan = compile_query(db, shape, self._params, options=options)
@@ -199,11 +206,20 @@ class PreparedPlan:
                 params[name] = value
             ctx = ExecutionContext(self.db, params, stats=stats)
             ctx.shard_config = self.shard_config
+            ctx.on_fallback = self.on_fallback
             executor = self.executor
             if snapshot is not None:
                 ctx.source_overrides = snapshot.overrides_for(self.plan)
                 if executor == "sharded":
-                    executor = "batch"  # shard planning repartitions live rows
+                    # Shard planning repartitions live rows, which would
+                    # leak post-snapshot state into the shards — demote to
+                    # the plain batch path, but never silently.
+                    executor = "batch"
+                    ctx.note_fallback(
+                        "snapshot_sharded",
+                        "snapshot execution demoted executor='sharded' to "
+                        "'batch': shard planning repartitions live rows",
+                    )
             self.executions += 1
             return self.plan.execute(ctx, executor=executor)
 

@@ -126,6 +126,14 @@ ANALYSIS_MODES = ("strict", "lint", "off")
 
 _ANALYSIS_CACHE_SIZE = 256
 
+#: Diagnostic codes for runtime execution-strategy degradations (the
+#: compile-time detours keep DBPL900/DBPL901 in ``_note_fallback``).
+_EXEC_FALLBACK_CODES = {
+    "process_pool": "DBPL902",
+    "ship": "DBPL903",
+    "snapshot_sharded": "DBPL904",
+}
+
 
 class Session:
     """An interactive DBPL scope over one database."""
@@ -160,11 +168,21 @@ class Session:
         self.analysis = options.analysis
         self.on_diagnostic = on_diagnostic
         self.last_diagnostics = Diagnostics()
-        #: How many times query() left the compiled path: "interpreted"
+        #: How many times execution left the requested path: "interpreted"
         #: counts DBPLError → reference-evaluator re-runs, "construct"
-        #: counts compiled-fixpoint → interpreted-fixpoint fallbacks.
-        #: Each increment also emits a DBPL90x hint to ``on_diagnostic``.
-        self.fallbacks = {"interpreted": 0, "construct": 0}
+        #: counts compiled-fixpoint → interpreted-fixpoint fallbacks,
+        #: "process_pool" counts shard pools degrading to threads (no
+        #: fork), "ship" counts shipped vector shards reverting to
+        #: fork-time inheritance, "snapshot_sharded" counts snapshot
+        #: executions demoting executor="sharded" to "batch".  Each
+        #: increment also emits a DBPL90x hint to ``on_diagnostic``.
+        self.fallbacks = {
+            "interpreted": 0,
+            "construct": 0,
+            "process_pool": 0,
+            "ship": 0,
+            "snapshot_sharded": 0,
+        }
         self._analysis_cache: OrderedDict[tuple, AnalysisResult] = OrderedDict()
         self._anon = 0
 
@@ -268,6 +286,26 @@ class Session:
                     f"query fell back to the {target}: {exc}",
                     data={"source": source, "error": exc},
                 )
+            )
+
+    def _note_exec_fallback(self, kind: str, detail: str) -> None:
+        """Record a *runtime* degradation reported by the executors.
+
+        The compiled path was kept, but not the requested physical
+        strategy: a process pool ran on threads (DBPL902), a shippable
+        shard pipeline reverted to fork-time inheritance (DBPL903), or a
+        snapshot execution demoted the sharded executor to batch
+        (DBPL904).  These used to happen silently; counters plus
+        hint-severity diagnostics make them observable without changing
+        any result.
+        """
+        if kind not in self.fallbacks:
+            self.fallbacks[kind] = 0
+        self.fallbacks[kind] += 1
+        if self.on_diagnostic is not None:
+            code = _EXEC_FALLBACK_CODES.get(kind, "DBPL902")
+            self.on_diagnostic(
+                Diagnostic(code, "hint", detail, data={"kind": kind})
             )
 
     # -- declarations ---------------------------------------------------------
@@ -483,6 +521,9 @@ class Session:
                 options=options.replace(snapshot=None, analysis=None),
             )
             plan = self.plan_cache.put(key, plan, epoch)
+        # (Re)wire on every fetch: cached plans predate this session's
+        # hook state, and the assignment is idempotent.
+        plan.on_fallback = self._note_exec_fallback
         return plan, constants
 
     def prepare(

@@ -49,6 +49,15 @@ class IntegrityError(DBPLError):
     """
 
 
+class StorageError(DBPLError):
+    """A persisted database directory is missing, malformed, or unreadable.
+
+    Raised by :mod:`repro.relational.storage` when a spill target cannot
+    be written or an on-disk relation fails its self-description checks
+    (bad magic, truncated pages, unknown codec without its reader).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Names and scope
 # ---------------------------------------------------------------------------

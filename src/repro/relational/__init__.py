@@ -24,6 +24,13 @@ from .indexes import (
 from .relation import Relation
 from .rows import Row
 from .stats import ColumnStats, DeltaStats, Histogram, StatsCatalog, TableStats
+from .storage import (
+    RelationStore,
+    open_database,
+    pyarrow_enabled,
+    set_pyarrow_enabled,
+    spill_database,
+)
 from .vectors import (
     ColumnVector,
     Dictionary,
@@ -44,13 +51,18 @@ __all__ = [
     "IndexCache",
     "PartitionCache",
     "Relation",
+    "RelationStore",
     "Row",
     "ShardView",
     "SnapshotView",
     "StatsCatalog",
     "TableStats",
     "numpy_enabled",
+    "open_database",
+    "pyarrow_enabled",
     "set_numpy_enabled",
+    "set_pyarrow_enabled",
+    "spill_database",
     "antijoin",
     "partition_rows",
     "partition_views",

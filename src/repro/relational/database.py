@@ -64,6 +64,23 @@ class Database:
         for rel in self.relations.values():
             rel._sink = registry
 
+    # -- storage -------------------------------------------------------------
+
+    def spill(self, path: str, rows_per_partition: int = 4096) -> None:
+        """Persist every relation (rows, dictionaries, statistics) into
+        the directory ``path`` — see :mod:`repro.relational.storage`."""
+        from .storage import spill_database
+
+        spill_database(self, path, rows_per_partition)
+
+    @classmethod
+    def open(cls, path: str) -> "Database":
+        """Open a spilled directory as a database of cold, store-backed
+        relations that materialize (and scan with pushdown) lazily."""
+        from .storage import open_database
+
+        return open_database(path)
+
     def relation(self, name: str) -> Relation:
         try:
             return self.relations[name]

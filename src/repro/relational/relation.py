@@ -55,6 +55,7 @@ class Relation:
         "_encoded_entry",
         "_write_lock",
         "_sink",
+        "_store",
     )
 
     def __init__(
@@ -86,9 +87,41 @@ class Relation:
         #: :meth:`repro.relational.Database.attach_sink`; this module
         #: stays ignorant of the serving layer above it.
         self._sink = None
+        #: Storage backend (repro.relational.storage.RelationStore) when
+        #: this relation was opened from a spilled database, else None.
+        #: A store-backed relation starts **cold**: ``_rows`` is None
+        #: until something genuinely needs the full row set, and scans
+        #: go through the store's pushdown readers instead.
+        self._store = None
         rows = tuple(rows)
         if rows:
             self.assign(rows)
+
+    @classmethod
+    def from_store(cls, name: str, rtype: RelationType, store) -> "Relation":
+        """A cold relation backed by a spilled store (no rows in memory).
+
+        Cardinality and statistics come from the store's manifest, so
+        the planner and ``StatsCatalog.epoch()`` work without a scan;
+        the first operation that needs the actual row set materializes
+        it (see :meth:`_materialize`), after which the relation behaves
+        exactly like a warm one — including accepting mutations.
+        """
+        rel = cls.__new__(cls)
+        rel.name = name
+        rel.rtype = rtype
+        rel._rows = None
+        rel._version = 0
+        rel._index_cache = IndexCache()
+        rel._partition_cache = PartitionCache()
+        rel._stats = store.load_stats()
+        rel._raw_entry = _NO_RAW
+        rel._dicts = None
+        rel._encoded_entry = _NO_ENCODED
+        rel._write_lock = threading.Lock()
+        rel._sink = None
+        rel._store = store
+        return rel
 
     # -- value access -------------------------------------------------------
 
@@ -96,9 +129,30 @@ class Relation:
     def element_type(self):
         return self.rtype.element
 
+    @property
+    def is_cold(self) -> bool:
+        """True while a store-backed relation has not materialized rows."""
+        return self._rows is None
+
+    def _materialize(self) -> set[tuple]:
+        """The committed row set, loading it from the store on first need.
+
+        Materialization is *not* a mutation: the version stays put (the
+        cache sentinels stamp -1, so version-0 caches still build), and
+        no delta is emitted — the rows were always logically present.
+        """
+        rows = self._rows
+        if rows is None:
+            with self._write_lock:
+                rows = self._rows
+                if rows is None:
+                    rows = set(self._store.scan())
+                    self._rows = rows
+        return rows
+
     def rows(self) -> frozenset[tuple]:
         """The current value as an immutable set of raw tuples."""
-        return frozenset(self._rows)
+        return frozenset(self._materialize())
 
     def raw(self) -> set[tuple]:
         """The committed row set; callers must not mutate it.
@@ -108,7 +162,7 @@ class Relation:
         swap in *new* sets, they never resize this one under a reader's
         iteration.
         """
-        return self._rows
+        return self._materialize()
 
     def raw_list(self) -> list[tuple]:
         """The current rows as a list, cached per version.
@@ -136,7 +190,7 @@ class Relation:
         entry = self._raw_entry
         version = self._version
         if entry[0] != version:
-            entry = (version, list(self._rows))
+            entry = (version, list(self._materialize()))
             self._raw_entry = entry
         return entry
 
@@ -147,23 +201,32 @@ class Relation:
 
     def __iter__(self) -> Iterator[Row]:
         schema = self.rtype.element
-        for values in self._rows:
+        for values in self._materialize():
             yield Row(schema, values)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        # A cold relation answers from the manifest: epoch computation
+        # and plan caching must never force a scan just to count.
+        rows = self._rows
+        if rows is None:
+            return self._store.row_count
+        return len(rows)
 
     def __contains__(self, item: object) -> bool:
+        rows = self._materialize()
         if isinstance(item, Row):
-            return item.values in self._rows
-        return item in self._rows
+            return item.values in rows
+        return item in rows
 
     def is_empty(self) -> bool:
-        return not self._rows
+        rows = self._rows
+        if rows is None:
+            return self._store.row_count == 0
+        return not rows
 
     def sorted_rows(self) -> list[tuple]:
         """Deterministically ordered contents, for display and tests."""
-        return sorted(self._rows)
+        return sorted(self._materialize())
 
     # -- checked mutation ----------------------------------------------------
 
@@ -210,6 +273,9 @@ class Relation:
         """
         raw = tuple(self._coerce(r) for r in rows)
         checked = check_relation_assignment(self.rtype, raw)
+        # Materialize outside the lock (it is not reentrant): mutating a
+        # cold relation first loads its committed state for the delta.
+        self._materialize()
         with self._write_lock:
             new_rows = set(checked)
             old_rows = self._rows
@@ -242,6 +308,7 @@ class Relation:
                     f"tuple {row!r} is not of element type {element.name} "
                     f"(insert into {self.name})"
                 )
+        self._materialize()
         with self._write_lock:
             old_rows = self._rows
             self.rtype.check_key(list(old_rows) + raw)
@@ -289,6 +356,7 @@ class Relation:
     def delete(self, rows: Iterable[object]) -> None:
         """``rel :- rex`` — remove tuples (absent tuples are ignored)."""
         raw = {self._coerce(r) for r in rows}
+        self._materialize()
         with self._write_lock:
             old_rows = self._rows
             removed = raw & old_rows
@@ -301,6 +369,7 @@ class Relation:
                     sink.emit(self, (), list(removed))
 
     def clear(self) -> None:
+        self._materialize()
         with self._write_lock:
             old_rows = self._rows
             guard, sink = self._delta_guard((), old_rows)
@@ -327,7 +396,7 @@ class Relation:
     def index_on(self, attrs: tuple[str, ...]) -> HashIndex:
         """A (cached) hash index on the named attributes."""
         positions = tuple(self.rtype.element.index_of(a) for a in attrs)
-        return self._index_cache.get(self._version, positions, self._rows)
+        return self._index_cache.get(self._version, positions, self._materialize())
 
     def peek_index(self, positions: tuple[int, ...]) -> HashIndex | None:
         """An already-built index on ``positions``, or None (never builds)."""
@@ -364,9 +433,16 @@ class Relation:
             with self._write_lock:
                 dicts = self._dicts
                 if dicts is None:
-                    dicts = self._dicts = tuple(
-                        Dictionary() for _ in self.rtype.element.attribute_names
-                    )
+                    if self._store is not None:
+                        # The persisted dictionaries produced the stored
+                        # id pages; adopting them keeps those pages valid
+                        # (dictionaries only append) across later use.
+                        dicts = self._store.load_dictionaries()
+                    else:
+                        dicts = tuple(
+                            Dictionary() for _ in self.rtype.element.attribute_names
+                        )
+                    self._dicts = dicts
         return dicts
 
     def encoded(self) -> EncodedTable:
@@ -379,6 +455,16 @@ class Relation:
         persistent dictionaries.
         """
         entry = self._encoded_entry
+        if self._rows is None:
+            # Cold fast path: the stored id pages *are* the encoding —
+            # concatenate them instead of materializing and re-encoding.
+            version = self._version
+            if entry[0] == version and entry[1] is not None:
+                return entry[1]
+            table = self._store.encoded_table()
+            self._encoded_entry = (version, table)
+            self._raw_entry = (version, table.rows)
+            return table
         version, rows = self._raw_pair()
         if entry[0] != version or entry[1] is None:
             entry = (version, EncodedTable.from_rows(rows, self.dictionaries()))
@@ -396,16 +482,54 @@ class Relation:
         """
         if self._stats is None:
             self._stats = TableStats.from_rows(
-                self._rows, len(self.rtype.element.attribute_names)
+                self._materialize(), len(self.rtype.element.attribute_names)
             )
         return self._stats
+
+    # -- storage pushdown ----------------------------------------------------
+
+    @property
+    def cold_store(self):
+        """The backing RelationStore while cold (pushdown-capable), else None.
+
+        Once the relation materializes (any whole-set read or mutation),
+        in-memory rows are authoritative and pushdown turns itself off —
+        the store keeps describing the spilled state, not the live one.
+        """
+        store = self._store
+        if store is None or self._rows is not None:
+            return None
+        return store
+
+    def scan_pushdown(self, projection, selection, params=None):
+        """Rows via the store's projection/predicate-pushdown reader.
+
+        Returns a full-width row list (dead columns None) when the
+        relation is cold and store-backed, else None — the caller falls
+        back to :meth:`raw_list` and its own filters.  The pushed
+        predicates are re-checked downstream, so this is a pure
+        pre-filter: dropping any of them is always safe.
+        """
+        store = self.cold_store
+        if store is None:
+            return None
+        return store.scan(projection, selection, params)
+
+    def scan_cost_fraction(self, restrictions) -> float:
+        """Fraction of rows a pushdown scan would decode under
+        ``restrictions`` (concrete ``(pos, op, value)`` triples) — the
+        cost model's partition-pruning discount.  1.0 when warm."""
+        store = self.cold_store
+        if store is None:
+            return 1.0
+        return store.prune_fraction(restrictions)
 
     # -- misc ------------------------------------------------------------
 
     def snapshot(self, name: str | None = None) -> "Relation":
         """An independent copy (used by the paper's REPEAT-loop programs)."""
         copy = Relation(name or self.name, self.rtype)
-        copy._rows = set(self._rows)
+        copy._rows = set(self._materialize())
         copy._version = 1
         return copy
 
@@ -422,4 +546,4 @@ class Relation:
         return SnapshotView(rows, self.name, version)
 
     def __repr__(self) -> str:  # pragma: no cover - display only
-        return f"<Relation {self.name}: {len(self._rows)} x {self.rtype.element.name}>"
+        return f"<Relation {self.name}: {len(self)} x {self.rtype.element.name}>"

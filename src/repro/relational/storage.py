@@ -1,0 +1,795 @@
+"""Out-of-core columnar storage: partitioned, self-describing relation files.
+
+The paper assumes database-resident relations; everything above this
+module so far assumed *memory*-resident ones.  This module closes the
+gap with a deliberately small on-disk format that reuses the PR 8
+encoding verbatim: each relation directory persists its per-column
+:class:`~repro.relational.vectors.Dictionary` objects once (the
+dictionary pages) and its rows as fixed-width ``array('q')`` id pages,
+split into partitions of ``rows_per_partition`` rows.
+
+Layout of a spilled database directory::
+
+    <db>/meta.json                  format magic + relation names
+    <db>/<relation>/meta.json       arity, row count, partition manifest
+                                    (per partition: file, rows, per-column
+                                    min/max for pruning)
+    <db>/<relation>/schema.pkl      pickled RelationType (self-description)
+    <db>/<relation>/dicts.pkl       pickled per-column dictionaries
+    <db>/<relation>/stats.pkl       pickled TableStats (optional)
+    <db>/<relation>/part-NNNN.bin   one id page per column, seekable
+
+A partition file is a 17-byte header (``RPC1`` magic, format version,
+column count, row count) followed by one little-endian int64 id buffer
+per column, each exactly ``8 * rows`` bytes.  Fixed-width pages are the
+whole point: the reader computes the byte offset of any column and
+**seeks past dead columns**, so a projection-pushdown scan performs I/O
+and decoding proportional to the live columns of the *matching*
+partitions only.  Predicate pushdown prunes whole partitions against
+the manifest's per-column min/max before any page is read, then filters
+the surviving partitions' decoded values row by row.
+
+The optional **parquet codec** mirrors the numpy feature gate of
+:mod:`repro.relational.vectors`: when pyarrow is importable *and*
+enabled (:func:`set_pyarrow_enabled` / ``REPRO_STORAGE_PARQUET``),
+spills write ``part-NNNN.parquet`` id pages instead; readers dispatch
+on the file extension.  The stdlib ``.bin`` codec is first-class — the
+CI ``test-no-pyarrow`` leg runs the whole suite without pyarrow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import struct
+import sys
+import threading
+from array import array
+from operator import itemgetter
+
+from ..errors import StorageError
+
+__all__ = [
+    "RelationStore",
+    "get_pyarrow",
+    "open_database",
+    "pyarrow_enabled",
+    "set_pyarrow_enabled",
+    "spill_database",
+]
+
+#: Database-level format magic recorded in the top ``meta.json``.
+_FORMAT = "repro-columnar"
+_FORMAT_VERSION = 1
+
+#: Partition page header: magic, format version, columns, rows.
+_PAGE_MAGIC = b"RPC1"
+_PAGE_HEADER = struct.Struct("<4sBIQ")
+
+#: Environment kill switch for the parquet codec, mirroring
+#: ``REPRO_VECTOR_NUMPY``: unset/``0`` keeps the stdlib ``.bin`` codec
+#: even when pyarrow is importable (parquet is opt-in, not opt-out —
+#: the stdlib format is the one every environment can read back).
+_PARQUET_ENV = "REPRO_STORAGE_PARQUET"
+
+#: Tri-state override installed by :func:`set_pyarrow_enabled`.
+_PYARROW_OVERRIDE: bool | None = None
+
+#: Lazily imported pyarrow module, or False once the import failed.
+_PYARROW_MODULE = None
+
+
+def _env_allows_parquet() -> bool:
+    return os.environ.get(_PARQUET_ENV, "0").strip().lower() in (
+        "1",
+        "true",
+        "on",
+        "yes",
+    )
+
+
+def set_pyarrow_enabled(flag: bool | None) -> None:
+    """Force the parquet codec on/off, or None to restore auto-detect.
+
+    Forcing True still degrades cleanly when pyarrow is not importable —
+    the gate can enable the codec, never conjure the dependency.
+    """
+    global _PYARROW_OVERRIDE
+    _PYARROW_OVERRIDE = flag
+
+
+def get_pyarrow():
+    """The pyarrow module when the parquet codec is enabled, else None."""
+    global _PYARROW_MODULE
+    if _PYARROW_OVERRIDE is False:
+        return None
+    if _PYARROW_OVERRIDE is None and not _env_allows_parquet():
+        return None
+    if _PYARROW_MODULE is None:
+        try:
+            import pyarrow
+            import pyarrow.parquet  # noqa: F401 - submodule import
+        except ImportError:
+            pyarrow = False
+        _PYARROW_MODULE = pyarrow
+    return _PYARROW_MODULE or None
+
+
+def pyarrow_enabled() -> bool:
+    """True when spills will write parquet id pages."""
+    return get_pyarrow() is not None
+
+
+def _load_parquet_module():
+    """pyarrow for *reading* an existing ``.parquet`` page.
+
+    Reading dispatches on the file extension, not the write gate: a
+    database spilled with parquet pages must stay openable even when
+    the gate has since been switched off — but it genuinely needs the
+    module.
+    """
+    global _PYARROW_MODULE
+    if _PYARROW_MODULE is None:
+        try:
+            import pyarrow
+            import pyarrow.parquet  # noqa: F401 - submodule import
+        except ImportError:
+            pyarrow = False
+        _PYARROW_MODULE = pyarrow
+    if not _PYARROW_MODULE:
+        raise StorageError(
+            "partition page is parquet-encoded but pyarrow is not "
+            "importable; re-spill with the stdlib codec or install pyarrow"
+        )
+    return _PYARROW_MODULE
+
+
+# ---------------------------------------------------------------------------
+# Pruning: conservative partition elimination against per-column min/max
+# ---------------------------------------------------------------------------
+
+#: JSON-faithful scalar types: values of these types survive the
+#: ``meta.json`` round trip unchanged, so their min/max are safe to
+#: compare against query constants.  Anything else (or a mixed-type
+#: column chunk) records no min/max and is never pruned on.
+_MINMAX_TYPES = (int, float, str)
+
+
+def _chunk_minmax(values) -> list | None:
+    """``[lo, hi]`` for one partition's column values, or None.
+
+    Conservative: only homogeneous int/float/str chunks (bool excluded —
+    it is an int subtype but semantically distinct) get bounds; any
+    comparison surprise keeps the partition scannable forever.
+    """
+    lo = hi = None
+    for v in values:
+        if type(v) not in _MINMAX_TYPES:
+            return None
+        if lo is None:
+            lo = hi = v
+        else:
+            try:
+                if v < lo:
+                    lo = v
+                elif v > hi:
+                    hi = v
+            except TypeError:
+                return None
+    if lo is None or type(lo) is not type(hi):
+        return None
+    return [lo, hi]
+
+
+def _partition_matches(minmax: dict, pos: int, op: str, value) -> bool:
+    """Can any row of the partition satisfy ``column[pos] <op> value``?
+
+    Answers True (keep the partition) on every doubt: missing bounds,
+    cross-type comparisons, unknown operators.
+    """
+    bounds = minmax.get(str(pos))
+    if bounds is None:
+        return True
+    lo, hi = bounds
+    try:
+        if op == "=":
+            return not (value < lo or value > hi)
+        if op == "<":
+            return lo < value
+        if op == "<=":
+            return lo <= value
+        if op == ">":
+            return hi > value
+        if op == ">=":
+            return hi >= value
+        if op == "<>":
+            return not (lo == hi == value)
+    except TypeError:
+        return True
+    return True
+
+
+def _resolve_selection(selection, params) -> list | None:
+    """``(pos, op, value)`` triples from symbolic pushdown specs.
+
+    A spec's value is ``("const", v)`` (compile-time constant) or
+    ``("param", name)`` (prepared-plan slot resolved per execution).
+    Unresolvable conjuncts are dropped — the compiled plan's own filters
+    re-check every pushed predicate, so the reader-side filter is a pure
+    pre-filter and dropping one is always safe.
+    """
+    if not selection:
+        return None
+    resolved = []
+    for pos, op, spec in selection:
+        kind, payload = spec
+        if kind == "const":
+            resolved.append((pos, op, payload))
+        elif kind == "param" and params is not None:
+            try:
+                resolved.append((pos, op, params[payload]))
+            except KeyError:
+                continue
+    return resolved or None
+
+
+_CMP = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+# ---------------------------------------------------------------------------
+# Reading
+# ---------------------------------------------------------------------------
+
+
+class StoreCounters:
+    """Observability for scans: what the readers actually touched.
+
+    ``rows_decoded``/``cells_decoded`` count id→value decodes (the work
+    pushdown exists to avoid); ``bytes_read`` counts page bytes pulled
+    off disk.  E22 and the pushdown tests assert on the ratios.
+    """
+
+    __slots__ = (
+        "partitions_read",
+        "partitions_pruned",
+        "rows_decoded",
+        "cells_decoded",
+        "bytes_read",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.partitions_read = 0
+        self.partitions_pruned = 0
+        self.rows_decoded = 0
+        self.cells_decoded = 0
+        self.bytes_read = 0
+
+    def snapshot(self) -> dict:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class RelationStore:
+    """Lazy reader over one spilled relation directory.
+
+    Everything heavy — dictionaries, statistics, the schema pickle, the
+    id pages themselves — loads on first demand; constructing a store
+    (and therefore opening a database) reads only the small per-relation
+    ``meta.json``, which is what lets a reopened database answer
+    ``len(rel)`` and plan from persisted statistics before any scan.
+    """
+
+    __slots__ = (
+        "path",
+        "meta",
+        "counters",
+        "_dicts",
+        "_stats",
+        "_rtype",
+        "_lock",
+    )
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        try:
+            with open(os.path.join(path, "meta.json"), encoding="utf-8") as fh:
+                self.meta = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"unreadable relation store at {path!r}: {exc}") from exc
+        self.counters = StoreCounters()
+        self._dicts = None
+        self._stats = False  # tri-state: False=unloaded, None=absent
+        self._rtype = None
+        self._lock = threading.Lock()
+
+    # -- self-description ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.meta["name"]
+
+    @property
+    def arity(self) -> int:
+        return self.meta["arity"]
+
+    @property
+    def row_count(self) -> int:
+        return self.meta["row_count"]
+
+    def relation_type(self):
+        rtype = self._rtype
+        if rtype is None:
+            rtype = self._rtype = self._unpickle("schema.pkl")
+        return rtype
+
+    def load_dictionaries(self) -> tuple:
+        dicts = self._dicts
+        if dicts is None:
+            with self._lock:
+                dicts = self._dicts
+                if dicts is None:
+                    dicts = self._dicts = self._unpickle("dicts.pkl")
+        return dicts
+
+    def load_stats(self):
+        """The persisted TableStats, or None when the spill had none."""
+        stats = self._stats
+        if stats is False:
+            try:
+                stats = self._unpickle("stats.pkl")
+            except StorageError:
+                stats = None
+            self._stats = stats
+        return stats
+
+    def _unpickle(self, filename: str):
+        try:
+            with open(os.path.join(self.path, filename), "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.PickleError) as exc:
+            raise StorageError(
+                f"unreadable {filename} in relation store {self.path!r}: {exc}"
+            ) from exc
+
+    # -- page reading -------------------------------------------------------
+
+    def _read_columns(self, part: dict, live: tuple) -> dict:
+        """``{pos: array('q')}`` of the partition's live id pages."""
+        filename = os.path.join(self.path, part["file"])
+        if filename.endswith(".parquet"):
+            return self._read_parquet_columns(filename, part, live)
+        nrows = part["rows"]
+        out = {}
+        try:
+            with open(filename, "rb") as fh:
+                header = fh.read(_PAGE_HEADER.size)
+                magic, version, ncols, hrows = _PAGE_HEADER.unpack(header)
+                if magic != _PAGE_MAGIC or version != _FORMAT_VERSION:
+                    raise StorageError(
+                        f"bad partition page header in {filename!r}"
+                    )
+                if hrows != nrows or ncols != self.arity:
+                    raise StorageError(
+                        f"partition page {filename!r} disagrees with manifest"
+                    )
+                page = 8 * nrows
+                for pos in live:
+                    fh.seek(_PAGE_HEADER.size + pos * page)
+                    ids = array("q")
+                    ids.frombytes(fh.read(page))
+                    if sys.byteorder != "little":
+                        ids.byteswap()
+                    if len(ids) != nrows:
+                        raise StorageError(
+                            f"truncated id page in {filename!r} (column {pos})"
+                        )
+                    out[pos] = ids
+        except OSError as exc:
+            raise StorageError(f"unreadable partition page {filename!r}: {exc}") from exc
+        self.counters.partitions_read += 1
+        self.counters.rows_decoded += nrows
+        self.counters.cells_decoded += nrows * len(live)
+        self.counters.bytes_read += _PAGE_HEADER.size + 8 * nrows * len(live)
+        return out
+
+    def _read_parquet_columns(self, filename: str, part: dict, live: tuple) -> dict:
+        pa = _load_parquet_module()
+        try:
+            table = pa.parquet.read_table(
+                filename, columns=[f"c{pos}" for pos in live]
+            )
+        except (OSError, pa.lib.ArrowInvalid) as exc:
+            raise StorageError(f"unreadable partition page {filename!r}: {exc}") from exc
+        nrows = part["rows"]
+        out = {}
+        for pos in live:
+            ids = array("q", table.column(f"c{pos}").to_pylist())
+            if len(ids) != nrows:
+                raise StorageError(
+                    f"truncated id page in {filename!r} (column {pos})"
+                )
+            out[pos] = ids
+        self.counters.partitions_read += 1
+        self.counters.rows_decoded += nrows
+        self.counters.cells_decoded += nrows * len(live)
+        self.counters.bytes_read += 8 * nrows * len(live)
+        return out
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self, projection=None, selection=(), params=None) -> list:
+        """Materialize matching rows, decoding only the live columns.
+
+        ``projection`` is a tuple of column positions the caller will
+        read (None → all); ``selection`` a tuple of symbolic
+        ``(pos, op, spec)`` pushdown predicates.  Returned tuples are
+        always full-width — dead columns hold None, which is safe
+        exactly because the pushdown compiler proved nothing reads them.
+        """
+        resolved = _resolve_selection(selection, params)
+        arity = self.arity
+        if projection is None:
+            live = tuple(range(arity))
+        else:
+            live = set(projection)
+            if resolved is not None:
+                live.update(pos for pos, _, _ in resolved)
+            live = tuple(sorted(live))
+        values = [d.values for d in self.load_dictionaries()]
+        rows: list = []
+        template = [None] * arity
+        for part in self.meta["partitions"]:
+            if resolved is not None and not all(
+                _partition_matches(part["minmax"], pos, op, value)
+                for pos, op, value in resolved
+            ):
+                self.counters.partitions_pruned += 1
+                continue
+            columns = self._read_columns(part, live)
+            decoded = {
+                pos: [values[pos][i] for i in ids] for pos, ids in columns.items()
+            }
+            keep = range(part["rows"])
+            if resolved is not None:
+                try:
+                    keep = [
+                        i
+                        for i in keep
+                        if all(
+                            _CMP[op](decoded[pos][i], value)
+                            for pos, op, value in resolved
+                        )
+                    ]
+                except (TypeError, KeyError):
+                    # A surprise comparison: hand the whole partition
+                    # downstream, where the compiled filters re-check.
+                    keep = range(part["rows"])
+            for i in keep:
+                row = template[:]
+                for pos in live:
+                    row[pos] = decoded[pos][i]
+                rows.append(tuple(row))
+        return rows
+
+    def scan_partition_groups(
+        self, k: int, projection=None, selection=(), params=None
+    ) -> list:
+        """``k`` row groups for the sharded executor, one scan's worth.
+
+        Partition files are the natural shard unit: whole partitions are
+        dealt round-robin into ``k`` groups (pruned ones never read), so
+        each shard materializes a disjoint slice without any hash pass
+        over the data.  Correct whenever the lead scan needs no
+        alignment with a downstream join — every output row derives from
+        exactly one lead row, and the union of groups is the full scan.
+        """
+        resolved = _resolve_selection(selection, params)
+        arity = self.arity
+        if projection is None:
+            live = tuple(range(arity))
+        else:
+            live = set(projection)
+            if resolved is not None:
+                live.update(pos for pos, _, _ in resolved)
+            live = tuple(sorted(live))
+        values = [d.values for d in self.load_dictionaries()]
+        groups: list = [[] for _ in range(max(k, 1))]
+        template = [None] * arity
+        slot = 0
+        for part in self.meta["partitions"]:
+            if resolved is not None and not all(
+                _partition_matches(part["minmax"], pos, op, value)
+                for pos, op, value in resolved
+            ):
+                self.counters.partitions_pruned += 1
+                continue
+            columns = self._read_columns(part, live)
+            decoded = {
+                pos: [values[pos][i] for i in ids] for pos, ids in columns.items()
+            }
+            keep = range(part["rows"])
+            if resolved is not None:
+                try:
+                    keep = [
+                        i
+                        for i in keep
+                        if all(
+                            _CMP[op](decoded[pos][i], value)
+                            for pos, op, value in resolved
+                        )
+                    ]
+                except (TypeError, KeyError):
+                    keep = range(part["rows"])
+            bucket = groups[slot]
+            for i in keep:
+                row = template[:]
+                for pos in live:
+                    row[pos] = decoded[pos][i]
+                bucket.append(tuple(row))
+            slot = (slot + 1) % len(groups)
+        return groups
+
+    def encoded_table(self):
+        """The whole relation as one EncodedTable, straight from id pages.
+
+        The persisted dictionaries produced the persisted ids, so the
+        pages concatenate into valid column vectors without any
+        re-encoding — a cold ``Relation.encoded()`` costs pure I/O plus
+        one decode pass for the aligned raw row list.
+        """
+        from .vectors import ColumnVector, EncodedTable
+
+        dicts = self.load_dictionaries()
+        arity = self.arity
+        live = tuple(range(arity))
+        buffers = [array("q") for _ in range(arity)]
+        for part in self.meta["partitions"]:
+            columns = self._read_columns(part, live)
+            for pos in live:
+                buffers[pos].extend(columns[pos])
+        values = [d.values for d in dicts]
+        n = self.row_count
+        rows = [
+            tuple(values[pos][buffers[pos][i]] for pos in live) for i in range(n)
+        ]
+        columns = tuple(
+            ColumnVector(buffers[pos], dicts[pos]) for pos in live
+        )
+        return EncodedTable(columns, rows, n)
+
+    def encoded_scan(self, projection=None, selection=(), params=None):
+        """A partial EncodedTable for the vector executor's leading scan.
+
+        Only matching partitions' rows appear, and only live columns are
+        read and carried as real id buffers — dead columns are zero-fill
+        placeholders, safe exactly because the pushdown compiler proved
+        no operator of the branch reads them (the aligned ``rows`` list
+        likewise holds None there).
+        """
+        from .vectors import ColumnVector, EncodedTable
+
+        dicts = self.load_dictionaries()
+        resolved = _resolve_selection(selection, params)
+        arity = self.arity
+        if projection is None:
+            live = tuple(range(arity))
+        else:
+            live = set(projection)
+            if resolved is not None:
+                live.update(pos for pos, _, _ in resolved)
+            live = tuple(sorted(live))
+        live_set = set(live)
+        values = [d.values for d in dicts]
+        buffers = {pos: array("q") for pos in live}
+        rows: list = []
+        template = [None] * arity
+        for part in self.meta["partitions"]:
+            if resolved is not None and not all(
+                _partition_matches(part["minmax"], pos, op, value)
+                for pos, op, value in resolved
+            ):
+                self.counters.partitions_pruned += 1
+                continue
+            columns = self._read_columns(part, live)
+            decoded = {
+                pos: [values[pos][i] for i in ids] for pos, ids in columns.items()
+            }
+            keep = range(part["rows"])
+            if resolved is not None:
+                try:
+                    keep = [
+                        i
+                        for i in keep
+                        if all(
+                            _CMP[op](decoded[pos][i], value)
+                            for pos, op, value in resolved
+                        )
+                    ]
+                except (TypeError, KeyError):
+                    keep = range(part["rows"])
+            for pos in live:
+                ids, buf = columns[pos], buffers[pos]
+                for i in keep:
+                    buf.append(ids[i])
+            for i in keep:
+                row = template[:]
+                for pos in live:
+                    row[pos] = decoded[pos][i]
+                rows.append(tuple(row))
+        n = len(rows)
+        zero = array("q", bytes(8 * n))
+        table_columns = tuple(
+            ColumnVector(buffers[pos] if pos in live_set else zero, dicts[pos])
+            for pos in range(arity)
+        )
+        return EncodedTable(table_columns, rows, n)
+
+    def prune_fraction(self, restrictions) -> float:
+        """Fraction of stored rows in partitions surviving ``restrictions``.
+
+        ``restrictions`` are concrete ``(pos, op, value)`` triples (the
+        cost model resolves constants at pricing time).  1.0 when the
+        manifest carries no usable bounds — pruning never makes a plan
+        *look* cheaper than an honest full scan without evidence.
+        """
+        total = self.row_count
+        if not total or not restrictions:
+            return 1.0
+        kept = 0
+        for part in self.meta["partitions"]:
+            if all(
+                _partition_matches(part["minmax"], pos, op, value)
+                for pos, op, value in restrictions
+            ):
+                kept += part["rows"]
+        return kept / total
+
+
+# ---------------------------------------------------------------------------
+# Writing
+# ---------------------------------------------------------------------------
+
+
+def _write_partition(path: str, chunk: list, dicts: tuple, parquet) -> dict:
+    """Write one partition's id pages; return its manifest entry."""
+    nrows = len(chunk)
+    ncols = len(dicts)
+    pages = [
+        d.encode_batch(map(itemgetter(pos), chunk)) for pos, d in enumerate(dicts)
+    ]
+    minmax = {}
+    for pos in range(ncols):
+        bounds = _chunk_minmax(map(itemgetter(pos), chunk))
+        if bounds is not None:
+            minmax[str(pos)] = bounds
+    if parquet is not None:
+        filename = path + ".parquet"
+        table = parquet.table(
+            {f"c{pos}": parquet.array(pages[pos], type=parquet.int64())
+             for pos in range(ncols)}
+        )
+        parquet.parquet.write_table(table, filename)
+    else:
+        filename = path + ".bin"
+        with open(filename, "wb") as fh:
+            fh.write(_PAGE_HEADER.pack(_PAGE_MAGIC, _FORMAT_VERSION, ncols, nrows))
+            for page in pages:
+                if sys.byteorder != "little":
+                    page = array("q", page)
+                    page.byteswap()
+                fh.write(page.tobytes())
+    return {
+        "file": os.path.basename(filename),
+        "rows": nrows,
+        "minmax": minmax,
+    }
+
+
+def spill_relation(rel, path: str, rows_per_partition: int = 4096) -> RelationStore:
+    """Persist one relation into ``path`` and return a reader over it."""
+    if rows_per_partition < 1:
+        raise StorageError("rows_per_partition must be at least 1")
+    os.makedirs(path, exist_ok=True)
+    parquet = get_pyarrow()
+    # Deterministic partitioning: sorted rows spill identically across
+    # runs, and sorting clusters values so per-partition min/max prune.
+    try:
+        rows = rel.sorted_rows()
+    except TypeError:
+        rows = rel.raw_list()
+    dicts = rel.dictionaries()
+    partitions = []
+    for start in range(0, len(rows), rows_per_partition):
+        chunk = rows[start : start + rows_per_partition]
+        entry = _write_partition(
+            os.path.join(path, f"part-{len(partitions):04d}"),
+            chunk,
+            dicts,
+            parquet,
+        )
+        partitions.append(entry)
+    element = rel.rtype.element
+    meta = {
+        "name": rel.name,
+        "arity": len(element.attribute_names),
+        "attributes": list(element.attribute_names),
+        "key": list(rel.rtype.key),
+        "row_count": len(rows),
+        "codec": "parquet" if parquet is not None else "bin",
+        "partitions": partitions,
+    }
+    with open(os.path.join(path, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=1, sort_keys=True)
+    with open(os.path.join(path, "schema.pkl"), "wb") as fh:
+        pickle.dump(rel.rtype, fh)
+    with open(os.path.join(path, "dicts.pkl"), "wb") as fh:
+        pickle.dump(dicts, fh)
+    with open(os.path.join(path, "stats.pkl"), "wb") as fh:
+        pickle.dump(rel.stats(), fh)
+    return RelationStore(path)
+
+
+def spill_database(db, path: str, rows_per_partition: int = 4096) -> None:
+    """Persist every relation of ``db`` into the directory ``path``.
+
+    Statistics spill alongside the data, so :func:`open_database` plans
+    as well as the warm database did — before its first scan.
+    """
+    os.makedirs(path, exist_ok=True)
+    names = sorted(db.relations)
+    for name in names:
+        spill_relation(
+            db.relations[name], os.path.join(path, name), rows_per_partition
+        )
+    meta = {
+        "format": _FORMAT,
+        "version": _FORMAT_VERSION,
+        "name": db.name,
+        "relations": names,
+    }
+    with open(os.path.join(path, "meta.json"), "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=1, sort_keys=True)
+
+
+def open_database(path: str):
+    """Open a spilled directory as a database of cold, store-backed relations.
+
+    Every relation knows its cardinality and statistics from the
+    manifest, so planning, plan caching, and ``StatsCatalog.epoch()``
+    work immediately; rows materialize lazily — and scans with pushdown
+    may answer queries without ever materializing the full relation.
+    """
+    from .database import Database
+    from .relation import Relation
+
+    try:
+        with open(os.path.join(path, "meta.json"), encoding="utf-8") as fh:
+            meta = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise StorageError(f"unreadable database directory {path!r}: {exc}") from exc
+    if meta.get("format") != _FORMAT:
+        raise StorageError(
+            f"{path!r} is not a {_FORMAT} database directory"
+        )
+    if meta.get("version", 0) > _FORMAT_VERSION:
+        raise StorageError(
+            f"{path!r} uses format version {meta['version']}, "
+            f"newer than this reader ({_FORMAT_VERSION})"
+        )
+    db = Database(meta.get("name", "db"))
+    for name in meta["relations"]:
+        store = RelationStore(os.path.join(path, name))
+        rel = Relation.from_store(name, store.relation_type(), store)
+        rel._sink = db.subscriptions
+        db.relations[name] = rel
+    return db

@@ -307,6 +307,42 @@ def assert_executors_agree(
     return reference
 
 
+def assert_executors_agree_cold(
+    db: Database,
+    path: str,
+    query,
+    params: dict | None = None,
+    executors: tuple[str, ...] = ALL_EXECUTORS,
+    shard_config=None,
+) -> set:
+    """Storage-backed variant: every backend runs a freshly reopened
+    on-disk database.
+
+    A fresh :func:`repro.relational.open_database` per backend keeps
+    every relation cold, so compiled scans hit the partition readers
+    (projection/predicate pushdown, min/max pruning, partition shard
+    units) instead of rows a previous backend already materialized.
+    The in-memory ``db`` the data was spilled from is the oracle.
+    """
+    from repro.compiler import ExecutionContext, compile_query
+    from repro.relational import open_database
+
+    reference = Evaluator(db, params).eval_query(query)
+    if shard_config is None:
+        shard_config = forced_shard_config()
+    for executor in executors:
+        cold = open_database(path)
+        plan = compile_query(cold, query, params=params)
+        ctx = ExecutionContext(cold, params=params)
+        ctx.shard_config = shard_config
+        rows = plan.execute(ctx, executor=executor)
+        assert rows == reference, (
+            f"executor {executor!r} diverged on storage-backed relations: "
+            f"{len(rows)} rows vs {len(reference)} reference rows"
+        )
+    return reference
+
+
 def assert_fixpoint_executors_agree(
     db_factory,
     application,
